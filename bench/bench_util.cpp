@@ -1,0 +1,64 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stackscope::bench {
+
+std::uint64_t
+benchInstrs(std::uint64_t dflt)
+{
+    if (const char *env = std::getenv("STACKSCOPE_BENCH_INSTRS")) {
+        const std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return dflt;
+}
+
+RunLengths
+benchRun(std::uint64_t dflt_measured)
+{
+    const std::uint64_t measured = benchInstrs(dflt_measured);
+    return {measured + measured / 2, measured / 2};
+}
+
+void
+banner(const std::string &experiment_id, const std::string &claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment_id.c_str());
+    std::printf("Paper: Eyerman et al., \"Extending the Performance Analysis\n"
+                "Tool Box: Multi-Stage CPI Stacks and FLOPS Stacks\", "
+                "ISPASS 2018.\n");
+    std::printf("Claim under reproduction: %s\n", claim.c_str());
+    std::printf("==============================================================\n\n");
+}
+
+GroupedStack
+groupCpi(const stacks::CpiStack &n)
+{
+    using C = stacks::CpiComponent;
+    GroupedStack g;
+    g.base = n[C::kBase];
+    g.frontend = n[C::kIcache] + n[C::kBpred] + n[C::kMicrocode];
+    g.memory = n[C::kDcache];
+    g.depend = n[C::kDepend] + n[C::kAluLat];
+    g.rest = n[C::kOther] + n[C::kUnsched];
+    return g;
+}
+
+GroupedStack
+groupFlops(const stacks::FlopsStack &n)
+{
+    using F = stacks::FlopsComponent;
+    GroupedStack g;
+    g.base = n[F::kBase];
+    g.frontend = n[F::kFrontend];
+    g.memory = n[F::kMem];
+    g.depend = n[F::kDepend];
+    g.rest = n[F::kNonFma] + n[F::kMask] + n[F::kNonVfp] + n[F::kUnsched];
+    return g;
+}
+
+}  // namespace stackscope::bench

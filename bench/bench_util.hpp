@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the experiment-regeneration binaries: run length
+ * control, banner printing and component-group mapping used by the
+ * FLOPS-vs-CPI comparisons.
+ */
+
+#ifndef STACKSCOPE_BENCH_BENCH_UTIL_HPP
+#define STACKSCOPE_BENCH_BENCH_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "stacks/stack.hpp"
+
+namespace stackscope::bench {
+
+/**
+ * Instructions per simulation. Default @p dflt; override with the
+ * STACKSCOPE_BENCH_INSTRS environment variable (e.g. 1000000 to match the
+ * paper's 1B-instruction windows more closely at higher runtime).
+ */
+std::uint64_t benchInstrs(std::uint64_t dflt = 250'000);
+
+/** Trace length plus warmup window for one experiment run. */
+struct RunLengths
+{
+    std::uint64_t total;   ///< trace length to generate
+    std::uint64_t warmup;  ///< instructions before measurement starts
+};
+
+/**
+ * Measured-window sizing: `measured` instructions preceded by a
+ * half-length warmup (the paper fast-forwards before its 1B-instruction
+ * measurement windows, §IV).
+ */
+RunLengths benchRun(std::uint64_t dflt_measured = 250'000);
+
+/** Print the experiment banner with the paper reference. */
+void banner(const std::string &experiment_id, const std::string &claim);
+
+/**
+ * The Figure 4/5 component correspondence between CPI/IPC stacks and
+ * FLOPS stacks: base, frontend, memory, depend, rest.
+ */
+struct GroupedStack
+{
+    double base = 0.0;
+    double frontend = 0.0;
+    double memory = 0.0;
+    double depend = 0.0;
+    double rest = 0.0;
+
+    GroupedStack &
+    operator+=(const GroupedStack &o)
+    {
+        base += o.base;
+        frontend += o.frontend;
+        memory += o.memory;
+        depend += o.depend;
+        rest += o.rest;
+        return *this;
+    }
+
+    GroupedStack
+    scaled(double f) const
+    {
+        return {base * f, frontend * f, memory * f, depend * f, rest * f};
+    }
+
+    GroupedStack
+    operator-(const GroupedStack &o) const
+    {
+        return {base - o.base, frontend - o.frontend, memory - o.memory,
+                depend - o.depend, rest - o.rest};
+    }
+};
+
+/** Group a normalized CPI stack into the Fig. 4 categories. */
+GroupedStack groupCpi(const stacks::CpiStack &normalized);
+
+/** Group a normalized FLOPS stack into the Fig. 4 categories. */
+GroupedStack groupFlops(const stacks::FlopsStack &normalized);
+
+}  // namespace stackscope::bench
+
+#endif  // STACKSCOPE_BENCH_BENCH_UTIL_HPP

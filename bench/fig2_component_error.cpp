@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Regenerates Figure 2: distributions of the per-component error of each
+ * single-stage CPI stack versus the multi-stage representation, on BDW
+ * and KNL.
+ *
+ * Methodology (§V-A): for every workload whose component exceeds 10% of
+ * CPI in any stack, idealize the corresponding structure, measure the
+ * actual CPI reduction, and compare against the predicted component. The
+ * multi-stage "error" is zero when the actual reduction falls within the
+ * [min, max] across the three stacks; otherwise it is the error of the
+ * closest stack.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/boxplot.hpp"
+#include "bench_util.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace {
+
+using namespace stackscope;
+using stacks::CpiComponent;
+using stacks::Stage;
+
+struct Knob
+{
+    const char *name;
+    CpiComponent comp;
+    sim::Idealization ideal;
+};
+
+const Knob kKnobs[] = {
+    {"Icache", CpiComponent::kIcache, {.perfect_icache = true}},
+    {"Dcache", CpiComponent::kDcache, {.perfect_dcache = true}},
+    {"bpred", CpiComponent::kBpred, {.perfect_bpred = true}},
+    {"ALU", CpiComponent::kAluLat, {.single_cycle_alu = true}},
+};
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 2 - error of single-stage vs multi-stage CPI stacks "
+        "(BDW and KNL)",
+        "the multi-stage representation has the smallest error: most "
+        "actual CPI reductions fall within the dispatch/issue/commit "
+        "component bounds");
+
+    const bench::RunLengths run = bench::benchRun();
+    sim::SimOptions options;
+    options.warmup_instrs = run.warmup;
+
+    for (const char *machine_name : {"bdw", "knl"}) {
+        const sim::MachineConfig machine = sim::machineByName(machine_name);
+        std::printf("--- %s ---\n", machine.name.c_str());
+
+        // errors[knob][stage or "multi"] -> samples over workloads
+        std::map<std::string, std::map<std::string, std::vector<double>>>
+            errors;
+        int filtered_zeros = 0;
+
+        for (const trace::Workload &w : trace::allSpecWorkloads()) {
+            trace::SyntheticParams params = w.params;
+            params.num_instrs = run.total;
+            trace::SyntheticGenerator gen(params);
+
+            const sim::SimResult real = sim::simulate(machine, gen, options);
+            const analysis::MultiStageStacks ms{
+                real.cpiStack(Stage::kDispatch),
+                real.cpiStack(Stage::kIssue),
+                real.cpiStack(Stage::kCommit)};
+
+            for (const Knob &k : kKnobs) {
+                // Filter out 'zeros': keep only workloads where the
+                // component is at least 10% of CPI in some stack (§V-A).
+                const analysis::ComponentBounds b =
+                    analysis::componentBounds(ms, k.comp);
+                if (b.hi < 0.10 * real.cpi) {
+                    ++filtered_zeros;
+                    continue;
+                }
+                const double actual =
+                    sim::cpiReduction(machine, gen, k.ideal, options);
+                errors[k.name]["dispatch"].push_back(
+                    analysis::singleStackError(ms.dispatch, k.comp, actual));
+                errors[k.name]["issue"].push_back(
+                    analysis::singleStackError(ms.issue, k.comp, actual));
+                errors[k.name]["commit"].push_back(
+                    analysis::singleStackError(ms.commit, k.comp, actual));
+                errors[k.name]["multi"].push_back(
+                    analysis::multiStageError(ms, k.comp, actual));
+            }
+        }
+
+        std::printf("(filtered %d near-zero component/workload pairs, as in "
+                    "the paper)\n\n",
+                    filtered_zeros);
+
+        for (const Knob &k : kKnobs) {
+            auto it = errors.find(k.name);
+            if (it == errors.end() || it->second.begin()->second.empty()) {
+                std::printf("%s: no workload exceeds the 10%% threshold\n\n",
+                            k.name);
+                continue;
+            }
+            std::vector<analysis::BoxPlotEntry> boxes;
+            for (const char *stage :
+                 {"dispatch", "issue", "commit", "multi"}) {
+                boxes.push_back(
+                    analysis::makeBox(stage, it->second[stage]));
+            }
+            std::printf("%s",
+                        analysis::renderBoxPlot(
+                            boxes, std::string(k.name) +
+                                       " component error (CPI units), " +
+                                       machine.name)
+                            .c_str());
+            // The paper's headline: the multi-stage box is the tightest.
+            const auto multi = fiveNumberSummary(it->second["multi"]);
+            const auto disp = fiveNumberSummary(it->second["dispatch"]);
+            const auto comm = fiveNumberSummary(it->second["commit"]);
+            const double multi_iqr = multi.q3 - multi.q1;
+            const double disp_iqr = disp.q3 - disp.q1;
+            const double comm_iqr = comm.q3 - comm.q1;
+            std::printf("  multi-stage IQR %.3f vs dispatch %.3f / commit "
+                        "%.3f -> %s\n\n",
+                        multi_iqr, disp_iqr, comm_iqr,
+                        multi_iqr <= disp_iqr + 1e-9 &&
+                                multi_iqr <= comm_iqr + 1e-9
+                            ? "multi-stage tightest (matches paper)"
+                            : "check: single stack tighter here");
+        }
+    }
+    return 0;
+}

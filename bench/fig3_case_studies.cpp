@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Regenerates Figure 3: the five multi-stage CPI stack case studies,
+ * before and after making components perfect.
+ *
+ * (a) mcf/BDW     - bpred bracketed by dispatch/commit; D$ by commit.
+ * (b) cactus/BDW  - Icache reduction within bounds; Icache and Dcache
+ *                   couple through the unified L2 (second-order effect).
+ * (c) bwaves/BDW  - an Icache component that does not materialize: Icache
+ *                   misses queue behind prefetches on the L2 MSHRs.
+ * (d) povray/KNL  - Microcode component; ALU and bpred bracketed.
+ * (e) imagick/KNL - the issue stack reveals multi-cycle ALU latency where
+ *                   dispatch/commit report dependences.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/render.hpp"
+#include "bench_util.hpp"
+#include "core/ooo_core.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace {
+
+using namespace stackscope;
+using stacks::CpiComponent;
+using stacks::Stage;
+
+struct Case
+{
+    const char *fig;
+    const char *workload;
+    const char *machine;
+    const char *story;
+    std::vector<sim::Idealization> ideals;
+};
+
+void
+runCase(const Case &c, std::uint64_t instrs)
+{
+    std::printf("--- Fig. 3(%s): %s on %s ---\n%s\n\n", c.fig, c.workload,
+                c.machine, c.story);
+
+    const bench::RunLengths run = bench::benchRun(instrs);
+    trace::SyntheticParams params =
+        trace::findWorkload(c.workload).params;
+    params.num_instrs = run.total;
+    trace::SyntheticGenerator gen(params);
+    const sim::MachineConfig machine = sim::machineByName(c.machine);
+
+    sim::SimOptions options;
+    options.warmup_instrs = run.warmup;
+    const sim::SimResult real = sim::simulate(machine, gen, options);
+    std::printf("%s\n",
+                analysis::renderMultiStage(real, c.workload).c_str());
+
+    const analysis::MultiStageStacks ms{real.cpiStack(Stage::kDispatch),
+                                        real.cpiStack(Stage::kIssue),
+                                        real.cpiStack(Stage::kCommit)};
+
+    for (const sim::Idealization &ideal : c.ideals) {
+        const sim::SimResult after =
+            sim::simulate(sim::applyIdealization(machine, ideal), gen,
+                          options);
+        const double delta = real.cpi - after.cpi;
+        std::printf("  %-26s CPI %.3f -> %.3f (reduction %.3f)\n",
+                    ideal.label().c_str(), real.cpi, after.cpi, delta);
+
+        // Show the bracketing for the directly affected component.
+        CpiComponent comp = CpiComponent::kDcache;
+        if (ideal.perfect_icache)
+            comp = CpiComponent::kIcache;
+        else if (ideal.perfect_bpred)
+            comp = CpiComponent::kBpred;
+        else if (ideal.single_cycle_alu)
+            comp = CpiComponent::kAluLat;
+        const auto b = analysis::componentBounds(ms, comp);
+        std::printf("      %s component: dispatch %.3f / issue %.3f / "
+                    "commit %.3f -> bounds [%.3f, %.3f] %s\n",
+                    std::string(componentName(comp)).c_str(),
+                    ms.dispatch[comp], ms.issue[comp], ms.commit[comp], b.lo,
+                    b.hi,
+                    b.contains(delta)
+                        ? "CONTAIN the actual reduction"
+                        : "do NOT contain it (second-order effect)");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Figure 3 - multi-stage CPI stack case studies",
+                  "per-component dispatch/commit values bracket the true "
+                  "improvement; the exceptions are second-order effects "
+                  "(unified-L2 coupling, MSHR contention)");
+
+    const std::uint64_t instrs = bench::benchInstrs();  // measured window
+
+    const Case cases[] = {
+        {"a", "mcf", "bdw",
+         "Dcache-bound pointer chaser with data-dependent branches.",
+         {{.perfect_bpred = true}, {.perfect_dcache = true}}},
+        {"b", "cactus", "bdw",
+         "Huge code footprint; I and D contend in the unified L2, coupling "
+         "the Icache and Dcache components.",
+         {{.perfect_icache = true}, {.perfect_dcache = true}}},
+        {"c", "bwaves", "bdw",
+         "Streaming solver. All three stacks show an Icache component, but "
+         "a perfect Icache barely helps: Icache misses were queueing "
+         "behind prefetch traffic on the L2 MSHRs, and that queueing time "
+         "simply moves to the Dcache misses.",
+         {{.perfect_icache = true}, {.perfect_dcache = true}}},
+        {"d", "povray", "knl",
+         "Microcoded ops stall the 2-wide KNL decoder (Microcode "
+         "component); ALU and bpred reductions fall between dispatch and "
+         "commit components.",
+         {{.single_cycle_alu = true}, {.perfect_bpred = true}}},
+        {"e", "imagick", "knl",
+         "Dependence chains of multi-cycle ALU ops: dispatch/commit blame "
+         "'Depend', the issue stack (which sees producers) blames 'ALU "
+         "lat' - and 1-cycle ALUs indeed recover it.",
+         {{.single_cycle_alu = true}}},
+    };
+
+    for (const Case &c : cases)
+        runCase(c, instrs);
+
+    // Extra diagnostics for the bwaves MSHR story.
+    {
+        trace::SyntheticParams params =
+            trace::findWorkload("bwaves").params;
+        params.num_instrs = instrs;
+        trace::SyntheticGenerator gen(params);
+        core::CoreParams cp = sim::bdwConfig().core;
+        core::OooCore core(cp, gen.clone());
+        core.run(0);
+        std::printf("bwaves/BDW diagnostics: %llu prefetches issued, "
+                    "%llu cycles of MSHR queueing\n",
+                    static_cast<unsigned long long>(
+                        core.caches().prefetchesIssued()),
+                    static_cast<unsigned long long>(
+                        core.caches().mshrWaitCycles()));
+    }
+    return 0;
+}

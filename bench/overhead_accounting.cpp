@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces the §IV overhead claim: adding multi-stage CPI stack and
+ * FLOPS stack accounting to the simulator costs ~nothing (the paper
+ * reports <1% slowdown over Sniper, which already measured dispatch
+ * stacks).
+ *
+ * google-benchmark binary: compares full simulation runtime with
+ * accounting disabled, enabled (all four accountants) and enabled with
+ * speculative counters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ooo_core.hpp"
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace {
+
+using namespace stackscope;
+
+trace::SyntheticParams
+workloadParams()
+{
+    trace::SyntheticParams p = trace::findWorkload("gcc").params;
+    p.num_instrs = 50'000;
+    return p;
+}
+
+void
+runOnce(benchmark::State &state, bool accounting,
+        stacks::SpeculationMode mode)
+{
+    const trace::SyntheticParams wp = workloadParams();
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        core::CoreParams params = sim::bdwConfig().core;
+        params.accounting_enabled = accounting;
+        params.spec_mode = mode;
+        core::OooCore core(params,
+                           std::make_unique<trace::SyntheticGenerator>(wp));
+        core.run(0);
+        benchmark::DoNotOptimize(core.cycles());
+        instrs += core.stats().instrs_committed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1000);
+}
+
+void
+BM_AccountingOff(benchmark::State &state)
+{
+    runOnce(state, false, stacks::SpeculationMode::kOracle);
+}
+
+void
+BM_AccountingOn(benchmark::State &state)
+{
+    runOnce(state, true, stacks::SpeculationMode::kOracle);
+}
+
+void
+BM_AccountingSpecCounters(benchmark::State &state)
+{
+    runOnce(state, true, stacks::SpeculationMode::kSpecCounters);
+}
+
+void
+BM_AccountantTickOnly(benchmark::State &state)
+{
+    // Isolate the marginal cost of one accountant tick.
+    stacks::CpiAccountant acct({stacks::Stage::kDispatch, 4,
+                                stacks::SpeculationMode::kOracle});
+    stacks::CycleState s;
+    s.n_dispatch = 3;
+    s.fe_has_correct = true;
+    s.fe_has_any = true;
+    for (auto _ : state) {
+        acct.tick(s);
+        benchmark::DoNotOptimize(&acct);
+    }
+}
+
+BENCHMARK(BM_AccountingOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccountingOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccountingSpecCounters)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccountantTickOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Using the TraceBuilder API to analyze a hand-written kernel: a dot
+ * product implemented two ways (scalar vs vector-FMA), showing how the
+ * multi-stage CPI stacks and the FLOPS stack expose the difference.
+ *
+ * Usage: custom_trace_builder [iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "analysis/render.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace {
+
+using namespace stackscope;
+
+/** Scalar dot product: load a, load b, multiply, accumulate. */
+std::unique_ptr<trace::TraceSource>
+scalarDot(unsigned iterations)
+{
+    trace::TraceBuilder b;
+    auto acc = b.fpAdd();
+    // Padding so the accumulator dependence distance inside the loop body
+    // equals the body length (repeatLast preserves distances, giving the
+    // loop-carried accumulator chain).
+    b.nop();
+    b.nop();
+    b.at(0x401000);
+    auto a0 = b.load(0x10000000);
+    auto b0 = b.load(0x20000000);
+    auto m0 = b.fpMul({a0, b0});
+    acc = b.fpAdd({m0, acc});
+    auto ptr = b.alu();
+    b.branch(true, {ptr});
+    b.repeatLast(6, iterations - 1);
+    return b.build();
+}
+
+/** Vectorized dot product with 8 accumulators of 16-lane FMAs. */
+std::unique_ptr<trace::TraceSource>
+vectorDot(unsigned iterations)
+{
+    trace::TraceBuilder b;
+    std::vector<trace::InstrHandle> acc;
+    for (int i = 0; i < 8; ++i)
+        acc.push_back(b.vadd(16));
+    b.at(0x402000);
+    for (unsigned it = 0; it < iterations; ++it) {
+        b.at(0x402000);
+        for (int u = 0; u < 8; ++u) {
+            auto a = b.load(0x10000000 + (it * 8 + u) % 2048 * 64);
+            auto v = b.load(0x20000000 + (it * 8 + u) % 2048 * 64);
+            acc[u] = b.vfma(16, {a, v, acc[u]});
+        }
+        auto ptr = b.alu();
+        b.branch(true, {ptr});
+    }
+    return b.build();
+}
+
+void
+analyze(const char *name, const trace::TraceSource &trace,
+        const sim::MachineConfig &machine)
+{
+    const sim::SimResult r = sim::simulate(machine, trace);
+    std::printf("%s", analysis::renderMultiStage(r, name).c_str());
+    std::printf("%s",
+                analysis::renderFlopsStack(
+                    r.flopsStack(), "  FLOPS stack (flops/s, core-level)",
+                    "flops/s")
+                    .c_str());
+    std::printf("  achieved %s of %s core peak\n\n",
+                analysis::formatFlops(r.achievedFlops()).c_str(),
+                analysis::formatFlops(r.core_peak_flops).c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned iterations =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 20000;
+    const sim::MachineConfig machine = sim::skxConfig();
+
+    std::printf("== dot-product kernels on %s (%u iterations) ==\n\n",
+                machine.name.c_str(), iterations);
+    analyze("scalar dot product", *scalarDot(iterations), machine);
+    analyze("vector-FMA dot product", *vectorDot(iterations), machine);
+    std::printf("The FLOPS stack separates 'too few VFP instructions'\n"
+                "(frontend) from masking, memory and dependence losses -\n"
+                "information the CPI stacks alone cannot provide (§V-B).\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stackscope::analysis {
+
+ComponentBounds
+componentBounds(const MultiStageStacks &ms, stacks::CpiComponent c)
+{
+    ComponentBounds b;
+    b.lo = std::min({ms.dispatch[c], ms.issue[c], ms.commit[c]});
+    b.hi = std::max({ms.dispatch[c], ms.issue[c], ms.commit[c]});
+    return b;
+}
+
+double
+singleStackError(const stacks::CpiStack &stack, stacks::CpiComponent c,
+                 double actual_reduction)
+{
+    return stack[c] - actual_reduction;
+}
+
+double
+multiStageError(const MultiStageStacks &ms, stacks::CpiComponent c,
+                double actual_reduction)
+{
+    const ComponentBounds b = componentBounds(ms, c);
+    if (b.contains(actual_reduction))
+        return 0.0;
+    // Outside the bounds: the signed error of the closest component.
+    const double err_lo = b.lo - actual_reduction;
+    const double err_hi = b.hi - actual_reduction;
+    return std::abs(err_lo) < std::abs(err_hi) ? err_lo : err_hi;
+}
+
+}  // namespace stackscope::analysis

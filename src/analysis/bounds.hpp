@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-stage CPI stack analysis: per-component bounds across the three
+ * stage stacks and the error metric of the paper's validation study (§V-A).
+ */
+
+#ifndef STACKSCOPE_ANALYSIS_BOUNDS_HPP
+#define STACKSCOPE_ANALYSIS_BOUNDS_HPP
+
+#include <array>
+
+#include "stacks/stack.hpp"
+
+namespace stackscope::analysis {
+
+/** The three per-stage CPI stacks of one run (CPI units). */
+struct MultiStageStacks
+{
+    stacks::CpiStack dispatch;
+    stacks::CpiStack issue;
+    stacks::CpiStack commit;
+
+    const stacks::CpiStack &
+    at(stacks::Stage s) const
+    {
+        switch (s) {
+          case stacks::Stage::kDispatch: return dispatch;
+          case stacks::Stage::kIssue: return issue;
+          default: return commit;
+        }
+    }
+};
+
+/** Lower/upper bound of one component across the three stacks. */
+struct ComponentBounds
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool
+    contains(double x) const
+    {
+        return x >= lo && x <= hi;
+    }
+};
+
+/** Min/max of @p c over the dispatch, issue and commit stacks. */
+ComponentBounds componentBounds(const MultiStageStacks &ms,
+                                stacks::CpiComponent c);
+
+/**
+ * Error of a single stack's component as a predictor of the actual CPI
+ * reduction: predicted − actual (signed, §V-A).
+ */
+double singleStackError(const stacks::CpiStack &stack,
+                        stacks::CpiComponent c, double actual_reduction);
+
+/**
+ * Error of the multi-stage representation: 0 when the actual reduction
+ * lies within the bounds, otherwise the signed error of the closest
+ * single-stack component (§V-A).
+ */
+double multiStageError(const MultiStageStacks &ms, stacks::CpiComponent c,
+                       double actual_reduction);
+
+}  // namespace stackscope::analysis
+
+#endif  // STACKSCOPE_ANALYSIS_BOUNDS_HPP

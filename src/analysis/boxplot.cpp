@@ -1,0 +1,85 @@
+#include "analysis/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace stackscope::analysis {
+
+BoxPlotEntry
+makeBox(std::string label, std::vector<double> samples)
+{
+    BoxPlotEntry e;
+    e.label = std::move(label);
+    e.summary = fiveNumberSummary(samples);
+    e.samples = std::move(samples);
+    return e;
+}
+
+std::string
+renderBoxPlot(const std::vector<BoxPlotEntry> &boxes,
+              const std::string &title, unsigned width)
+{
+    std::ostringstream out;
+    out << title << "\n";
+    if (boxes.empty())
+        return out.str();
+
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const BoxPlotEntry &b : boxes) {
+        lo = std::min(lo, b.summary.min);
+        hi = std::max(hi, b.summary.max);
+    }
+    if (hi - lo < 1e-12) {
+        lo -= 1.0;
+        hi += 1.0;
+    }
+    const double span = hi - lo;
+    auto col = [&](double x) {
+        const double t = (x - lo) / span;
+        return static_cast<unsigned>(
+            std::clamp(t, 0.0, 1.0) * (width - 1));
+    };
+
+    std::size_t label_w = 0;
+    for (const BoxPlotEntry &b : boxes)
+        label_w = std::max(label_w, b.label.size());
+
+    for (const BoxPlotEntry &b : boxes) {
+        std::string row(width, ' ');
+        const FiveNumberSummary &s = b.summary;
+        for (unsigned i = col(s.min); i <= col(s.q1); ++i)
+            row[i] = '-';
+        for (unsigned i = col(s.q1); i <= col(s.q3); ++i)
+            row[i] = '=';
+        for (unsigned i = col(s.q3); i <= col(s.max); ++i)
+            row[i] = '-';
+        row[col(s.median)] = '|';
+        if (lo <= 0.0 && 0.0 <= hi && row[col(0.0)] == ' ')
+            row[col(0.0)] = '.';
+        out << "  ";
+        out.width(static_cast<int>(label_w));
+        out << std::left << b.label << " [" << row << "]\n";
+    }
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  axis: [%+.3f .. %+.3f]   ('|' median, '=' IQR,"
+                  " '-' whiskers)\n",
+                  lo, hi);
+    out << buf;
+    for (const BoxPlotEntry &b : boxes) {
+        const FiveNumberSummary &s = b.summary;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-12s n=%-3zu min=%+.3f q1=%+.3f med=%+.3f "
+                      "q3=%+.3f max=%+.3f\n",
+                      b.label.c_str(), s.count, s.min, s.q1, s.median, s.q3,
+                      s.max);
+        out << buf;
+    }
+    return out.str();
+}
+
+}  // namespace stackscope::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Box-and-whisker summaries and ASCII rendering for the Figure 2 style
+ * error distributions.
+ */
+
+#ifndef STACKSCOPE_ANALYSIS_BOXPLOT_HPP
+#define STACKSCOPE_ANALYSIS_BOXPLOT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/stats_math.hpp"
+
+namespace stackscope::analysis {
+
+/** One labelled box in a box-plot group. */
+struct BoxPlotEntry
+{
+    std::string label;
+    FiveNumberSummary summary;
+    std::vector<double> samples;
+};
+
+/** Compute a labelled summary from raw samples. */
+BoxPlotEntry makeBox(std::string label, std::vector<double> samples);
+
+/**
+ * Render a group of boxes as an ASCII chart (one row per box) over a
+ * common value axis, plus a numeric table. Whiskers extend to the extreme
+ * values, as in the paper's Figure 2.
+ */
+std::string renderBoxPlot(const std::vector<BoxPlotEntry> &boxes,
+                          const std::string &title, unsigned width = 60);
+
+}  // namespace stackscope::analysis
+
+#endif  // STACKSCOPE_ANALYSIS_BOXPLOT_HPP

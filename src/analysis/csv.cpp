@@ -1,0 +1,74 @@
+#include "analysis/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace stackscope::analysis {
+
+namespace {
+
+template <typename E>
+std::string
+stackHeader(const std::string &label_col)
+{
+    std::ostringstream out;
+    out << label_col;
+    for (std::size_t i = 0; i < stacks::StackT<E>::kSize; ++i)
+        out << ',' << componentName(static_cast<E>(i));
+    return out.str();
+}
+
+template <typename E>
+std::string
+stackRow(const std::string &label, const stacks::StackT<E> &stack)
+{
+    std::ostringstream out;
+    out << label;
+    char buf[32];
+    stack.forEach([&](E, double v) {
+        std::snprintf(buf, sizeof(buf), ",%.6g", v);
+        out << buf;
+    });
+    return out.str();
+}
+
+}  // namespace
+
+std::string
+cpiStackCsvHeader(const std::string &label_col)
+{
+    return stackHeader<stacks::CpiComponent>(label_col);
+}
+
+std::string
+toCsvRow(const std::string &label, const stacks::CpiStack &stack)
+{
+    return stackRow(label, stack);
+}
+
+std::string
+flopsStackCsvHeader(const std::string &label_col)
+{
+    return stackHeader<stacks::FlopsComponent>(label_col);
+}
+
+std::string
+toCsvRow(const std::string &label, const stacks::FlopsStack &stack)
+{
+    return stackRow(label, stack);
+}
+
+std::string
+toCsvRow(const std::string &label, const std::vector<double> &values)
+{
+    std::ostringstream out;
+    out << label;
+    char buf[32];
+    for (double v : values) {
+        std::snprintf(buf, sizeof(buf), ",%.6g", v);
+        out << buf;
+    }
+    return out.str();
+}
+
+}  // namespace stackscope::analysis

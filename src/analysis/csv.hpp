@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CSV export of stacks and experiment sweeps, so the paper's figures can
+ * be re-plotted from the bench binaries' output.
+ */
+
+#ifndef STACKSCOPE_ANALYSIS_CSV_HPP
+#define STACKSCOPE_ANALYSIS_CSV_HPP
+
+#include <string>
+#include <vector>
+
+#include "stacks/stack.hpp"
+
+namespace stackscope::analysis {
+
+/** Header line for CPI stack rows: "label,Base,Icache,...". */
+std::string cpiStackCsvHeader(const std::string &label_col = "label");
+
+/** One CSV row for a CPI stack. */
+std::string toCsvRow(const std::string &label,
+                     const stacks::CpiStack &stack);
+
+/** Header line for FLOPS stack rows. */
+std::string flopsStackCsvHeader(const std::string &label_col = "label");
+
+/** One CSV row for a FLOPS stack. */
+std::string toCsvRow(const std::string &label,
+                     const stacks::FlopsStack &stack);
+
+/** Generic CSV row from label + values. */
+std::string toCsvRow(const std::string &label,
+                     const std::vector<double> &values);
+
+}  // namespace stackscope::analysis
+
+#endif  // STACKSCOPE_ANALYSIS_CSV_HPP

@@ -1,0 +1,125 @@
+#include "analysis/render.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace stackscope::analysis {
+
+namespace {
+
+constexpr double kRenderEps = 5e-4;
+
+}  // namespace
+
+std::string
+renderCpiStack(const stacks::CpiStack &stack, const std::string &title)
+{
+    return renderCpiStacks({stack}, {title}, "");
+}
+
+std::string
+renderCpiStacks(const std::vector<stacks::CpiStack> &stacks_in,
+                const std::vector<std::string> &titles,
+                const std::string &heading)
+{
+    std::ostringstream out;
+    char buf[256];
+    if (!heading.empty())
+        out << heading << "\n";
+
+    out << "  " << std::left;
+    out.width(11);
+    out << "component";
+    for (const std::string &t : titles) {
+        std::snprintf(buf, sizeof(buf), " %10s", t.c_str());
+        out << buf;
+    }
+    out << "\n";
+
+    for (std::size_t i = 0; i < stacks::kNumCpiComponents; ++i) {
+        const auto c = static_cast<stacks::CpiComponent>(i);
+        bool any = false;
+        for (const auto &s : stacks_in)
+            any = any || std::abs(s[c]) >= kRenderEps;
+        if (!any)
+            continue;
+        out << "  ";
+        out.width(11);
+        out << std::left << componentName(c);
+        for (const auto &s : stacks_in) {
+            std::snprintf(buf, sizeof(buf), " %10.3f", s[c]);
+            out << buf;
+        }
+        out << "\n";
+    }
+
+    out << "  ";
+    out.width(11);
+    out << std::left << "TOTAL";
+    for (const auto &s : stacks_in) {
+        std::snprintf(buf, sizeof(buf), " %10.3f", s.sum());
+        out << buf;
+    }
+    out << "\n";
+    return out.str();
+}
+
+std::string
+renderFlopsStack(const stacks::FlopsStack &stack, const std::string &title,
+                 const std::string &unit)
+{
+    std::ostringstream out;
+    char buf[256];
+    out << title << "\n";
+    const double total = stack.sum();
+    for (std::size_t i = 0; i < stacks::kNumFlopsComponents; ++i) {
+        const auto c = static_cast<stacks::FlopsComponent>(i);
+        if (std::abs(stack[c]) < kRenderEps * std::max(1.0, total))
+            continue;
+        std::snprintf(buf, sizeof(buf), "  %-10s %14.4g %s (%5.1f%%)\n",
+                      std::string(componentName(c)).c_str(), stack[c],
+                      unit.c_str(),
+                      total == 0.0 ? 0.0 : 100.0 * stack[c] / total);
+        out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-10s %14.4g %s\n", "TOTAL", total,
+                  unit.c_str());
+    out << buf;
+    return out.str();
+}
+
+std::string
+renderMultiStage(const sim::SimResult &result, const std::string &workload)
+{
+    std::ostringstream out;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s on %s: %llu instrs, %llu cycles, CPI %.3f (IPC %.2f)\n",
+                  workload.c_str(), result.machine.c_str(),
+                  static_cast<unsigned long long>(result.instrs),
+                  static_cast<unsigned long long>(result.cycles), result.cpi,
+                  result.ipc());
+    out << buf;
+    out << renderCpiStacks(
+        {result.cpiStack(stacks::Stage::kDispatch),
+         result.cpiStack(stacks::Stage::kIssue),
+         result.cpiStack(stacks::Stage::kCommit)},
+        {"dispatch", "issue", "commit"}, "  CPI stacks:");
+    return out.str();
+}
+
+std::string
+formatFlops(double flops)
+{
+    char buf[64];
+    if (flops >= 1e12)
+        std::snprintf(buf, sizeof(buf), "%.2f TFLOPS", flops / 1e12);
+    else if (flops >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f GFLOPS", flops / 1e9);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f MFLOPS", flops / 1e6);
+    return buf;
+}
+
+}  // namespace stackscope::analysis

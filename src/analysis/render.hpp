@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text rendering of CPI, IPC and FLOPS stacks: numeric tables and ASCII
+ * stacked bars in the style of the paper's figures.
+ */
+
+#ifndef STACKSCOPE_ANALYSIS_RENDER_HPP
+#define STACKSCOPE_ANALYSIS_RENDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "stacks/stack.hpp"
+
+namespace stackscope::analysis {
+
+/** Render one CPI stack as a labelled table (skipping ~zero components). */
+std::string renderCpiStack(const stacks::CpiStack &stack,
+                           const std::string &title);
+
+/**
+ * Render several CPI stacks side by side (e.g., dispatch/issue/commit, or
+ * the same stack across idealizations) with one row per component.
+ */
+std::string renderCpiStacks(const std::vector<stacks::CpiStack> &stacks,
+                            const std::vector<std::string> &titles,
+                            const std::string &heading);
+
+/** Render a FLOPS stack table; @p unit names the value column. */
+std::string renderFlopsStack(const stacks::FlopsStack &stack,
+                             const std::string &title,
+                             const std::string &unit = "cycles");
+
+/** Render the three stage stacks of a run plus summary lines. */
+std::string renderMultiStage(const sim::SimResult &result,
+                             const std::string &workload);
+
+/** Human-friendly flops/s formatting ("1.73 TFLOPS"). */
+std::string formatFlops(double flops);
+
+}  // namespace stackscope::analysis
+
+#endif  // STACKSCOPE_ANALYSIS_RENDER_HPP

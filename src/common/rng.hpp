@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in stackscope (synthetic trace generation,
+ * wrong-path filler instructions, address streams) must be reproducible
+ * from a seed so that idealization experiments replay the exact same
+ * instruction stream. We therefore use our own small PRNG rather than
+ * std::mt19937 with library-defined distributions, whose results may vary
+ * across standard library implementations.
+ */
+
+#ifndef STACKSCOPE_COMMON_RNG_HPP
+#define STACKSCOPE_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace stackscope {
+
+/**
+ * A splitmix64-seeded xoshiro256** generator.
+ *
+ * Fast, high quality, and fully specified by this header — results are
+ * identical on every platform and standard library.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; distinct seeds give distinct streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) ; bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish burst length: number of consecutive successes with
+     * continuation probability p, capped at max_len. Used to model bursty
+     * miss behaviour.
+     */
+    std::uint64_t burstLength(double p, std::uint64_t max_len);
+
+    /**
+     * Sample an index from a discrete distribution given by non-negative
+     * weights. Returns weights.size() - 1 if all weights are zero.
+     */
+    std::size_t weighted(std::span<const double> weights);
+
+    /**
+     * Derive a statistically independent child generator. Used to give each
+     * workload sub-stream (addresses, branches, dependences) its own RNG so
+     * consuming one stream never perturbs another.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace stackscope
+
+#endif  // STACKSCOPE_COMMON_RNG_HPP

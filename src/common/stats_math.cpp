@@ -1,0 +1,63 @@
+#include "common/stats_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stackscope {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::span<const double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+FiveNumberSummary
+fiveNumberSummary(std::span<const double> xs)
+{
+    FiveNumberSummary s;
+    if (xs.empty())
+        return s;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.q1 = percentile(sorted, 0.25);
+    s.median = percentile(sorted, 0.50);
+    s.q3 = percentile(sorted, 0.75);
+    return s;
+}
+
+}  // namespace stackscope

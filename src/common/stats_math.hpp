@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small statistics helpers used by the analysis toolbox: means, percentiles
+ * and five-number summaries for the Figure 2 style box plots.
+ */
+
+#ifndef STACKSCOPE_COMMON_STATS_MATH_HPP
+#define STACKSCOPE_COMMON_STATS_MATH_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stackscope {
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double mean(std::span<const double> xs);
+
+/** Population standard deviation; returns 0 for fewer than two samples. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Linear-interpolated percentile of an *unsorted* sample, q in [0, 1].
+ * Uses the common "linear interpolation between closest ranks" definition
+ * (numpy default). Returns 0 for an empty input.
+ */
+double percentile(std::span<const double> xs, double q);
+
+/**
+ * Five-number summary of a sample, as used in a box-and-whisker plot:
+ * minimum, first quartile, median, third quartile, maximum
+ * (whiskers extend to the extreme values, as in the paper's Figure 2).
+ */
+struct FiveNumberSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;
+};
+
+/** Compute the five-number summary of an unsorted sample. */
+FiveNumberSummary fiveNumberSummary(std::span<const double> xs);
+
+}  // namespace stackscope
+
+#endif  // STACKSCOPE_COMMON_STATS_MATH_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all stackscope subsystems.
+ */
+
+#ifndef STACKSCOPE_COMMON_TYPES_HPP
+#define STACKSCOPE_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace stackscope {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated (code or data) address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Global dynamic-instruction sequence number.
+ *
+ * Sequence numbers are assigned in fetch order and are strictly increasing
+ * over the lifetime of a core, including across squashed wrong-path
+ * instructions. They double as dependence tokens: a consumer records the
+ * sequence numbers of its producers.
+ */
+using SeqNum = std::uint64_t;
+
+/** Sentinel meaning "no sequence number" / "no producer". */
+inline constexpr SeqNum kNoSeq = ~SeqNum{0};
+
+/** Sentinel meaning "event has not happened yet". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+}  // namespace stackscope
+
+#endif  // STACKSCOPE_COMMON_TYPES_HPP

@@ -1,0 +1,680 @@
+#include "core/ooo_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stackscope::core {
+
+using stacks::BackendBlame;
+using stacks::CycleState;
+using stacks::FrontendReason;
+using stacks::Stage;
+using stacks::VfpBlame;
+using trace::InstrClass;
+using uarch::InflightInstr;
+
+OooCore::OooCore(const CoreParams &params,
+                 std::unique_ptr<trace::TraceSource> trace,
+                 uarch::Uncore *shared_uncore)
+    : params_(params),
+      trace_(std::move(trace)),
+      mem_(params.mem, shared_uncore),
+      bp_(params.bpred),
+      fu_(params.fu),
+      rob_(params.rob_size),
+      rs_(params.rs_size),
+      wp_rng_(params.wrong_path_seed),
+      scoreboard_(kScoreboardSize),
+      acct_dispatch_({Stage::kDispatch,
+                      params.accounting_native_widths
+                          ? params.dispatch_width
+                          : params.effectiveWidth(),
+                      params.spec_mode}),
+      acct_issue_({Stage::kIssue,
+                   params.accounting_native_widths ? params.issue_width
+                                                   : params.effectiveWidth(),
+                   params.spec_mode}),
+      acct_commit_({Stage::kCommit,
+                    params.accounting_native_widths
+                        ? params.commit_width
+                        : params.effectiveWidth(),
+                    params.spec_mode}),
+      flops_({params.fu.vpu_units, params.flops_vec_lanes})
+{
+    assert(trace_);
+    assert(trace::kMaxDepDistance + params_.rob_size < kScoreboardSize);
+}
+
+const stacks::CpiAccountant &
+OooCore::accountant(Stage stage) const
+{
+    switch (stage) {
+      case Stage::kDispatch: return acct_dispatch_;
+      case Stage::kIssue: return acct_issue_;
+      case Stage::kCommit: return acct_commit_;
+      case Stage::kCount: break;
+    }
+    assert(false);
+    return acct_dispatch_;
+}
+
+OooCore::ScoreEntry &
+OooCore::scoreSlot(std::uint64_t trace_index)
+{
+    return scoreboard_[trace_index % kScoreboardSize];
+}
+
+bool
+OooCore::producerComplete(std::uint64_t trace_index) const
+{
+    const ScoreEntry &se = scoreboard_[trace_index % kScoreboardSize];
+    if (se.trace_index != trace_index) {
+        // The entry has been recycled: the producer left the pipeline long
+        // ago (the scoreboard is sized so this is the only possibility).
+        return true;
+    }
+    return se.complete_at <= now_;
+}
+
+bool
+OooCore::entryReady(const InflightInstr &e, bool &store_conflict) const
+{
+    store_conflict = false;
+    if (e.wrong_path) {
+        if (e.wp_dep_slot >= 0 &&
+            rob_.holds(static_cast<unsigned>(e.wp_dep_slot), e.wp_dep_seq)) {
+            return rob_.at(static_cast<unsigned>(e.wp_dep_slot)).completed;
+        }
+        return true;
+    }
+    for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
+        if (!producerComplete(e.instr.src[i]))
+            return false;
+    }
+    if (e.instr.isLoad()) {
+        // A load whose address matches an older, not-yet-executed store
+        // must wait (issue-stage structural stall, "Other").
+        const Addr word = e.instr.mem_addr / 8;
+        for (const PendingStore &ps : pending_stores_) {
+            if (ps.seq >= e.seq)
+                break;
+            if (ps.word_addr == word && rob_.holds(ps.slot, ps.seq) &&
+                !rob_.at(ps.slot).completed) {
+                store_conflict = true;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+stacks::BackendBlame
+OooCore::blameProducer(const InflightInstr &e) const
+{
+    if (e.wrong_path)
+        return BackendBlame::kDepend;
+
+    // Table II (issue): i = prod(first non-ready instr). Pick the
+    // latest-completing incomplete producer as the binding one; producers
+    // that have not even issued count as latest of all.
+    const ScoreEntry *binding = nullptr;
+    Cycle binding_done = 0;
+    for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
+        const std::uint64_t idx = e.instr.src[i];
+        const ScoreEntry &se = scoreboard_[idx % kScoreboardSize];
+        if (se.trace_index != idx || se.complete_at <= now_)
+            continue;
+        if (binding == nullptr || se.complete_at >= binding_done) {
+            binding = &se;
+            binding_done = se.complete_at;
+        }
+    }
+    if (binding == nullptr)
+        return BackendBlame::kDepend;
+    if (!binding->issued)
+        return BackendBlame::kDepend;
+    if (binding->dcache_miss)
+        return BackendBlame::kDcache;
+    if (binding->exec_latency > 1)
+        return BackendBlame::kAluLat;
+    return BackendBlame::kDepend;
+}
+
+stacks::BackendBlame
+OooCore::headBlame() const
+{
+    if (rob_.empty())
+        return BackendBlame::kNone;
+    const InflightInstr &h = rob_.head();
+    if (h.completed)
+        return BackendBlame::kNone;
+    if (h.dcache_miss)
+        return BackendBlame::kDcache;
+    if (h.issued)
+        return h.exec_latency > 1 ? BackendBlame::kAluLat
+                                  : BackendBlame::kDepend;
+    // Not yet issued: the head has no incomplete producers (everything
+    // older has committed), so classify by its static latency.
+    const Cycle lat = trace::isMemory(h.instr.cls) ? params_.mem.l1_lat
+                                                   : fu_.latency(h.instr.cls);
+    return lat > 1 ? BackendBlame::kAluLat : BackendBlame::kDepend;
+}
+
+void
+OooCore::captureHeadState()
+{
+    cs_.rob_empty_any = rob_.empty();
+    cs_.rob_empty_correct = rob_correct_ == 0;
+    cs_.head_incomplete = !rob_.empty() && !rob_.head().completed;
+    cs_.head_blame = headBlame();
+}
+
+void
+OooCore::onBranchFetchedAll(SeqNum seq)
+{
+    if (!params_.accounting_enabled)
+        return;
+    acct_dispatch_.onBranchFetched(seq);
+    acct_issue_.onBranchFetched(seq);
+    acct_commit_.onBranchFetched(seq);
+}
+
+void
+OooCore::onBranchResolvedAll(SeqNum seq, bool mispredicted)
+{
+    if (!params_.accounting_enabled)
+        return;
+    acct_dispatch_.onBranchResolved(seq, mispredicted);
+    acct_issue_.onBranchResolved(seq, mispredicted);
+    acct_commit_.onBranchResolved(seq, mispredicted);
+}
+
+void
+OooCore::doWriteback()
+{
+    while (!wb_queue_.empty() && wb_queue_.top().done <= now_) {
+        const WbEvent ev = wb_queue_.top();
+        wb_queue_.pop();
+        if (!rob_.holds(ev.slot, ev.seq))
+            continue;  // squashed
+        InflightInstr &e = rob_.at(ev.slot);
+        if (e.completed)
+            continue;
+        e.completed = true;
+        e.complete_cycle = now_;
+        if (e.mispredicted && !e.wrong_path)
+            squashAfter(ev.slot, ev.seq);
+    }
+}
+
+void
+OooCore::squashAfter(unsigned branch_slot, SeqNum branch_seq)
+{
+    rob_.squashYounger(branch_slot, [&](InflightInstr &sq) {
+        ++stats_.squashed_uops;
+        (void)sq;
+    });
+    rs_.removeIf([&](unsigned s) { return !rob_.isLiveSlot(s); });
+    while (!pending_stores_.empty() &&
+           !rob_.holds(pending_stores_.back().slot,
+                       pending_stores_.back().seq)) {
+        pending_stores_.pop_back();
+    }
+    // Everything in the fetch queue is wrong-path by construction.
+    fetch_q_.clear();
+    fetch_q_correct_ = 0;
+    wrong_path_mode_ = false;
+    wp_last_producer_slot_ = -1;
+    wp_last_producer_seq_ = kNoSeq;
+    redirect_until_ =
+        std::max<Cycle>(redirect_until_, now_ + params_.frontend_depth);
+    onBranchResolvedAll(branch_seq, /*mispredicted=*/true);
+}
+
+void
+OooCore::doCommit()
+{
+    unsigned n = 0;
+    while (n < params_.commit_width && !rob_.empty() &&
+           rob_.head().completed) {
+        InflightInstr &h = rob_.head();
+        assert(!h.wrong_path);
+        if (h.instr.isStore()) {
+            mem_.store(h.instr.mem_addr, now_);
+            if (!pending_stores_.empty() &&
+                pending_stores_.front().seq == h.seq) {
+                pending_stores_.pop_front();
+            }
+        }
+        if (h.instr.isBranch() && !h.mispredicted)
+            onBranchResolvedAll(h.seq, /*mispredicted=*/false);
+        ++stats_.instrs_committed;
+        --rob_correct_;
+        rob_.popHead();
+        ++n;
+    }
+    cs_.n_commit = n;
+    captureHeadState();
+}
+
+void
+OooCore::issueOne(unsigned slot)
+{
+    InflightInstr &e = rob_.at(slot);
+    fu_.issue(e.instr.cls, now_);
+
+    Cycle lat = 1;
+    if (e.instr.isLoad()) {
+        if (e.wrong_path) {
+            lat = params_.mem.l1_lat;
+        } else {
+            const uarch::AccessResult res =
+                mem_.load(e.instr.mem_addr, now_);
+            lat = std::max<Cycle>(1, res.done - now_);
+            e.dcache_miss = !res.l1_hit;
+            ++stats_.loads;
+            if (e.dcache_miss)
+                ++stats_.l1d_load_misses;
+        }
+    } else if (e.instr.isStore()) {
+        lat = 1;  // address resolution; data drains to cache at commit
+    } else {
+        lat = std::max<Cycle>(1, fu_.latency(e.instr.cls));
+    }
+
+    e.issued = true;
+    e.issue_cycle = now_;
+    e.exec_latency = lat;
+    e.complete_cycle = now_ + lat;
+    wb_queue_.push(WbEvent{now_ + lat, slot, e.seq});
+
+    if (!e.wrong_path) {
+        ScoreEntry &se = scoreSlot(e.trace_index);
+        se.complete_at = now_ + lat;
+        se.exec_latency = lat;
+        se.dcache_miss = e.dcache_miss;
+        se.issued = true;
+
+        if (trace::isVfp(e.instr.cls)) {
+            const double a = trace::flopsPerLane(e.instr.cls);
+            const double v = params_.flops_vec_lanes;
+            const double m = std::min<double>(e.instr.active_lanes, v);
+            ++cs_.n_vfp;
+            cs_.vfp_lane_ops += a * m;
+            cs_.vfp_nonfma_loss += (2.0 - a) * m;
+            cs_.vfp_mask_loss += v - m;
+            stats_.flops_issued += static_cast<std::uint64_t>(a * m);
+        }
+    }
+}
+
+void
+OooCore::doIssue()
+{
+    fu_.beginCycle(now_);
+    unsigned budget = params_.issue_width;
+    unsigned n_issue = 0;
+    unsigned n_wrong = 0;
+    bool found_nonready = false;
+    cs_.issue_blame = BackendBlame::kNone;
+    cs_.ready_unissued = false;
+
+    issued_scratch_.clear();
+    for (unsigned slot : rs_.entries()) {
+        InflightInstr &e = rob_.at(slot);
+        bool conflict = false;
+        if (!entryReady(e, conflict)) {
+            if (conflict) {
+                cs_.ready_unissued = true;
+            } else if (!found_nonready) {
+                found_nonready = true;
+                cs_.issue_blame = blameProducer(e);
+            }
+            continue;
+        }
+        if (budget == 0) {
+            cs_.ready_unissued = true;
+            break;
+        }
+        if (!fu_.canIssue(e.instr.cls)) {
+            cs_.ready_unissued = true;
+            continue;
+        }
+        issueOne(slot);
+        issued_scratch_.push_back(slot);
+        --budget;
+        if (e.wrong_path) {
+            ++n_wrong;
+        } else {
+            ++n_issue;
+            --rs_correct_;
+        }
+    }
+    for (unsigned slot : issued_scratch_)
+        rs_.remove(slot);
+
+    cs_.n_issue = n_issue;
+    cs_.n_issue_wrong = n_wrong;
+    cs_.rs_empty_any = rs_.empty();
+    cs_.rs_empty_correct = rs_correct_ == 0;
+    cs_.nonvfp_on_vpu = fu_.nonVfpOnVpuThisCycle();
+
+    // FLOPS stack inputs: is a correct-path VFP uop still waiting, and why?
+    cs_.vfp_in_rs = false;
+    cs_.vfp_blame = VfpBlame::kNone;
+    for (unsigned slot : rs_.entries()) {
+        const InflightInstr &e = rob_.at(slot);
+        if (e.wrong_path || !trace::isVfp(e.instr.cls))
+            continue;
+        cs_.vfp_in_rs = true;
+        // prod(oldest VFP instr): Table III blames the producer the VFP
+        // op is actually waiting for — the latest-completing incomplete
+        // one. Memory load -> mem component, anything else -> depend.
+        const ScoreEntry *binding = nullptr;
+        Cycle binding_done = 0;
+        for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
+            const std::uint64_t idx = e.instr.src[i];
+            const ScoreEntry &se = scoreboard_[idx % kScoreboardSize];
+            if (se.trace_index != idx || se.complete_at <= now_)
+                continue;
+            if (binding == nullptr || se.complete_at >= binding_done) {
+                binding = &se;
+                binding_done = se.complete_at;
+            }
+        }
+        cs_.vfp_blame = (binding != nullptr && binding->is_load)
+                            ? VfpBlame::kMem
+                            : VfpBlame::kDepend;
+        break;
+    }
+}
+
+void
+OooCore::doDispatch()
+{
+    unsigned n = 0;
+    unsigned n_wrong = 0;
+    cs_.backend_full = false;
+
+    while (n + n_wrong < params_.dispatch_width && !fetch_q_.empty()) {
+        InflightInstr &front = fetch_q_.front();
+
+        if (front.instr.cls == InstrClass::kYield && !front.wrong_path) {
+            if (rob_.empty()) {
+                // Retire the marker and deschedule the thread.
+                unsched_until_ = now_ + 1 + front.instr.yield_cycles;
+                ScoreEntry &se = scoreSlot(front.trace_index);
+                se = ScoreEntry{front.trace_index, now_, false, false, 1,
+                                true};
+                ++stats_.instrs_committed;
+                fetch_q_.pop_front();
+                --fetch_q_correct_;
+            } else {
+                // Wait for the pipeline to drain: a backend-bound stall.
+                cs_.backend_full = true;
+            }
+            break;
+        }
+
+        if (rob_.full() || rs_.full()) {
+            cs_.backend_full = true;
+            break;
+        }
+
+        InflightInstr inst = std::move(front);
+        fetch_q_.pop_front();
+        inst.dispatch_cycle = now_;
+
+        if (inst.wrong_path) {
+            // Give wrong-path uops shallow dependence chains among
+            // themselves so they contend for issue slots realistically.
+            if (wp_last_producer_slot_ >= 0 && wp_rng_.chance(0.5)) {
+                inst.wp_dep_slot = wp_last_producer_slot_;
+                inst.wp_dep_seq = wp_last_producer_seq_;
+            }
+        }
+
+        const bool wrong_path = inst.wrong_path;
+        const bool is_branch = inst.instr.isBranch();
+        const SeqNum seq = inst.seq;
+        const std::uint64_t tidx = inst.trace_index;
+        const bool is_store = inst.instr.isStore();
+        const Addr addr = inst.instr.mem_addr;
+
+        const unsigned slot = rob_.push(std::move(inst));
+        rs_.insert(slot);
+
+        if (wrong_path) {
+            ++n_wrong;
+            ++stats_.wrong_path_dispatched;
+            wp_last_producer_slot_ = static_cast<int>(slot);
+            wp_last_producer_seq_ = seq;
+        } else {
+            ++n;
+            ++rob_correct_;
+            ++rs_correct_;
+            --fetch_q_correct_;
+            ScoreEntry &se = scoreSlot(tidx);
+            se = ScoreEntry{tidx, kNeverCycle,
+                            rob_.at(slot).instr.isLoad(), false, 1, false};
+            if (is_branch)
+                onBranchFetchedAll(seq);
+            if (is_store)
+                pending_stores_.push_back(PendingStore{slot, seq, addr / 8});
+        }
+    }
+
+    cs_.n_dispatch = n;
+    cs_.n_dispatch_wrong = n_wrong;
+    cs_.fe_has_any = !fetch_q_.empty();
+    cs_.fe_has_correct = fetch_q_correct_ > 0;
+    cs_.fe_reason = fe_reason_;
+}
+
+void
+OooCore::fetchWrongPath(unsigned budget)
+{
+    while (budget-- > 0 && fetch_q_.size() < params_.fetch_queue_size) {
+        InflightInstr inst;
+        inst.wrong_path = true;
+        inst.seq = next_seq_++;
+        inst.trace_index = kNoSeq;
+        inst.fetch_cycle = now_;
+        inst.instr.pc = 0xdead0000;
+        const double r = wp_rng_.uniform();
+        if (r < 0.55) {
+            inst.instr.cls = InstrClass::kAlu;
+        } else if (r < 0.75) {
+            inst.instr.cls = InstrClass::kLoad;
+            inst.instr.mem_addr = 0x70000000 + wp_rng_.below(1 << 16);
+        } else if (r < 0.85) {
+            inst.instr.cls = InstrClass::kAluMul;
+        } else {
+            inst.instr.cls = InstrClass::kAlu;
+        }
+        fetch_q_.push_back(std::move(inst));
+    }
+}
+
+void
+OooCore::fetchCorrectPath(unsigned budget)
+{
+    fe_reason_ = FrontendReason::kNone;
+    while (budget > 0 && fetch_q_.size() < params_.fetch_queue_size) {
+        if (decode_busy_ > 0) {
+            // The decoder is sequencing a microcoded instruction.
+            --decode_busy_;
+            fe_reason_ = FrontendReason::kMicrocode;
+            return;
+        }
+        if (now_ < fetch_ready_at_) {
+            fe_reason_ = FrontendReason::kIcache;
+            return;
+        }
+        if (!has_pending_) {
+            if (trace_done_ || !trace_->next(pending_)) {
+                trace_done_ = true;
+                fe_reason_ = FrontendReason::kDrain;
+                return;
+            }
+            pending_index_ = next_trace_index_++;
+            has_pending_ = true;
+            pending_decode_paid_ = false;
+        }
+
+        // Instruction cache: one timed access per new line.
+        const Addr line = pending_.pc / mem_.params().l1i.line_bytes;
+        if (line != last_fetch_line_) {
+            const uarch::AccessResult res = mem_.ifetch(pending_.pc, now_);
+            last_fetch_line_ = line;
+            if (!res.l1_hit) {
+                fetch_ready_at_ = res.done;
+                fe_reason_ = FrontendReason::kIcache;
+                return;
+            }
+        }
+
+        // Microcoded instructions occupy the decoder for extra cycles.
+        if (pending_.decode_cycles > 1 && !pending_decode_paid_) {
+            pending_decode_paid_ = true;
+            decode_busy_ = pending_.decode_cycles - 1;
+            fe_reason_ = FrontendReason::kMicrocode;
+            return;
+        }
+
+        InflightInstr inst;
+        inst.instr = pending_;
+        inst.seq = next_seq_++;
+        inst.trace_index = pending_index_;
+        inst.fetch_cycle = now_;
+        has_pending_ = false;
+
+        bool mispredicted = false;
+        if (pending_.isBranch()) {
+            ++stats_.branches;
+            const bool correct =
+                bp_.predictAndUpdate(pending_.pc, pending_.branch_taken);
+            if (!correct) {
+                ++stats_.branch_mispredicts;
+                inst.mispredicted = true;
+                mispredicted = true;
+            }
+        }
+
+        fetch_q_.push_back(std::move(inst));
+        ++fetch_q_correct_;
+        --budget;
+
+        if (mispredicted) {
+            // Functional-first: the wrong target is known immediately; the
+            // frontend switches to wrong-path fetch until the branch
+            // executes.
+            wrong_path_mode_ = true;
+            fe_reason_ = FrontendReason::kBpred;
+            return;
+        }
+    }
+}
+
+void
+OooCore::doFetch()
+{
+    if (now_ < redirect_until_) {
+        fe_reason_ = FrontendReason::kBpred;
+        return;
+    }
+    if (wrong_path_mode_) {
+        fe_reason_ = FrontendReason::kBpred;
+        fetchWrongPath(params_.fetch_width);
+        return;
+    }
+    fetchCorrectPath(params_.fetch_width);
+}
+
+void
+OooCore::account()
+{
+    if (!params_.accounting_enabled)
+        return;
+    acct_dispatch_.tick(cs_);
+    acct_issue_.tick(cs_);
+    acct_commit_.tick(cs_);
+    flops_.tick(cs_);
+}
+
+void
+OooCore::cycle()
+{
+    cs_ = CycleState{};
+    if (now_ < unsched_until_) {
+        cs_.unsched = true;
+        account();
+        ++now_;
+        return;
+    }
+    doWriteback();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doFetch();
+    account();
+    ++now_;
+}
+
+bool
+OooCore::done() const
+{
+    return trace_done_ && !has_pending_ && fetch_q_.empty() &&
+           rob_.empty() && now_ >= unsched_until_;
+}
+
+void
+OooCore::run(Cycle max_cycles)
+{
+    while (!done() && (max_cycles == 0 || now_ < max_cycles))
+        cycle();
+    stats_.cycles = cycles();
+    finalizeAccounting();
+}
+
+void
+OooCore::resetMeasurement()
+{
+    const auto width_for = [&](unsigned native) {
+        return params_.accounting_native_widths ? native
+                                                : params_.effectiveWidth();
+    };
+    acct_dispatch_ = stacks::CpiAccountant(
+        {stacks::Stage::kDispatch, width_for(params_.dispatch_width),
+         params_.spec_mode});
+    acct_issue_ = stacks::CpiAccountant(
+        {stacks::Stage::kIssue, width_for(params_.issue_width),
+         params_.spec_mode});
+    acct_commit_ = stacks::CpiAccountant(
+        {stacks::Stage::kCommit, width_for(params_.commit_width),
+         params_.spec_mode});
+    flops_ = stacks::FlopsAccountant(
+        {params_.fu.vpu_units, params_.flops_vec_lanes});
+    stats_ = CoreStats{};
+    measure_start_cycle_ = now_;
+    accounting_finalized_ = false;
+}
+
+void
+OooCore::finalizeAccounting()
+{
+    if (accounting_finalized_ || !params_.accounting_enabled)
+        return;
+    acct_dispatch_.finalize();
+    acct_issue_.finalize();
+    acct_commit_.finalize();
+    if (params_.spec_mode == stacks::SpeculationMode::kSimple) {
+        const double commit_base =
+            acct_commit_.cycles()[stacks::CpiComponent::kBase];
+        acct_dispatch_.applySimpleFixup(commit_base);
+        acct_issue_.applySimpleFixup(commit_base);
+    }
+    accounting_finalized_ = true;
+}
+
+}  // namespace stackscope::core

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Cycle-level superscalar out-of-order core model.
+ *
+ * The pipeline models the mechanisms the paper's analysis depends on:
+ *  - a frontend with instruction-cache misses, microcoded-decode stalls and
+ *    branch misprediction handling (wrong-path uops are fetched, dispatched
+ *    and issued until the branch executes, then squashed and the frontend
+ *    refills);
+ *  - dispatch into a ROB and unified reservation stations, blocking when
+ *    either is full;
+ *  - oldest-first issue limited by issue width and functional-unit/port
+ *    availability, with load/store address-conflict blocking;
+ *  - execution with per-class latencies, timed data-cache accesses for
+ *    loads (including MSHR and bandwidth contention);
+ *  - in-order commit.
+ *
+ * Every cycle the core fills a stacks::CycleState observation and drives
+ * the four accountants (dispatch/issue/commit CPI stacks and the FLOPS
+ * stack), which is exactly the integration style the paper recommends for
+ * simulators (§IV: negligible overhead).
+ */
+
+#ifndef STACKSCOPE_CORE_OOO_CORE_HPP
+#define STACKSCOPE_CORE_OOO_CORE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "stacks/cpi_accountant.hpp"
+#include "stacks/cycle_state.hpp"
+#include "stacks/flops_accountant.hpp"
+#include "trace/trace_source.hpp"
+#include "uarch/branch_predictor.hpp"
+#include "uarch/cache_hierarchy.hpp"
+#include "uarch/fu_pool.hpp"
+#include "uarch/reservation_station.hpp"
+#include "uarch/rob.hpp"
+
+namespace stackscope::core {
+
+/** Full static configuration of one core. */
+struct CoreParams
+{
+    unsigned fetch_width = 4;
+    unsigned dispatch_width = 4;
+    unsigned issue_width = 6;
+    unsigned commit_width = 4;
+
+    unsigned rob_size = 192;
+    unsigned rs_size = 60;
+    unsigned fetch_queue_size = 16;
+
+    /** Frontend refill penalty after a misprediction redirect (cycles). */
+    unsigned frontend_depth = 8;
+
+    uarch::FuPoolParams fu{};
+    uarch::HierarchyParams mem{};
+    uarch::BranchPredictorParams bpred{};
+
+    /** Wrong-path handling for the dispatch/issue accountants (§III-B). */
+    stacks::SpeculationMode spec_mode = stacks::SpeculationMode::kOracle;
+
+    /** Master switch for all stack accounting (overhead benchmark). */
+    bool accounting_enabled = true;
+
+    /**
+     * Ablation knob: account each stage with its *native* width instead of
+     * the normalized minimum width of §III-A. Breaks the equal-base
+     * property across stacks; exists to demonstrate why the paper
+     * normalizes (see bench/ablation_design_choices).
+     */
+    bool accounting_native_widths = false;
+
+    /** Machine vector width (v of Table III) for the FLOPS stack. */
+    unsigned flops_vec_lanes = 16;
+
+    /** Seed for the deterministic wrong-path uop synthesizer. */
+    std::uint64_t wrong_path_seed = 7;
+
+    /** Effective accounting width: min over all stage widths (§III-A). */
+    unsigned
+    effectiveWidth() const
+    {
+        unsigned w = dispatch_width;
+        w = std::min(w, issue_width);
+        w = std::min(w, commit_width);
+        return std::max(1u, w);
+    }
+};
+
+/** Aggregate run counters not covered by the stacks. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instrs_committed = 0;  ///< correct-path uops (incl. yields)
+    std::uint64_t wrong_path_dispatched = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branch_mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t l1d_load_misses = 0;
+    std::uint64_t squashed_uops = 0;
+    std::uint64_t flops_issued = 0;  ///< actual flops (sum of a*m over VFP)
+};
+
+/**
+ * The core. Construct with a trace and (optionally) a shared uncore, call
+ * run(), then read stacks and stats.
+ */
+class OooCore
+{
+  public:
+    OooCore(const CoreParams &params,
+            std::unique_ptr<trace::TraceSource> trace,
+            uarch::Uncore *shared_uncore = nullptr);
+
+    /** Advance one cycle. */
+    void cycle();
+
+    /** Trace exhausted and pipeline drained. */
+    bool done() const;
+
+    /**
+     * Run until done (or @p max_cycles when non-zero) and finalize
+     * accounting.
+     */
+    void run(Cycle max_cycles = 0);
+
+    /** Flush speculative accounting state; called by run(). */
+    void finalizeAccounting();
+
+    /**
+     * Restart measurement at the current cycle: zero the accountants and
+     * statistics while keeping all microarchitectural state (caches,
+     * predictor, pipeline contents) warm. This is the paper's
+     * fast-forward-then-measure methodology (§IV).
+     */
+    void resetMeasurement();
+
+    /** @name Results @{ */
+    /** Cycles elapsed since the last resetMeasurement() (or start). */
+    Cycle cycles() const { return now_ - measure_start_cycle_; }
+    /** Absolute simulated cycle count. */
+    Cycle absoluteCycles() const { return now_; }
+    const CoreStats &stats() const { return stats_; }
+    double
+    cpi() const
+    {
+        return stats_.instrs_committed == 0
+                   ? 0.0
+                   : static_cast<double>(cycles()) /
+                         static_cast<double>(stats_.instrs_committed);
+    }
+    const stacks::CpiAccountant &accountant(stacks::Stage stage) const;
+    const stacks::FlopsAccountant &flopsAccountant() const { return flops_; }
+    const uarch::CacheHierarchy &caches() const { return mem_; }
+    const uarch::BranchPredictor &branchPredictor() const { return bp_; }
+    /** @} */
+
+    const CoreParams &params() const { return params_; }
+
+  private:
+    /** Dependence scoreboard entry for one correct-path instruction. */
+    struct ScoreEntry
+    {
+        std::uint64_t trace_index = kNoSeq;
+        Cycle complete_at = kNeverCycle;
+        bool is_load = false;
+        bool dcache_miss = false;
+        Cycle exec_latency = 1;
+        bool issued = false;
+    };
+
+    /** Writeback event. */
+    struct WbEvent
+    {
+        Cycle done;
+        unsigned slot;
+        SeqNum seq;
+        bool operator>(const WbEvent &o) const { return done > o.done; }
+    };
+
+    /** Outstanding (uncommitted) store for load-conflict checks. */
+    struct PendingStore
+    {
+        unsigned slot;
+        SeqNum seq;
+        Addr word_addr;
+    };
+
+    static constexpr std::uint64_t kScoreboardSize = 4096;
+
+    void doWriteback();
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+    void account();
+
+    void fetchCorrectPath(unsigned budget);
+    void fetchWrongPath(unsigned budget);
+    void squashAfter(unsigned branch_slot, SeqNum branch_seq);
+
+    ScoreEntry &scoreSlot(std::uint64_t trace_index);
+    bool producerComplete(std::uint64_t trace_index) const;
+    bool entryReady(const uarch::InflightInstr &e, bool &store_conflict) const;
+    stacks::BackendBlame blameProducer(const uarch::InflightInstr &e) const;
+    stacks::BackendBlame headBlame() const;
+    void captureHeadState();
+    void issueOne(unsigned slot);
+    void onBranchFetchedAll(SeqNum seq);
+    void onBranchResolvedAll(SeqNum seq, bool mispredicted);
+
+    CoreParams params_;
+    std::unique_ptr<trace::TraceSource> trace_;
+    uarch::CacheHierarchy mem_;
+    uarch::BranchPredictor bp_;
+    uarch::FuPool fu_;
+    uarch::Rob rob_;
+    uarch::ReservationStations rs_;
+
+    Cycle now_ = 0;
+    Cycle measure_start_cycle_ = 0;
+    SeqNum next_seq_ = 0;
+    std::uint64_t next_trace_index_ = 0;
+    bool trace_done_ = false;
+    CoreStats stats_;
+
+    // Frontend state.
+    std::deque<uarch::InflightInstr> fetch_q_;
+    trace::DynInstr pending_{};
+    std::uint64_t pending_index_ = 0;
+    bool has_pending_ = false;
+    bool pending_decode_paid_ = false;
+    Cycle fetch_ready_at_ = 0;       ///< icache-miss stall
+    unsigned decode_busy_ = 0;       ///< microcode decode cycles remaining
+    Addr last_fetch_line_ = ~Addr{0};
+    stacks::FrontendReason fe_reason_ = stacks::FrontendReason::kNone;
+
+    // Wrong-path / redirect state.
+    bool wrong_path_mode_ = false;
+    Cycle redirect_until_ = 0;
+    Rng wp_rng_;
+    SeqNum wp_last_producer_seq_ = kNoSeq;
+    int wp_last_producer_slot_ = -1;
+
+    // Synchronization yield state.
+    Cycle unsched_until_ = 0;
+
+    // Occupancy counters for "empty of correct-path work" tests.
+    unsigned fetch_q_correct_ = 0;
+    unsigned rob_correct_ = 0;
+    unsigned rs_correct_ = 0;
+
+    // Backend bookkeeping.
+    std::vector<ScoreEntry> scoreboard_;
+    std::vector<unsigned> issued_scratch_;
+    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>>
+        wb_queue_;
+    std::deque<PendingStore> pending_stores_;
+
+    // Accounting.
+    stacks::CpiAccountant acct_dispatch_;
+    stacks::CpiAccountant acct_issue_;
+    stacks::CpiAccountant acct_commit_;
+    stacks::FlopsAccountant flops_;
+    stacks::CycleState cs_;
+    bool accounting_finalized_ = false;
+};
+
+}  // namespace stackscope::core
+
+#endif  // STACKSCOPE_CORE_OOO_CORE_HPP

@@ -1,0 +1,40 @@
+#include "sim/core_config.hpp"
+
+namespace stackscope::sim {
+
+std::string
+Idealization::label()
+    const
+{
+    if (!any())
+        return "all real";
+    std::string out;
+    auto append = [&](const char *part) {
+        if (!out.empty())
+            out += " + ";
+        out += part;
+    };
+    if (perfect_icache)
+        append("perfect I$");
+    if (perfect_dcache)
+        append("perfect D$");
+    if (perfect_bpred)
+        append("perfect bpred");
+    if (single_cycle_alu)
+        append("1-cycle ALU");
+    return out;
+}
+
+MachineConfig
+applyIdealization(MachineConfig machine, const Idealization &ideal)
+{
+    machine.core.mem.perfect_icache |= ideal.perfect_icache;
+    machine.core.mem.perfect_dcache |= ideal.perfect_dcache;
+    machine.core.bpred.perfect |= ideal.perfect_bpred;
+    machine.core.fu.ideal_single_cycle_alu |= ideal.single_cycle_alu;
+    if (ideal.any())
+        machine.name += " (" + ideal.label() + ")";
+    return machine;
+}
+
+}  // namespace stackscope::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Machine-level configuration: a core plus socket-level context (clock
+ * frequency and socket core count for uncore scaling and peak-FLOPS
+ * arithmetic), and the idealization knobs of the paper's methodology (§IV).
+ */
+
+#ifndef STACKSCOPE_SIM_CORE_CONFIG_HPP
+#define STACKSCOPE_SIM_CORE_CONFIG_HPP
+
+#include <string>
+
+#include "core/ooo_core.hpp"
+
+namespace stackscope::sim {
+
+/** A named machine: one core configuration in its socket context. */
+struct MachineConfig
+{
+    std::string name = "machine";
+    core::CoreParams core{};
+    double freq_ghz = 2.4;
+    /**
+     * Cores per socket. Uncore resources in core.mem.uncore are already
+     * expressed *per core* (i.e., divided by this count, the paper's §IV
+     * loaded-socket trick); the count is used to scale peak FLOPS back to
+     * socket level.
+     */
+    unsigned socket_cores = 18;
+
+    double freqHz() const { return freq_ghz * 1e9; }
+
+    /** Peak flops/s of one core: 2 * vpu_units * vec_lanes * freq. */
+    double
+    corePeakFlops() const
+    {
+        return 2.0 * core.fu.vpu_units * core.flops_vec_lanes * freqHz();
+    }
+
+    /** Peak flops/s of the whole socket. */
+    double socketPeakFlops() const
+    {
+        return corePeakFlops() * socket_cores;
+    }
+};
+
+/**
+ * Structure-idealization switches (§IV): perfect L1 caches, perfect branch
+ * prediction, and single-cycle arithmetic.
+ */
+struct Idealization
+{
+    bool perfect_icache = false;
+    bool perfect_dcache = false;
+    bool perfect_bpred = false;
+    bool single_cycle_alu = false;
+
+    bool
+    any() const
+    {
+        return perfect_icache || perfect_dcache || perfect_bpred ||
+               single_cycle_alu;
+    }
+
+    /** Short label like "perfect D$ + perfect bpred" for reports. */
+    std::string label() const;
+};
+
+/** Return @p machine with @p ideal applied to the relevant structures. */
+MachineConfig applyIdealization(MachineConfig machine,
+                                const Idealization &ideal);
+
+}  // namespace stackscope::sim
+
+#endif  // STACKSCOPE_SIM_CORE_CONFIG_HPP

@@ -1,0 +1,149 @@
+#include "sim/multicore.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "core/ooo_core.hpp"
+
+namespace stackscope::sim {
+
+namespace {
+
+using stacks::Stage;
+
+/**
+ * Decorator that shifts data addresses into a per-core region so
+ * homogeneous threads do not alias each other's working set.
+ */
+class AddressOffsetSource : public trace::TraceSource
+{
+  public:
+    AddressOffsetSource(std::unique_ptr<trace::TraceSource> inner,
+                        Addr offset)
+        : inner_(std::move(inner)), offset_(offset)
+    {
+    }
+
+    bool
+    next(trace::DynInstr &out) override
+    {
+        if (!inner_->next(out))
+            return false;
+        if (trace::isMemory(out.cls))
+            out.mem_addr += offset_;
+        return true;
+    }
+
+    void reset() override { inner_->reset(); }
+
+    std::unique_ptr<trace::TraceSource>
+    clone() const override
+    {
+        return std::make_unique<AddressOffsetSource>(inner_->clone(),
+                                                     offset_);
+    }
+
+  private:
+    std::unique_ptr<trace::TraceSource> inner_;
+    Addr offset_;
+};
+
+}  // namespace
+
+MulticoreResult
+simulateMulticore(const MachineConfig &machine,
+                  const trace::TraceSource &trace, unsigned num_cores,
+                  const SimOptions &options)
+{
+    assert(num_cores >= 1);
+
+    // The per-core config carries a per-core slice of the socket uncore;
+    // the shared uncore of an n-core run is n slices.
+    uarch::UncoreParams shared_params = machine.core.mem.uncore;
+    shared_params.l3.size_bytes *= num_cores;
+    shared_params.mem_queue_slots *= num_cores;
+    uarch::Uncore uncore(shared_params);
+
+    std::vector<std::unique_ptr<core::OooCore>> cores;
+    cores.reserve(num_cores);
+    for (unsigned i = 0; i < num_cores; ++i) {
+        core::CoreParams params = machine.core;
+        params.spec_mode = options.spec_mode;
+        params.accounting_enabled = options.accounting;
+        params.wrong_path_seed = machine.core.wrong_path_seed + i;
+        auto src = std::make_unique<AddressOffsetSource>(
+            trace.clone(), static_cast<Addr>(i) << 33);
+        cores.push_back(std::make_unique<core::OooCore>(params,
+                                                        std::move(src),
+                                                        &uncore));
+    }
+
+    // Lockstep simulation so uncore contention is interleaved fairly.
+    // Each core restarts measurement once it passes the warmup window.
+    std::vector<bool> warmed(num_cores, options.warmup_instrs == 0);
+    bool any_running = true;
+    while (any_running) {
+        any_running = false;
+        for (unsigned i = 0; i < num_cores; ++i) {
+            auto &c = cores[i];
+            if (!c->done() &&
+                (options.max_cycles == 0 ||
+                 c->absoluteCycles() < options.max_cycles)) {
+                c->cycle();
+                any_running = true;
+                if (!warmed[i] && c->stats().instrs_committed >=
+                                      options.warmup_instrs) {
+                    c->resetMeasurement();
+                    warmed[i] = true;
+                }
+            }
+        }
+    }
+
+    MulticoreResult out;
+    out.socket_peak_flops = machine.socketPeakFlops();
+    for (auto &c : cores) {
+        c->finalizeAccounting();
+
+        SimResult r;
+        r.machine = machine.name;
+        r.cycles = c->cycles();
+        r.instrs = c->stats().instrs_committed;
+        r.cpi = c->cpi();
+        r.freq_hz = machine.freqHz();
+        r.core_peak_flops = machine.corePeakFlops();
+        r.stats = c->stats();
+        if (options.accounting) {
+            for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
+                const auto stage = static_cast<Stage>(s);
+                r.cycle_stacks[s] = c->accountant(stage).cycles();
+                r.cpi_stacks[s] = c->accountant(stage).cpi(r.instrs);
+            }
+            r.flops_cycles = c->flopsAccountant().cycles();
+        }
+        out.per_core.push_back(std::move(r));
+    }
+
+    // Component-wise aggregation (homogeneous threads, see [10]).
+    const double inv = 1.0 / static_cast<double>(num_cores);
+    for (const SimResult &r : out.per_core) {
+        for (std::size_t s = 0; s < stacks::kNumStages; ++s)
+            out.avg_cpi_stacks[s] += r.cpi_stacks[s].scaled(inv);
+        out.avg_flops_fraction +=
+            r.flops_cycles
+                .scaled(r.cycles == 0 ? 0.0 : 1.0 / r.cycles)
+                .scaled(inv);
+        out.avg_ipc_fraction +=
+            r.cycle_stacks[static_cast<std::size_t>(Stage::kCommit)]
+                .scaled(r.cycles == 0 ? 0.0 : 1.0 / r.cycles)
+                .scaled(inv);
+        out.avg_cpi += r.cpi * inv;
+        out.avg_ipc += r.ipc() * inv;
+    }
+    out.socket_flops =
+        out.avg_flops_fraction[stacks::FlopsComponent::kBase] *
+        out.socket_peak_flops;
+    return out;
+}
+
+}  // namespace stackscope::sim

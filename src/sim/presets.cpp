@@ -1,0 +1,207 @@
+#include "sim/presets.hpp"
+
+#include <stdexcept>
+
+namespace stackscope::sim {
+
+MachineConfig
+bdwConfig()
+{
+    MachineConfig m;
+    m.name = "BDW";
+    m.freq_ghz = 2.2;
+    m.socket_cores = 18;
+
+    core::CoreParams &c = m.core;
+    c.fetch_width = 4;
+    c.dispatch_width = 4;
+    c.issue_width = 6;
+    c.commit_width = 4;
+    c.rob_size = 192;
+    c.rs_size = 60;
+    c.fetch_queue_size = 16;
+    c.frontend_depth = 8;
+    c.flops_vec_lanes = 8;  // AVX2: 8 single-precision lanes
+
+    c.fu.alu_units = 4;
+    c.fu.mul_units = 1;
+    c.fu.div_units = 1;
+    c.fu.load_ports = 2;
+    c.fu.store_ports = 1;
+    c.fu.branch_units = 2;
+    c.fu.fp_units = 2;
+    c.fu.vpu_units = 2;
+    c.fu.lat_mul = 3;
+    c.fu.lat_div = 22;
+    c.fu.lat_fp_add = 3;
+    c.fu.lat_fp_mul = 3;
+    c.fu.lat_fp_div = 16;
+    c.fu.lat_vec_fma = 5;
+    c.fu.lat_vec_arith = 4;
+    c.fu.lat_vec_other = 3;
+
+    c.bpred.gshare_bits = 14;
+    c.bpred.bimodal_bits = 13;
+    c.bpred.chooser_bits = 12;
+    c.bpred.history_bits = 12;
+
+    c.mem.l1i = {32 << 10, 8, 64};
+    c.mem.l1d = {32 << 10, 8, 64};
+    c.mem.l2 = {256 << 10, 8, 64};
+    c.mem.l1_lat = 4;
+    c.mem.l2_lat = 12;
+    c.mem.l2_mshrs = 10;
+    c.mem.prefetch.enable = true;
+    c.mem.prefetch.degree = 4;
+    c.mem.prefetch.confidence_threshold = 2;
+
+    // Uncore scaled per core for an 18-core socket: 45 MB LLC / 18, and a
+    // per-core slice of the socket memory bandwidth.
+    c.mem.uncore.l3 = {2560 << 10, 16, 64};
+    c.mem.uncore.l3_lat = 30;
+    c.mem.uncore.mem_lat = 170;
+    c.mem.uncore.mem_queue_slots = 4;
+    c.mem.uncore.mem_service = 55;
+    return m;
+}
+
+MachineConfig
+knlConfig()
+{
+    MachineConfig m;
+    m.name = "KNL";
+    m.freq_ghz = 1.4;
+    m.socket_cores = 68;
+
+    core::CoreParams &c = m.core;
+    c.fetch_width = 2;
+    c.dispatch_width = 2;
+    c.issue_width = 4;
+    c.commit_width = 2;
+    c.rob_size = 72;
+    c.rs_size = 24;
+    c.fetch_queue_size = 10;
+    c.frontend_depth = 10;
+    c.flops_vec_lanes = 16;  // AVX512
+
+    c.fu.alu_units = 2;
+    c.fu.mul_units = 1;
+    c.fu.div_units = 1;
+    c.fu.load_ports = 2;
+    c.fu.store_ports = 1;
+    c.fu.branch_units = 1;
+    c.fu.fp_units = 2;
+    c.fu.vpu_units = 2;
+    c.fu.lat_mul = 5;
+    c.fu.lat_div = 32;
+    c.fu.lat_fp_add = 6;
+    c.fu.lat_fp_mul = 6;
+    c.fu.lat_fp_div = 32;
+    c.fu.lat_vec_fma = 6;
+    c.fu.lat_vec_arith = 6;
+    c.fu.lat_vec_other = 2;
+
+    // Smaller, less capable predictor than the big cores.
+    c.bpred.gshare_bits = 12;
+    c.bpred.bimodal_bits = 11;
+    c.bpred.chooser_bits = 10;
+    c.bpred.history_bits = 8;
+
+    c.mem.l1i = {32 << 10, 8, 64};
+    c.mem.l1d = {32 << 10, 8, 64};
+    c.mem.l2 = {512 << 10, 16, 64};  // half of the 1 MB per-tile L2
+    c.mem.l1_lat = 4;
+    c.mem.l2_lat = 17;
+    c.mem.l2_mshrs = 8;
+    c.mem.prefetch.enable = true;
+    c.mem.prefetch.degree = 4;
+    c.mem.prefetch.confidence_threshold = 2;
+
+    // No conventional L3; model the MCDRAM-side cache slice per core, with
+    // generous bandwidth (that is KNL's selling point).
+    c.mem.uncore.l3 = {4 << 20, 16, 64};
+    c.mem.uncore.l3_lat = 55;
+    c.mem.uncore.mem_lat = 230;
+    c.mem.uncore.mem_queue_slots = 4;
+    c.mem.uncore.mem_service = 30;
+    return m;
+}
+
+MachineConfig
+skxConfig()
+{
+    MachineConfig m;
+    m.name = "SKX";
+    m.freq_ghz = 2.4;
+    m.socket_cores = 26;
+
+    core::CoreParams &c = m.core;
+    c.fetch_width = 4;
+    c.dispatch_width = 4;
+    c.issue_width = 6;
+    c.commit_width = 4;
+    c.rob_size = 224;
+    c.rs_size = 60;
+    c.fetch_queue_size = 16;
+    c.frontend_depth = 8;
+    c.flops_vec_lanes = 16;  // AVX512
+
+    c.fu.alu_units = 4;
+    c.fu.mul_units = 1;
+    c.fu.div_units = 1;
+    c.fu.load_ports = 2;
+    c.fu.store_ports = 1;
+    c.fu.branch_units = 2;
+    c.fu.fp_units = 2;
+    c.fu.vpu_units = 2;
+    c.fu.lat_mul = 3;
+    c.fu.lat_div = 22;
+    c.fu.lat_fp_add = 4;
+    c.fu.lat_fp_mul = 4;
+    c.fu.lat_fp_div = 14;
+    c.fu.lat_vec_fma = 4;
+    c.fu.lat_vec_arith = 4;
+    c.fu.lat_vec_other = 3;
+
+    c.bpred.gshare_bits = 15;
+    c.bpred.bimodal_bits = 14;
+    c.bpred.chooser_bits = 13;
+    c.bpred.history_bits = 14;
+
+    c.mem.l1i = {32 << 10, 8, 64};
+    c.mem.l1d = {32 << 10, 8, 64};
+    c.mem.l2 = {1 << 20, 16, 64};
+    c.mem.l1_lat = 4;
+    c.mem.l2_lat = 14;
+    c.mem.l2_mshrs = 12;
+    c.mem.prefetch.enable = true;
+    c.mem.prefetch.degree = 4;
+    c.mem.prefetch.confidence_threshold = 2;
+
+    c.mem.uncore.l3 = {1408 << 10, 11, 64};
+    c.mem.uncore.l3_lat = 34;
+    c.mem.uncore.mem_lat = 190;
+    c.mem.uncore.mem_queue_slots = 4;
+    c.mem.uncore.mem_service = 40;
+    return m;
+}
+
+MachineConfig
+machineByName(const std::string &name)
+{
+    if (name == "bdw")
+        return bdwConfig();
+    if (name == "knl")
+        return knlConfig();
+    if (name == "skx")
+        return skxConfig();
+    throw std::out_of_range("unknown machine: " + name);
+}
+
+std::vector<std::string>
+allMachineNames()
+{
+    return {"bdw", "knl", "skx"};
+}
+
+}  // namespace stackscope::sim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine presets inspired by the cores of the paper's evaluation (§IV):
+ * Intel Broadwell (BDW, 4-wide OoO), Knights Landing (KNL, 2-wide OoO) and
+ * Skylake-SP (SKX, 4-wide OoO with AVX512).
+ *
+ * Uncore resources (shared cache slice, memory bandwidth) are divided by
+ * the socket core count, mimicking a fully loaded socket exactly as the
+ * paper does.
+ */
+
+#ifndef STACKSCOPE_SIM_PRESETS_HPP
+#define STACKSCOPE_SIM_PRESETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/core_config.hpp"
+
+namespace stackscope::sim {
+
+/** Broadwell-inspired: 4-wide OoO, AVX2, 18-core socket. */
+MachineConfig bdwConfig();
+
+/** Knights Landing-inspired: 2-wide OoO, AVX512, 68-core socket. */
+MachineConfig knlConfig();
+
+/** Skylake-SP-inspired: 4-wide OoO, AVX512, 26-core socket. */
+MachineConfig skxConfig();
+
+/** Look up a preset by (case-sensitive) name: "bdw", "knl" or "skx". */
+MachineConfig machineByName(const std::string &name);
+
+/** All preset names. */
+std::vector<std::string> allMachineNames();
+
+}  // namespace stackscope::sim
+
+#endif  // STACKSCOPE_SIM_PRESETS_HPP

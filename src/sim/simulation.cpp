@@ -1,0 +1,86 @@
+#include "sim/simulation.hpp"
+
+#include "core/ooo_core.hpp"
+
+namespace stackscope::sim {
+
+using stacks::Stage;
+
+stacks::FlopsStack
+SimResult::flopsStack() const
+{
+    if (cycles == 0)
+        return {};
+    // Equation 1 generalized to every component: scale by freq * M /
+    // cycles so the stack height equals the machine peak FLOPS.
+    const double factor = core_peak_flops / static_cast<double>(cycles);
+    return flops_cycles.scaled(factor);
+}
+
+double
+SimResult::achievedFlops() const
+{
+    return flopsStack()[stacks::FlopsComponent::kBase];
+}
+
+stacks::CpiStack
+SimResult::ipcStack(unsigned width) const
+{
+    if (cycles == 0)
+        return {};
+    // Divide cycle counts by total cycles and multiply by max IPC: the
+    // base component becomes the achieved IPC, the height the max IPC.
+    const double factor =
+        static_cast<double>(width) / static_cast<double>(cycles);
+    return cycle_stacks[static_cast<std::size_t>(Stage::kCommit)].scaled(
+        factor);
+}
+
+SimResult
+simulate(const MachineConfig &machine, const trace::TraceSource &trace,
+         const SimOptions &options)
+{
+    core::CoreParams params = machine.core;
+    params.spec_mode = options.spec_mode;
+    params.accounting_enabled = options.accounting;
+
+    core::OooCore core(params, trace.clone());
+    if (options.warmup_instrs > 0) {
+        while (!core.done() &&
+               core.stats().instrs_committed < options.warmup_instrs) {
+            core.cycle();
+        }
+        core.resetMeasurement();
+    }
+    core.run(options.max_cycles);
+
+    SimResult r;
+    r.machine = machine.name;
+    r.cycles = core.cycles();
+    r.instrs = core.stats().instrs_committed;
+    r.cpi = core.cpi();
+    r.freq_hz = machine.freqHz();
+    r.core_peak_flops = machine.corePeakFlops();
+    r.stats = core.stats();
+    if (options.accounting) {
+        for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
+            const auto stage = static_cast<Stage>(s);
+            r.cycle_stacks[s] = core.accountant(stage).cycles();
+            r.cpi_stacks[s] = core.accountant(stage).cpi(r.instrs);
+        }
+        r.flops_cycles = core.flopsAccountant().cycles();
+    }
+    return r;
+}
+
+double
+cpiReduction(const MachineConfig &machine, const trace::TraceSource &trace,
+             const Idealization &ideal, const SimOptions &options)
+{
+    const SimResult real = simulate(machine, trace, options);
+    const SimResult idealized =
+        simulate(applyIdealization(machine, ideal), trace, options);
+    return real.cpi - idealized.cpi;
+}
+
+}  // namespace stackscope::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Single-core simulation driver: run a trace on a machine configuration
+ * and collect every stack plus summary statistics.
+ */
+
+#ifndef STACKSCOPE_SIM_SIMULATION_HPP
+#define STACKSCOPE_SIM_SIMULATION_HPP
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "sim/core_config.hpp"
+#include "stacks/stack.hpp"
+#include "trace/trace_source.hpp"
+
+namespace stackscope::sim {
+
+/** Run-time options independent of the machine. */
+struct SimOptions
+{
+    stacks::SpeculationMode spec_mode = stacks::SpeculationMode::kOracle;
+    bool accounting = true;
+    /** Safety valve; 0 = unlimited. */
+    Cycle max_cycles = 0;
+    /**
+     * Instructions executed before measurement starts (caches and
+     * predictor stay warm, counters reset) — the paper's fast-forward
+     * methodology (§IV).
+     */
+    std::uint64_t warmup_instrs = 0;
+};
+
+/** Everything a single-core run produces. */
+struct SimResult
+{
+    std::string machine;
+    Cycle cycles = 0;
+    std::uint64_t instrs = 0;
+    double cpi = 0.0;
+    double freq_hz = 0.0;
+    double core_peak_flops = 0.0;
+
+    /** CPI stacks (CPI units) indexed by stacks::Stage. */
+    std::array<stacks::CpiStack, stacks::kNumStages> cpi_stacks{};
+    /** The same stacks in raw cycle counts. */
+    std::array<stacks::CpiStack, stacks::kNumStages> cycle_stacks{};
+    /** FLOPS stack in cycle counts. */
+    stacks::FlopsStack flops_cycles{};
+
+    core::CoreStats stats{};
+
+    double ipc() const { return cpi == 0.0 ? 0.0 : 1.0 / cpi; }
+
+    const stacks::CpiStack &
+    cpiStack(stacks::Stage s) const
+    {
+        return cpi_stacks[static_cast<std::size_t>(s)];
+    }
+
+    /** FLOPS stack in flops/s units (Equation 1). */
+    stacks::FlopsStack flopsStack() const;
+
+    /** Achieved flops/s of this core. */
+    double achievedFlops() const;
+
+    /**
+     * IPC stack: the commit-stage cycle stack rescaled so the stack height
+     * is the maximum IPC and the base component the achieved IPC (§V-B).
+     */
+    stacks::CpiStack ipcStack(unsigned width) const;
+};
+
+/**
+ * Simulate @p trace (cloned; the argument is not consumed) on @p machine.
+ */
+SimResult simulate(const MachineConfig &machine,
+                   const trace::TraceSource &trace,
+                   const SimOptions &options = {});
+
+/**
+ * Convenience: CPI delta of idealizing @p ideal relative to the
+ * all-real configuration (Table I methodology). Positive = improvement.
+ */
+double cpiReduction(const MachineConfig &machine,
+                    const trace::TraceSource &trace,
+                    const Idealization &ideal,
+                    const SimOptions &options = {});
+
+}  // namespace stackscope::sim
+
+#endif  // STACKSCOPE_SIM_SIMULATION_HPP

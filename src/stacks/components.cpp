@@ -1,0 +1,52 @@
+#include "stacks/components.hpp"
+
+namespace stackscope::stacks {
+
+std::string_view
+componentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::kBase: return "Base";
+      case CpiComponent::kIcache: return "Icache";
+      case CpiComponent::kBpred: return "Bpred";
+      case CpiComponent::kDcache: return "Dcache";
+      case CpiComponent::kAluLat: return "ALU lat";
+      case CpiComponent::kDepend: return "Depend";
+      case CpiComponent::kMicrocode: return "Microcode";
+      case CpiComponent::kOther: return "Other";
+      case CpiComponent::kUnsched: return "Unsched";
+      case CpiComponent::kCount: break;
+    }
+    return "?";
+}
+
+std::string_view
+componentName(FlopsComponent c)
+{
+    switch (c) {
+      case FlopsComponent::kBase: return "Base";
+      case FlopsComponent::kNonFma: return "Non-FMA";
+      case FlopsComponent::kMask: return "Mask";
+      case FlopsComponent::kFrontend: return "Frontend";
+      case FlopsComponent::kNonVfp: return "Non-VFP";
+      case FlopsComponent::kMem: return "Memory";
+      case FlopsComponent::kDepend: return "Depend";
+      case FlopsComponent::kUnsched: return "Unsched";
+      case FlopsComponent::kCount: break;
+    }
+    return "?";
+}
+
+std::string_view
+toString(Stage s)
+{
+    switch (s) {
+      case Stage::kDispatch: return "dispatch";
+      case Stage::kIssue: return "issue";
+      case Stage::kCommit: return "commit";
+      case Stage::kCount: break;
+    }
+    return "?";
+}
+
+}  // namespace stackscope::stacks

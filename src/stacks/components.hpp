@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Component taxonomies of CPI stacks and FLOPS stacks.
+ *
+ * CPI components follow Table II of the paper (base, Icache, bpred,
+ * Dcache, ALU latency, dependences) extended with the Microcode component
+ * (Fig. 3(d)), the issue-stage "Other" structural-stall component (§V-A)
+ * and the "Unsched" yielded-thread component (Fig. 5).
+ *
+ * FLOPS components follow Table III.
+ */
+
+#ifndef STACKSCOPE_STACKS_COMPONENTS_HPP
+#define STACKSCOPE_STACKS_COMPONENTS_HPP
+
+#include <cstddef>
+#include <string_view>
+
+namespace stackscope::stacks {
+
+/** CPI stack components. */
+enum class CpiComponent : unsigned
+{
+    kBase,       ///< useful dispatch/issue/commit slots
+    kIcache,     ///< instruction cache (and ITLB) misses
+    kBpred,      ///< branch mispredictions
+    kDcache,     ///< data cache misses
+    kAluLat,     ///< multi-cycle instruction latency
+    kDepend,     ///< inter-instruction dependences
+    kMicrocode,  ///< microcode decoder occupancy
+    kOther,      ///< structural stalls (ports, load-store conflicts, drain)
+    kUnsched,    ///< thread yielded for synchronization
+    kCount,
+};
+
+inline constexpr std::size_t kNumCpiComponents =
+    static_cast<std::size_t>(CpiComponent::kCount);
+
+/** FLOPS stack components (Table III). */
+enum class FlopsComponent : unsigned
+{
+    kBase,      ///< cycles' worth of peak-rate floating-point work done
+    kNonFma,    ///< loss from non-FMA vector FP instructions
+    kMask,      ///< loss from masked-out vector lanes
+    kFrontend,  ///< no VFP instructions available (incl. non-FP code)
+    kNonVfp,    ///< vector units occupied by non-FP vector ops
+    kMem,       ///< VFP work waiting on memory loads
+    kDepend,    ///< VFP work waiting on other instructions
+    kUnsched,   ///< thread yielded for synchronization
+    kCount,
+};
+
+inline constexpr std::size_t kNumFlopsComponents =
+    static_cast<std::size_t>(FlopsComponent::kCount);
+
+/** Human-readable component names (as used in the paper's figures). */
+std::string_view componentName(CpiComponent c);
+std::string_view componentName(FlopsComponent c);
+
+/** Pipeline stages at which CPI stacks are measured (Table II). */
+enum class Stage : unsigned
+{
+    kDispatch,
+    kIssue,
+    kCommit,
+    kCount,
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::kCount);
+
+std::string_view toString(Stage s);
+
+}  // namespace stackscope::stacks
+
+#endif  // STACKSCOPE_STACKS_COMPONENTS_HPP

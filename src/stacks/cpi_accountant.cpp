@@ -1,0 +1,242 @@
+#include "stacks/cpi_accountant.hpp"
+
+#include <cassert>
+
+namespace stackscope::stacks {
+
+CpiAccountant::CpiAccountant(const CpiAccountantConfig &config)
+    : config_(config)
+{
+    assert(config_.effective_width > 0);
+}
+
+void
+CpiAccountant::add(CpiComponent c, double value)
+{
+    if (config_.spec_mode == SpeculationMode::kSpecCounters)
+        spec_.add(c, value);
+    else
+        cycles_[c] += value;
+}
+
+double
+CpiAccountant::usefulFraction(std::uint32_t n_correct, std::uint32_t n_wrong)
+{
+    // In the hardware-realistic modes wrong-path uops are indistinguishable
+    // from correct-path ones at dispatch/issue time, so they count toward
+    // the useful fraction; the surplus is later reclaimed (§III-B).
+    const std::uint32_t n = config_.spec_mode == SpeculationMode::kOracle
+                                ? n_correct
+                                : n_correct + n_wrong;
+    double f = static_cast<double>(n) /
+                   static_cast<double>(config_.effective_width) +
+               carry_;
+    if (f > 1.0) {
+        // Wider-stage carry-over (§III-A): clamp to 1 and transfer the
+        // excess to the next cycle.
+        carry_ = f - 1.0;
+        f = 1.0;
+    } else {
+        carry_ = 0.0;
+    }
+    return f;
+}
+
+void
+CpiAccountant::attributeFrontend(FrontendReason reason, double value)
+{
+    switch (reason) {
+      case FrontendReason::kIcache:
+        add(CpiComponent::kIcache, value);
+        break;
+      case FrontendReason::kBpred:
+        add(CpiComponent::kBpred, value);
+        break;
+      case FrontendReason::kMicrocode:
+        add(CpiComponent::kMicrocode, value);
+        break;
+      case FrontendReason::kNone:
+      case FrontendReason::kDrain:
+        add(CpiComponent::kOther, value);
+        break;
+    }
+}
+
+void
+CpiAccountant::attributeBackend(BackendBlame blame, double value)
+{
+    switch (blame) {
+      case BackendBlame::kDcache:
+        add(CpiComponent::kDcache, value);
+        break;
+      case BackendBlame::kAluLat:
+        add(CpiComponent::kAluLat, value);
+        break;
+      case BackendBlame::kDepend:
+      case BackendBlame::kNone:
+        add(CpiComponent::kDepend, value);
+        break;
+    }
+}
+
+void
+CpiAccountant::tickDispatch(const CycleState &s, double rem)
+{
+    const bool fe_empty = config_.spec_mode == SpeculationMode::kOracle
+                              ? !s.fe_has_correct
+                              : !s.fe_has_any;
+    // Table II (dispatch): frontend-empty first, then ROB/RS full, then
+    // the residual partial-dispatch cases.
+    if (fe_empty) {
+        attributeFrontend(s.fe_reason, rem);
+    } else if (s.backend_full) {
+        attributeBackend(s.head_blame, rem);
+    } else {
+        // The frontend delivered some but fewer than W uops: the ongoing
+        // frontend condition is the root cause.
+        attributeFrontend(s.fe_reason, rem);
+    }
+}
+
+void
+CpiAccountant::tickIssue(const CycleState &s, double rem)
+{
+    const bool rs_empty = config_.spec_mode == SpeculationMode::kOracle
+                              ? s.rs_empty_correct
+                              : s.rs_empty_any;
+    if (rs_empty) {
+        if (s.backend_full) {
+            // RS drained while the ROB is full (e.g., a long Dcache miss
+            // with all independent work already issued): a backend stall,
+            // blamed through the ROB head like the other stages.
+            attributeBackend(s.head_blame, rem);
+        } else {
+            attributeFrontend(s.fe_reason, rem);
+        }
+    } else if (s.issue_blame != BackendBlame::kNone) {
+        // Table II (issue): blame the producer of the first non-ready
+        // instruction.
+        attributeBackend(s.issue_blame, rem);
+    } else if (s.ready_unissued) {
+        // Ready instructions existed but structural limits (ports,
+        // load-store conflicts) blocked them: the issue-stage-only
+        // "Other" component (§V-A).
+        add(CpiComponent::kOther, rem);
+    } else {
+        add(CpiComponent::kOther, rem);
+    }
+}
+
+void
+CpiAccountant::tickCommit(const CycleState &s, double rem)
+{
+    const bool rob_empty = config_.spec_mode == SpeculationMode::kOracle
+                               ? s.rob_empty_correct
+                               : s.rob_empty_any;
+    if (rob_empty) {
+        attributeFrontend(s.fe_reason, rem);
+    } else if (s.head_incomplete) {
+        attributeBackend(s.head_blame, rem);
+    } else {
+        add(CpiComponent::kOther, rem);
+    }
+}
+
+void
+CpiAccountant::tick(const CycleState &s)
+{
+    assert(!finalized_);
+    if (s.unsched) {
+        add(CpiComponent::kUnsched, 1.0);
+        return;
+    }
+
+    std::uint32_t n = 0;
+    std::uint32_t n_wrong = 0;
+    switch (config_.stage) {
+      case Stage::kDispatch:
+        n = s.n_dispatch;
+        n_wrong = s.n_dispatch_wrong;
+        break;
+      case Stage::kIssue:
+        n = s.n_issue;
+        n_wrong = s.n_issue_wrong;
+        break;
+      case Stage::kCommit:
+        n = s.n_commit;
+        n_wrong = 0;  // wrong-path uops never commit
+        break;
+      case Stage::kCount:
+        assert(false);
+        break;
+    }
+
+    const double f = usefulFraction(n, n_wrong);
+    add(CpiComponent::kBase, f);
+    if (f >= 1.0)
+        return;
+    const double rem = 1.0 - f;
+
+    switch (config_.stage) {
+      case Stage::kDispatch:
+        tickDispatch(s, rem);
+        break;
+      case Stage::kIssue:
+        tickIssue(s, rem);
+        break;
+      case Stage::kCommit:
+        tickCommit(s, rem);
+        break;
+      case Stage::kCount:
+        break;
+    }
+}
+
+void
+CpiAccountant::onBranchFetched(SeqNum seq)
+{
+    if (config_.spec_mode == SpeculationMode::kSpecCounters)
+        spec_.onBranchFetched(seq);
+}
+
+void
+CpiAccountant::onBranchResolved(SeqNum seq, bool mispredicted)
+{
+    if (config_.spec_mode == SpeculationMode::kSpecCounters)
+        spec_.onBranchResolved(seq, mispredicted);
+}
+
+void
+CpiAccountant::finalize()
+{
+    if (finalized_)
+        return;
+    if (config_.spec_mode == SpeculationMode::kSpecCounters) {
+        spec_.finalize();
+        cycles_ = spec_.committed();
+    }
+    finalized_ = true;
+}
+
+void
+CpiAccountant::applySimpleFixup(double commit_base)
+{
+    applySimpleSpeculationFixup(cycles_, commit_base);
+}
+
+const CpiStack &
+CpiAccountant::cycles() const
+{
+    assert(config_.spec_mode != SpeculationMode::kSpecCounters || finalized_);
+    return cycles_;
+}
+
+CpiStack
+CpiAccountant::cpi(std::uint64_t instructions) const
+{
+    if (instructions == 0)
+        return CpiStack{};
+    return cycles().scaled(1.0 / static_cast<double>(instructions));
+}
+
+}  // namespace stackscope::stacks

@@ -1,0 +1,2 @@
+// CycleState is a plain data record; see cycle_state.hpp.
+#include "stacks/cycle_state.hpp"

@@ -1,0 +1,69 @@
+#include "stacks/speculation.hpp"
+
+#include <algorithm>
+
+namespace stackscope::stacks {
+
+void
+SpeculativeCounters::onBranchFetched(SeqNum seq)
+{
+    epochs_.push_back(Epoch{seq, CpiStack{}});
+}
+
+void
+SpeculativeCounters::onBranchResolved(SeqNum seq, bool mispredicted)
+{
+    auto it = std::find_if(epochs_.begin(), epochs_.end(),
+                           [&](const Epoch &e) { return e.branch_seq == seq; });
+    if (it == epochs_.end())
+        return;  // already discarded by an older misprediction
+
+    if (mispredicted) {
+        // Everything accumulated since this branch was fetched is
+        // wrong-path work: credit it all to the bpred component.
+        double squashed = 0.0;
+        for (auto e = it; e != epochs_.end(); ++e)
+            squashed += e->pending.sum();
+        committed_[CpiComponent::kBpred] += squashed;
+        epochs_.erase(it, epochs_.end());
+    } else {
+        // Proven correct: merge into the parent epoch (or the committed
+        // counters if this was the oldest in-flight branch).
+        if (it == epochs_.begin()) {
+            committed_ += it->pending;
+        } else {
+            auto parent = std::prev(it);
+            parent->pending += it->pending;
+        }
+        epochs_.erase(it);
+    }
+}
+
+void
+SpeculativeCounters::add(CpiComponent c, double value)
+{
+    if (epochs_.empty())
+        committed_[c] += value;
+    else
+        epochs_.back().pending[c] += value;
+}
+
+void
+SpeculativeCounters::finalize()
+{
+    for (Epoch &e : epochs_)
+        committed_ += e.pending;
+    epochs_.clear();
+}
+
+void
+applySimpleSpeculationFixup(CpiStack &stack, double commit_base)
+{
+    const double surplus = stack[CpiComponent::kBase] - commit_base;
+    if (surplus > 0.0) {
+        stack[CpiComponent::kBase] -= surplus;
+        stack[CpiComponent::kBpred] += surplus;
+    }
+}
+
+}  // namespace stackscope::stacks

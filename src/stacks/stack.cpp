@@ -1,0 +1,2 @@
+// StackT is header-only; see stack.hpp.
+#include "stacks/stack.hpp"

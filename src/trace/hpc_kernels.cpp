@@ -1,0 +1,339 @@
+#include "trace/hpc_kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace stackscope::trace {
+
+namespace {
+
+/** Loop body PC: every iteration reuses the same code (icache-resident). */
+constexpr Addr kLoopPc = 0x00401000;
+/** Base of the B-tile / weight-tile address region (cache resident). */
+constexpr Addr kTileBase = 0x20000000;
+/** Base of the large input/activation region (streams, misses). */
+constexpr Addr kStreamBase = 0x40000000;
+/** Base of the output/gradient store region. */
+constexpr Addr kStoreBase = 0x60000000;
+
+/**
+ * Register blocking: number of independent accumulator chains in the inner
+ * loop. GEMM kernels block the n dimension over accumulators, so tiny
+ * inference batches leave fewer independent chains (more dependence
+ * stalls); 8 is a typical upper bound given 32 architectural vector regs.
+ */
+unsigned
+accumulatorCount(unsigned n)
+{
+    return std::clamp(n, 1u, 8u);
+}
+
+/**
+ * Vectorization runs along the m dimension; the last m-block of each strip
+ * is masked to m % lanes lanes. Returns the period of masked blocks
+ * (one in every `period`), or 0 if m divides evenly.
+ */
+unsigned
+maskPeriod(unsigned m, unsigned lanes)
+{
+    if (m % lanes == 0)
+        return 0;
+    return (m + lanes - 1) / lanes;
+}
+
+void
+buildSgemmKnlJit(TraceBuilder &b, const SgemmConfig &cfg, unsigned lanes,
+                 std::uint64_t num_instrs)
+{
+    // KNL MKL JIT idiom: FMA with memory operand = load uop + FMA uop; the
+    // FMA waits on its own L1-resident load every time (paper §V-B).
+    const unsigned acc_count = accumulatorCount(cfg.n);
+    const unsigned mask_period = maskPeriod(cfg.m, lanes);
+    const unsigned tail_lanes = cfg.m % lanes;
+    const std::uint64_t tile_bytes = 16 << 10;  // L1-resident B tile
+
+    std::vector<InstrHandle> acc(acc_count);
+    b.at(kLoopPc - 0x100);
+    for (unsigned u = 0; u < acc_count; ++u)
+        acc[u] = b.vadd(lanes);  // accumulator initialization
+
+    std::uint64_t it = 0;
+    while (b.size() < num_instrs) {
+        b.at(kLoopPc);
+        const bool masked =
+            mask_period != 0 && (it % mask_period) == mask_period - 1;
+        const unsigned m_lanes = masked ? tail_lanes : lanes;
+        for (unsigned u = 0; u < acc_count; ++u) {
+            const Addr addr =
+                kTileBase + ((it * acc_count + u) * 64) % tile_bytes;
+            auto ld = b.load(addr);
+            acc[u] = b.vfma(m_lanes, {ld, acc[u]});
+        }
+        auto ptr = b.alu();
+        b.branch(true, {ptr});
+        ++it;
+    }
+}
+
+void
+buildSgemmSkxBroadcast(TraceBuilder &b, const SgemmConfig &cfg,
+                       unsigned lanes, std::uint64_t num_instrs)
+{
+    // SKX MKL idiom: load an A element, broadcast it across an AVX512
+    // register, load the B panel row, and feed register-register FMAs
+    // from the broadcast; pointer arithmetic and the loop branch fill the
+    // rest of the 4-wide pipeline. The FMA fraction lands just below 50%
+    // of uops and the accumulator count below FMA-latency x VPUs, so the
+    // kernel is dependence-bound through the broadcast/accumulator chains
+    // (paper §V-B: larger dependence component instead of memory).
+    const unsigned acc_count = std::min(accumulatorCount(cfg.n), 5u);
+    const unsigned mask_period = maskPeriod(cfg.m, lanes);
+    const unsigned tail_lanes = cfg.m % lanes;
+    const std::uint64_t a_bytes = 24 << 10;
+    const std::uint64_t b_bytes = 16 << 10;
+
+    std::vector<InstrHandle> acc(acc_count);
+    b.at(kLoopPc - 0x100);
+    for (unsigned u = 0; u < acc_count; ++u)
+        acc[u] = b.vadd(lanes);
+
+    std::uint64_t it = 0;
+    while (b.size() < num_instrs) {
+        b.at(kLoopPc);
+        const bool masked =
+            mask_period != 0 && (it % mask_period) == mask_period - 1;
+        const unsigned m_lanes = masked ? tail_lanes : lanes;
+
+        auto ld_a = b.load(kTileBase + (it * 4) % a_bytes);
+        auto bc = b.vbroadcast({ld_a});
+        auto ld_b = b.load(kTileBase + a_bytes + (it * 64) % b_bytes);
+        for (unsigned u = 0; u < acc_count; ++u)
+            acc[u] = b.vfma(m_lanes, {bc, ld_b, acc[u]});
+        auto p1 = b.alu();
+        auto p2 = b.alu({p1});
+        b.branch(true, {p2});
+        ++it;
+    }
+}
+
+void
+buildConv(TraceBuilder &b, const ConvConfig &cfg, ConvPhase phase,
+          unsigned lanes, std::uint64_t num_instrs, std::uint64_t seed,
+          bool dual_operand_loads)
+{
+    // MKL-DNN-style convolution inner loop: address arithmetic (im2col
+    // style indexing), input loads with a streaming component that misses
+    // the caches, weight loads from a resident tile, and FMAs with memory
+    // operands (35% FMA fraction, each paired with a load - the Fig. 5
+    // instruction mix), plus periodic barrier yields.
+    Rng rng(seed);
+    Rng rng_addr = rng.fork();
+
+    const unsigned fma_count = phase == ConvPhase::kFwd ? 4 : 3;
+    const unsigned mask_period = maskPeriod(cfg.width, lanes);
+    const unsigned tail_lanes = cfg.width % lanes;
+
+    // Input activations: footprint scales with the layer shape, clamped so
+    // small layers are cache-resident and large ones stream.
+    // Cache blocking keeps the streamed activations within the L2/L3
+    // neighbourhood; misses are frequent enough to matter for FLOPS but
+    // cheap enough that IPC stays near ideal (Fig. 5).
+    const std::uint64_t in_bytes = std::clamp<std::uint64_t>(
+        std::uint64_t{cfg.width} * cfg.height * cfg.channels, 384 << 10,
+        1 << 20);
+    // Weight tiles are register/L1-blocked by the JIT kernels.
+    const std::uint64_t w_bytes = std::clamp<std::uint64_t>(
+        std::uint64_t{cfg.filters} * cfg.channels * cfg.kernel * cfg.kernel *
+            4 / 512,
+        4 << 10, 8 << 10);
+    // The blocked kernels have few cache misses (paper §V-B: IPC is
+    // near-ideal); only a small streaming component reaches the uncore.
+    // Backward phases walk the data with somewhat worse locality.
+    const double stream_frac = phase == ConvPhase::kFwd ? 0.06
+                               : phase == ConvPhase::kBwdFilter ? 0.08
+                                                                : 0.10;
+
+    std::vector<InstrHandle> acc(fma_count);
+    b.at(kLoopPc - 0x100);
+    for (unsigned u = 0; u < fma_count; ++u)
+        acc[u] = b.vadd(lanes);
+
+    std::uint64_t it = 0;
+    Addr stream_addr = kStreamBase;
+    std::uint64_t next_yield = 40'000;
+    while (b.size() < num_instrs) {
+        if (b.size() >= next_yield) {
+            // Barrier synchronization between tiles ("Unsched", Fig. 5).
+            b.yield(600);
+            next_yield += 40'000;
+        }
+        if (it % 384 == 383) {
+            // im2col / tensor-copy section: pure integer and memory work,
+            // no vector FP at all, long enough that the out-of-order
+            // window drains its VFP work. These sections are why the
+            // FLOPS stack shows a "frontend" component (no VFP
+            // instructions available) that the CPI stack cannot see
+            // (paper Fig. 4/5).
+            b.at(kLoopPc + 0x400);
+            for (unsigned j = 0; j < 336; ++j) {
+                auto idx = b.alu();
+                // The copy walks small L1-resident buffers: the point
+                // of the section is the absence of VFP work, not cache
+                // pressure.
+                auto src = b.load(
+                    kTileBase + (2 << 20) + ((it + j) * 64) % (4 << 10),
+                    {idx});
+                b.store(kTileBase + (3 << 20) + ((it + j) * 64) % (4 << 10),
+                        {src});
+            }
+        }
+        b.at(kLoopPc);
+        const bool masked =
+            mask_period != 0 && (it % mask_period) == mask_period - 1;
+        const unsigned m_lanes = masked ? tail_lanes : lanes;
+
+        auto i1 = b.alu();
+        auto i2 = b.alu({i1});
+        auto i3 = b.alu();
+        (void)i3;
+        if (rng.chance(0.3))
+            b.vint({i2});
+        for (unsigned u = 0; u < fma_count; ++u) {
+            // Each FMA reads an activation and a weight value from memory
+            // (memory-operand FMA plus a weight load): the load ports
+            // become the binding resource, so FMAs genuinely wait on
+            // their loads — the "memory" component of the FLOPS stack
+            // (Fig. 5) even without cache misses.
+            Addr act_addr;
+            if (rng_addr.chance(stream_frac)) {
+                stream_addr += 64;
+                if (stream_addr >= kStreamBase + in_bytes)
+                    stream_addr = kStreamBase;
+                act_addr = stream_addr;
+            } else {
+                // Reuse-heavy input tile (L1-resident blocking).
+                act_addr = kTileBase + rng_addr.below(12 << 10) / 64 * 64;
+            }
+            auto ld_act = b.load(act_addr, {i2});
+            if (dual_operand_loads) {
+                // SKX-style: the weight panel is reloaded every step too.
+                auto ld_w =
+                    b.load(kTileBase + (1 << 20) + rng_addr.below(w_bytes));
+                acc[u] = b.vfma(m_lanes, {ld_act, ld_w, acc[u]});
+            } else {
+                // KNL-style register blocking keeps weights resident.
+                acc[u] = b.vfma(m_lanes, {ld_act, acc[u]});
+            }
+        }
+        if (phase != ConvPhase::kFwd) {
+            b.store(kStoreBase + (it * 64) % (4 << 20), {acc[0]});
+            if (phase == ConvPhase::kBwdData)
+                b.store(kStoreBase + (it * 192 + 64) % (8 << 20), {acc[1 % fma_count]});
+        }
+        auto ptr = b.alu();
+        b.branch(true, {ptr});
+        ++it;
+    }
+}
+
+std::vector<HpcBenchmark>
+buildSuite()
+{
+    std::vector<HpcBenchmark> suite;
+
+    const SgemmConfig train_cfgs[] = {
+        {1760, 128, 1760}, {1760, 64, 1760}, {2048, 128, 2048},
+        {2560, 128, 2560}, {4096, 64, 4096}, {1024, 128, 1024},
+        {2048, 32, 2048},  {2560, 64, 2560},
+    };
+    for (std::size_t i = 0; i < std::size(train_cfgs); ++i) {
+        HpcBenchmark bm;
+        bm.name = "sgemm_train_" + std::to_string(i);
+        bm.group = "sgemm_train";
+        bm.is_sgemm = true;
+        bm.sgemm = train_cfgs[i];
+        suite.push_back(bm);
+    }
+
+    const SgemmConfig inf_cfgs[] = {
+        {1760, 1, 1760}, {1760, 2, 1760}, {2048, 4, 2048}, {2560, 2, 2560},
+        {4096, 4, 4096}, {1024, 8, 1024}, {2048, 1, 2048}, {1760, 4, 1760},
+    };
+    for (std::size_t i = 0; i < std::size(inf_cfgs); ++i) {
+        HpcBenchmark bm;
+        bm.name = "sgemm_inf_" + std::to_string(i);
+        bm.group = "sgemm_inf";
+        bm.is_sgemm = true;
+        bm.sgemm = inf_cfgs[i];
+        suite.push_back(bm);
+    }
+
+    const ConvConfig conv_cfgs[] = {
+        {112, 112, 64, 128, 3}, {56, 56, 128, 256, 3}, {28, 28, 256, 512, 3},
+        {14, 14, 512, 512, 3},  {7, 7, 512, 512, 3},   {224, 224, 3, 64, 7},
+        {56, 56, 64, 64, 1},    {28, 28, 128, 128, 3}, {112, 112, 32, 64, 5},
+        {14, 14, 256, 256, 3},
+    };
+    const struct { ConvPhase phase; const char *group; } phases[] = {
+        {ConvPhase::kFwd, "conv_fwd"},
+        {ConvPhase::kBwdFilter, "conv_bwd_f"},
+        {ConvPhase::kBwdData, "conv_bwd_d"},
+    };
+    for (const auto &[phase, group] : phases) {
+        for (std::size_t i = 0; i < std::size(conv_cfgs); ++i) {
+            HpcBenchmark bm;
+            bm.name = std::string(group) + "_" + std::to_string(i);
+            bm.group = group;
+            bm.is_sgemm = false;
+            bm.conv = conv_cfgs[i];
+            bm.conv_phase = phase;
+            suite.push_back(bm);
+        }
+    }
+    return suite;
+}
+
+}  // namespace
+
+std::unique_ptr<TraceSource>
+makeSgemmTrace(const SgemmConfig &cfg, const HpcTarget &target,
+               std::uint64_t num_instrs, std::uint64_t seed)
+{
+    (void)seed;  // sgemm streams are fully deterministic from the shape
+    TraceBuilder b;
+    if (target.sgemm_style == SgemmCodegen::kKnlJit)
+        buildSgemmKnlJit(b, cfg, target.vec_lanes, num_instrs);
+    else
+        buildSgemmSkxBroadcast(b, cfg, target.vec_lanes, num_instrs);
+    return b.build();
+}
+
+std::unique_ptr<TraceSource>
+makeConvTrace(const ConvConfig &cfg, ConvPhase phase, const HpcTarget &target,
+              std::uint64_t num_instrs, std::uint64_t seed)
+{
+    TraceBuilder b;
+    buildConv(b, cfg, phase, target.vec_lanes, num_instrs, seed,
+              target.sgemm_style == SgemmCodegen::kSkxBroadcast);
+    return b.build();
+}
+
+std::unique_ptr<TraceSource>
+HpcBenchmark::make(const HpcTarget &target, std::uint64_t num_instrs) const
+{
+    if (is_sgemm)
+        return makeSgemmTrace(sgemm, target, num_instrs);
+    return makeConvTrace(conv, conv_phase, target, num_instrs);
+}
+
+const std::vector<HpcBenchmark> &
+deepBenchSuite()
+{
+    static const std::vector<HpcBenchmark> suite = buildSuite();
+    return suite;
+}
+
+}  // namespace stackscope::trace

@@ -1,0 +1,29 @@
+#include "trace/instruction.hpp"
+
+namespace stackscope::trace {
+
+std::string_view
+toString(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::kNop: return "nop";
+      case InstrClass::kAlu: return "alu";
+      case InstrClass::kAluMul: return "mul";
+      case InstrClass::kAluDiv: return "div";
+      case InstrClass::kLoad: return "load";
+      case InstrClass::kStore: return "store";
+      case InstrClass::kBranch: return "branch";
+      case InstrClass::kFpAdd: return "fpadd";
+      case InstrClass::kFpMul: return "fpmul";
+      case InstrClass::kFpDiv: return "fpdiv";
+      case InstrClass::kVecFma: return "vfma";
+      case InstrClass::kVecAdd: return "vadd";
+      case InstrClass::kVecMul: return "vmul";
+      case InstrClass::kVecInt: return "vint";
+      case InstrClass::kVecBroadcast: return "vbcast";
+      case InstrClass::kYield: return "yield";
+    }
+    return "?";
+}
+
+}  // namespace stackscope::trace

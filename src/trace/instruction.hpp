@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The dynamic instruction (micro-operation) model that trace sources emit
+ * and the out-of-order core consumes.
+ *
+ * Stackscope is a trace-driven, functional-first simulator (like Sniper):
+ * the instruction stream, including branch outcomes and memory addresses,
+ * is known before timing simulation, so correct-path and wrong-path
+ * instructions can be discriminated exactly (paper §III-B).
+ */
+
+#ifndef STACKSCOPE_TRACE_INSTRUCTION_HPP
+#define STACKSCOPE_TRACE_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace stackscope::trace {
+
+/**
+ * Micro-operation classes.
+ *
+ * These map onto the component taxonomy of the paper: single-cycle ALU ops,
+ * multi-cycle ALU ops (the "ALU latency" component), loads/stores (the
+ * "Dcache" component), branches (the "bpred" component), and vector
+ * floating-point ops (the FLOPS stack of §III-C).
+ */
+enum class InstrClass : std::uint8_t {
+    kNop,           ///< No-operation; consumes a slot only.
+    kAlu,           ///< Single-cycle integer ALU operation.
+    kAluMul,        ///< Multi-cycle integer multiply.
+    kAluDiv,        ///< Long-latency integer divide (unpipelined).
+    kLoad,          ///< Memory load through the data cache.
+    kStore,         ///< Memory store (retires via store buffer).
+    kBranch,        ///< Conditional branch; outcome carried in the trace.
+    kFpAdd,         ///< Scalar floating-point add (multi-cycle).
+    kFpMul,         ///< Scalar floating-point multiply (multi-cycle).
+    kFpDiv,         ///< Scalar floating-point divide (long, unpipelined).
+    kVecFma,        ///< Vector FP fused multiply-add: 2 flops per lane.
+    kVecAdd,        ///< Vector FP add: 1 flop per lane.
+    kVecMul,        ///< Vector FP multiply: 1 flop per lane.
+    kVecInt,        ///< Integer vector op: occupies a VPU, zero flops.
+    kVecBroadcast,  ///< Broadcast/permute: occupies a VPU, zero flops.
+    kYield,         ///< Thread yield marker (synchronization, "Unsched").
+};
+
+/** Number of distinct instruction classes (for array sizing). */
+inline constexpr std::size_t kNumInstrClasses =
+    static_cast<std::size_t>(InstrClass::kYield) + 1;
+
+/** Short lowercase mnemonic for an instruction class. */
+std::string_view toString(InstrClass cls);
+
+/** True for loads and stores. */
+constexpr bool
+isMemory(InstrClass cls)
+{
+    return cls == InstrClass::kLoad || cls == InstrClass::kStore;
+}
+
+/** True for any op executing on a vector unit (VPU). */
+constexpr bool
+usesVectorUnit(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::kVecFma:
+      case InstrClass::kVecAdd:
+      case InstrClass::kVecMul:
+      case InstrClass::kVecInt:
+      case InstrClass::kVecBroadcast:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for vector floating-point ops (the "VFP" of Table III). */
+constexpr bool
+isVfp(InstrClass cls)
+{
+    return cls == InstrClass::kVecFma || cls == InstrClass::kVecAdd ||
+           cls == InstrClass::kVecMul;
+}
+
+/**
+ * Floating-point operations per vector lane: the `a` term of Table III
+ * (2 for FMA, 1 for add/multiply, 0 for non-FP).
+ */
+constexpr unsigned
+flopsPerLane(InstrClass cls)
+{
+    if (cls == InstrClass::kVecFma)
+        return 2;
+    if (cls == InstrClass::kVecAdd || cls == InstrClass::kVecMul)
+        return 1;
+    return 0;
+}
+
+/** Maximum number of register source operands carried per uop. */
+inline constexpr unsigned kMaxSrcs = 3;
+
+/**
+ * One dynamic micro-operation as it appears in a trace.
+ *
+ * Dependences are expressed as *correct-path trace indices* of the producer
+ * uops (position in the correct-path stream, starting at 0). Producers are
+ * guaranteed by all generators to lie within #kMaxDepDistance of the
+ * consumer, which lets the core keep a bounded completion scoreboard.
+ */
+struct DynInstr
+{
+    /** Program counter of the uop (drives the instruction cache). */
+    Addr pc = 0;
+
+    /** Operation class. */
+    InstrClass cls = InstrClass::kAlu;
+
+    /**
+     * Decoder occupancy in cycles; values above 1 model microcoded
+     * instructions that stall the decoder (the "Microcode" component
+     * observed on KNL, paper Fig. 3(d)).
+     */
+    std::uint8_t decode_cycles = 1;
+
+    /** Number of valid entries in #src. */
+    std::uint8_t num_srcs = 0;
+
+    /** Correct-path trace indices of producer uops. */
+    std::uint64_t src[kMaxSrcs] = {kNoSeq, kNoSeq, kNoSeq};
+
+    /** Effective (virtual) address for loads and stores. */
+    Addr mem_addr = 0;
+
+    /** Branch outcome (valid when cls == kBranch). */
+    bool branch_taken = false;
+
+    /**
+     * Active (unmasked) vector lanes, the `m` term of Table III.
+     * Only meaningful for vector ops; generators set it to the machine
+     * vector width for fully unmasked operations.
+     */
+    std::uint8_t active_lanes = 0;
+
+    /** Cycles the thread stays descheduled (valid when cls == kYield). */
+    std::uint32_t yield_cycles = 0;
+
+    /** Convenience accessors. */
+    bool isLoad() const { return cls == InstrClass::kLoad; }
+    bool isStore() const { return cls == InstrClass::kStore; }
+    bool isBranch() const { return cls == InstrClass::kBranch; }
+};
+
+/**
+ * Upper bound on producer-consumer distance (in correct-path trace indices)
+ * that generators may emit. The core sizes its completion scoreboard from
+ * this value.
+ */
+inline constexpr std::uint64_t kMaxDepDistance = 1024;
+
+}  // namespace stackscope::trace
+
+#endif  // STACKSCOPE_TRACE_INSTRUCTION_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Programmatic trace construction: a fluent builder and an in-memory
+ * replayable trace. Used by unit tests to construct precise pipeline
+ * scenarios and by users to analyze hand-written kernels.
+ */
+
+#ifndef STACKSCOPE_TRACE_TRACE_BUILDER_HPP
+#define STACKSCOPE_TRACE_TRACE_BUILDER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_source.hpp"
+
+namespace stackscope::trace {
+
+/**
+ * A trace held in memory as a vector of instructions.
+ *
+ * Cloning is cheap: the instruction vector is shared (immutably) between
+ * clones, so homogeneous multi-core runs do not duplicate the trace.
+ */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<DynInstr> instrs);
+    explicit VectorTraceSource(
+        std::shared_ptr<const std::vector<DynInstr>> instrs);
+
+    bool next(DynInstr &out) override;
+    void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
+
+    /** Number of instructions in the trace. */
+    std::uint64_t size() const { return instrs_->size(); }
+
+    /** Read-only access for inspection in tests. */
+    const std::vector<DynInstr> &instructions() const { return *instrs_; }
+
+  private:
+    std::shared_ptr<const std::vector<DynInstr>> instrs_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Handle to an instruction added to a TraceBuilder; usable as a dependence
+ * token for later instructions.
+ */
+struct InstrHandle
+{
+    std::uint64_t index = kNoSeq;
+};
+
+/**
+ * Fluent builder for hand-constructed traces.
+ *
+ * Example: a load feeding a multiply feeding a branch:
+ * @code
+ *   TraceBuilder b;
+ *   auto ld = b.load(0x1000);
+ *   auto mu = b.mul({ld});
+ *   b.branch(0x40, true, {mu});
+ *   auto trace = b.build();
+ * @endcode
+ *
+ * Program counters advance automatically (4 bytes per uop) unless set
+ * explicitly with at().
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder();
+
+    /** Set the PC for the next instruction (subsequent PCs continue from it). */
+    TraceBuilder &at(Addr pc);
+
+    /** Append an arbitrary prepared instruction. */
+    InstrHandle add(DynInstr instr);
+
+    InstrHandle nop();
+    InstrHandle alu(std::initializer_list<InstrHandle> deps = {});
+    InstrHandle mul(std::initializer_list<InstrHandle> deps = {});
+    InstrHandle div(std::initializer_list<InstrHandle> deps = {});
+    InstrHandle load(Addr addr, std::initializer_list<InstrHandle> deps = {});
+    InstrHandle store(Addr addr, std::initializer_list<InstrHandle> deps = {});
+    InstrHandle branch(bool taken, std::initializer_list<InstrHandle> deps = {});
+    InstrHandle fpAdd(std::initializer_list<InstrHandle> deps = {});
+    InstrHandle fpMul(std::initializer_list<InstrHandle> deps = {});
+    InstrHandle fpDiv(std::initializer_list<InstrHandle> deps = {});
+
+    /** Vector FMA with @p lanes active lanes. */
+    InstrHandle vfma(unsigned lanes,
+                     std::initializer_list<InstrHandle> deps = {});
+    /** Vector FP add with @p lanes active lanes. */
+    InstrHandle vadd(unsigned lanes,
+                     std::initializer_list<InstrHandle> deps = {});
+    /** Vector FP multiply with @p lanes active lanes. */
+    InstrHandle vmul(unsigned lanes,
+                     std::initializer_list<InstrHandle> deps = {});
+    /** Non-FP vector op (occupies a VPU). */
+    InstrHandle vint(std::initializer_list<InstrHandle> deps = {});
+    /** Broadcast (occupies a VPU, zero flops). */
+    InstrHandle vbroadcast(std::initializer_list<InstrHandle> deps = {});
+    /** Microcoded ALU op occupying the decoder for @p decode_cycles. */
+    InstrHandle microcoded(unsigned decode_cycles,
+                           std::initializer_list<InstrHandle> deps = {});
+    /** Thread yield for @p cycles (synchronization stall). */
+    InstrHandle yield(std::uint32_t cycles);
+
+    /**
+     * Repeat the last @p count instructions @p times more, as a loop: the
+     * copies keep the template's PCs (same code executing again) and every
+     * dependence keeps its producer distance, so loop-carried chains (e.g.
+     * accumulators reading the previous iteration) are preserved.
+     */
+    TraceBuilder &repeatLast(std::size_t count, std::size_t times);
+
+    /** Number of instructions added so far. */
+    std::uint64_t size() const { return instrs_.size(); }
+
+    /** Finalize into a replayable trace source. */
+    std::unique_ptr<VectorTraceSource> build();
+
+  private:
+    InstrHandle append(InstrClass cls, std::initializer_list<InstrHandle> deps,
+                       Addr mem_addr = 0, bool taken = false,
+                       unsigned lanes = 0, unsigned decode_cycles = 1,
+                       std::uint32_t yield_cycles = 0);
+
+    std::vector<DynInstr> instrs_;
+    Addr next_pc_ = 0x400000;
+};
+
+}  // namespace stackscope::trace
+
+#endif  // STACKSCOPE_TRACE_TRACE_BUILDER_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract interface for dynamic instruction streams.
+ */
+
+#ifndef STACKSCOPE_TRACE_TRACE_SOURCE_HPP
+#define STACKSCOPE_TRACE_TRACE_SOURCE_HPP
+
+#include <memory>
+
+#include "trace/instruction.hpp"
+
+namespace stackscope::trace {
+
+/**
+ * A replayable stream of correct-path dynamic instructions.
+ *
+ * All implementations must be deterministic: after reset() (or on a fresh
+ * clone()) the exact same sequence is produced again. The idealization
+ * methodology of the paper (§IV) depends on this: a configuration with,
+ * e.g., a perfect Dcache must replay the identical instruction stream so
+ * that the CPI difference isolates the timing effect.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next correct-path instruction.
+     * @param out Filled with the instruction when available.
+     * @retval true an instruction was produced.
+     * @retval false the trace is exhausted.
+     */
+    virtual bool next(DynInstr &out) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+
+    /** Fresh, independent copy producing the same stream from the start. */
+    virtual std::unique_ptr<TraceSource> clone() const = 0;
+};
+
+}  // namespace stackscope::trace
+
+#endif  // STACKSCOPE_TRACE_TRACE_SOURCE_HPP

@@ -1,0 +1,282 @@
+#include "trace/workload_library.hpp"
+
+#include <stdexcept>
+
+namespace stackscope::trace {
+
+namespace {
+
+/** Default trace length for the SPEC-ish presets. */
+constexpr std::uint64_t kDefaultLength = 1'000'000;
+
+SyntheticParams
+base()
+{
+    SyntheticParams p;
+    p.num_instrs = kDefaultLength;
+    p.seed = 0xabcd;
+    return p;
+}
+
+std::vector<Workload>
+buildRegistry()
+{
+    std::vector<Workload> ws;
+
+    {
+        // mcf: sparse graph traversal. Dominant Dcache component from
+        // pointer chasing far beyond the caches; sizeable bpred component
+        // from data-dependent branches (paper Table I, Fig. 3(a)).
+        SyntheticParams p = base();
+        p.w_alu = 0.335; p.w_mul = 0.10; p.w_div = 0.005; p.w_load = 0.30; p.w_store = 0.06;
+        p.w_branch = 0.20;
+        p.data_footprint = 2ULL << 20;
+        p.hot_frac = 0.90; p.hot_bytes = 24ULL << 10;
+        p.pointer_chase_frac = 0.015;
+        p.branch_random_frac = 0.12;
+        p.branch_dep_load_frac = 0.55;
+        p.mul_chain_frac = 0.65;
+        p.chain_frac = 0.45;
+        ws.push_back({"mcf", "pointer-chase + unpredictable branches", p});
+    }
+    {
+        // cactuBSSN: large instruction footprint whose lines contend with
+        // data in the unified L2 (paper Fig. 3(b)).
+        SyntheticParams p = base();
+        p.w_alu = 0.40; p.w_fp_add = 0.06; p.w_fp_mul = 0.06;
+        p.w_load = 0.28; p.w_store = 0.10; p.w_branch = 0.10;
+        p.code_footprint = 512ULL << 10;
+        p.call_frac = 0.12;
+        p.data_footprint = 2ULL << 20;
+        p.hot_frac = 0.78; p.hot_bytes = 96ULL << 10;
+        p.branch_random_frac = 0.02; p.branch_bias = 0.95;
+        p.chain_frac = 0.25;
+        ws.push_back({"cactus", "huge code footprint, L2 I/D contention", p});
+    }
+    {
+        // bwaves: dense streaming solver. Prefetcher keeps L2 MSHRs
+        // saturated; a modest Icache component never materializes as a
+        // speedup because Icache misses queue behind prefetches
+        // (paper Fig. 3(c)).
+        SyntheticParams p = base();
+        p.w_alu = 0.30; p.w_fp_add = 0.08; p.w_fp_mul = 0.08;
+        p.w_load = 0.38; p.w_store = 0.10; p.w_branch = 0.06;
+        p.data_footprint = 192ULL << 20;
+        p.stream_frac = 0.92; p.stream_stride = 8;
+        p.code_footprint = 48ULL << 10;
+        p.call_frac = 0.05;
+        p.branch_random_frac = 0.0; p.branch_bias = 0.98;
+        p.chain_frac = 0.15; p.far_dep_frac = 0.3;
+        ws.push_back({"bwaves", "streaming + prefetch MSHR contention", p});
+    }
+    {
+        // povray: scalar FP heavy, microcoded ops on small cores, branchy
+        // (paper Fig. 3(d)).
+        SyntheticParams p = base();
+        p.w_alu = 0.34; p.w_mul = 0.04; p.w_fp_add = 0.14; p.w_fp_mul = 0.14;
+        p.w_fp_div = 0.01;
+        p.w_load = 0.16; p.w_store = 0.05; p.w_branch = 0.12;
+        p.microcoded_frac = 0.06; p.microcode_decode_cycles = 4;
+        p.data_footprint = 512ULL << 10;
+        p.code_footprint = 96ULL << 10;
+        p.call_frac = 0.05;
+        p.branch_random_frac = 0.14;
+        p.chain_frac = 0.35;
+        ws.push_back({"povray", "FP latency + microcode + branches", p});
+    }
+    {
+        // imagick: long chains of multi-cycle integer/FP ops; the issue
+        // stack reveals the ALU-latency root cause that dispatch/commit
+        // blame on dependences (paper Fig. 3(e)).
+        SyntheticParams p = base();
+        p.w_alu = 0.30; p.w_mul = 0.22; p.w_fp_mul = 0.08;
+        p.w_load = 0.22; p.w_store = 0.08; p.w_branch = 0.10;
+        p.microcoded_frac = 0.02;
+        p.chain_frac = 0.55; p.far_dep_frac = 0.30; p.dep_window = 8;
+        p.mul_chain_frac = 0.50;
+        p.data_footprint = 256ULL << 10;
+        p.code_footprint = 24ULL << 10;
+        p.branch_random_frac = 0.03; p.branch_bias = 0.97;
+        ws.push_back({"imagick", "multi-cycle ALU dependence chains", p});
+    }
+    {
+        // gcc: balanced integer code, moderate code footprint, branchy.
+        SyntheticParams p = base();
+        p.w_alu = 0.46; p.w_mul = 0.02; p.w_load = 0.26; p.w_store = 0.09;
+        p.w_branch = 0.17;
+        p.code_footprint = 112ULL << 10;
+        p.call_frac = 0.05;
+        p.data_footprint = 4ULL << 20;
+        p.hot_frac = 0.90;
+        p.branch_random_frac = 0.10;
+        ws.push_back({"gcc", "balanced integer, moderate I$ pressure", p});
+    }
+    {
+        // xalancbmk: XML transform; big code, hot dispatch loops.
+        SyntheticParams p = base();
+        p.w_alu = 0.44; p.w_load = 0.28; p.w_store = 0.08; p.w_branch = 0.20;
+        p.code_footprint = 192ULL << 10;
+        p.call_frac = 0.06;
+        p.data_footprint = 8ULL << 20;
+        p.hot_frac = 0.90;
+        p.branch_random_frac = 0.08;
+        p.pointer_chase_frac = 0.015;
+        ws.push_back({"xalancbmk", "large code + indirect-ish branches", p});
+    }
+    {
+        // deepsjeng: game tree search, hard branches, small data.
+        SyntheticParams p = base();
+        p.w_alu = 0.50; p.w_mul = 0.03; p.w_load = 0.22; p.w_store = 0.06;
+        p.w_branch = 0.19;
+        p.code_footprint = 48ULL << 10;
+        p.data_footprint = 2ULL << 20;
+        p.hot_frac = 0.92;
+        p.branch_random_frac = 0.22;
+        p.branch_dep_load_frac = 0.35;
+        ws.push_back({"deepsjeng", "branch-mispredict bound search", p});
+    }
+    {
+        // leela: MCTS go engine; branchy with pointer-rich data.
+        SyntheticParams p = base();
+        p.w_alu = 0.48; p.w_load = 0.24; p.w_store = 0.06; p.w_branch = 0.22;
+        p.code_footprint = 64ULL << 10;
+        p.data_footprint = 2ULL << 20;
+        p.hot_frac = 0.92;
+        p.branch_random_frac = 0.16;
+        p.branch_dep_load_frac = 0.30;
+        p.pointer_chase_frac = 0.01;
+        ws.push_back({"leela", "branches + light pointer chasing", p});
+    }
+    {
+        // exchange2: pure compute, everything fits everywhere.
+        SyntheticParams p = base();
+        p.w_alu = 0.62; p.w_mul = 0.06; p.w_load = 0.14; p.w_store = 0.06;
+        p.w_branch = 0.12;
+        p.code_footprint = 12ULL << 10;
+        p.data_footprint = 128ULL << 10;
+        p.branch_random_frac = 0.02; p.branch_bias = 0.97;
+        p.chain_frac = 0.30;
+        ws.push_back({"exchange2", "core-bound, near-perfect caches", p});
+    }
+    {
+        // perlbench: interpreter loop; chains + code footprint.
+        SyntheticParams p = base();
+        p.w_alu = 0.47; p.w_load = 0.26; p.w_store = 0.08; p.w_branch = 0.19;
+        p.code_footprint = 160ULL << 10;
+        p.call_frac = 0.05;
+        p.data_footprint = 4ULL << 20;
+        p.hot_frac = 0.90;
+        p.branch_random_frac = 0.09;
+        p.chain_frac = 0.45;
+        ws.push_back({"perlbench", "interpreter: chains + big code", p});
+    }
+    {
+        // x264: SIMD integer kernels over streaming frames.
+        SyntheticParams p = base();
+        p.w_alu = 0.30; p.w_vec_int = 0.22; p.w_load = 0.28; p.w_store = 0.12;
+        p.w_branch = 0.08;
+        p.data_footprint = 32ULL << 20;
+        p.stream_frac = 0.70; p.stream_stride = 16;
+        p.code_footprint = 40ULL << 10;
+        p.branch_random_frac = 0.04;
+        ws.push_back({"x264", "vector-int streaming", p});
+    }
+    {
+        // omnetpp: discrete event simulation; heap-allocated event lists.
+        SyntheticParams p = base();
+        p.w_alu = 0.42; p.w_load = 0.30; p.w_store = 0.09; p.w_branch = 0.19;
+        p.data_footprint = 16ULL << 20;
+        p.hot_frac = 0.86;
+        p.pointer_chase_frac = 0.025;
+        p.code_footprint = 96ULL << 10;
+        p.call_frac = 0.05;
+        p.branch_random_frac = 0.10;
+        ws.push_back({"omnetpp", "pointer-chase events + branches", p});
+    }
+    {
+        // lbm: lattice Boltzmann; store-heavy streaming.
+        SyntheticParams p = base();
+        p.w_alu = 0.22; p.w_fp_add = 0.12; p.w_fp_mul = 0.12;
+        p.w_load = 0.30; p.w_store = 0.20; p.w_branch = 0.04;
+        p.data_footprint = 256ULL << 20;
+        p.stream_frac = 0.95; p.stream_stride = 8;
+        p.code_footprint = 8ULL << 10;
+        p.branch_random_frac = 0.0; p.branch_bias = 0.99;
+        ws.push_back({"lbm", "store-heavy streaming FP", p});
+    }
+    {
+        // nab: molecular dynamics; FP multiply/add chains.
+        SyntheticParams p = base();
+        p.w_alu = 0.26; p.w_fp_add = 0.18; p.w_fp_mul = 0.20; p.w_fp_div = 0.01;
+        p.w_load = 0.22; p.w_store = 0.06; p.w_branch = 0.07;
+        p.data_footprint = 1ULL << 20;
+        p.chain_frac = 0.50; p.dep_window = 12;
+        p.code_footprint = 20ULL << 10;
+        ws.push_back({"nab", "FP latency chains", p});
+    }
+    {
+        // wrf: weather model; mixed FP + streams + fortran-sized code.
+        SyntheticParams p = base();
+        p.w_alu = 0.30; p.w_fp_add = 0.12; p.w_fp_mul = 0.12;
+        p.w_load = 0.28; p.w_store = 0.10; p.w_branch = 0.08;
+        p.data_footprint = 48ULL << 20;
+        p.stream_frac = 0.60; p.stream_stride = 8;
+        p.code_footprint = 256ULL << 10;
+        p.call_frac = 0.06;
+        p.branch_random_frac = 0.03;
+        ws.push_back({"wrf", "FP + streams + large code", p});
+    }
+    {
+        // fotonik3d: FDTD solver; streaming FP stencils.
+        SyntheticParams p = base();
+        p.w_alu = 0.24; p.w_fp_add = 0.16; p.w_fp_mul = 0.14;
+        p.w_load = 0.32; p.w_store = 0.10; p.w_branch = 0.04;
+        p.data_footprint = 160ULL << 20;
+        p.stream_frac = 0.88; p.stream_stride = 8;
+        p.code_footprint = 16ULL << 10;
+        ws.push_back({"fotonik3d", "stencil streaming FP", p});
+    }
+    {
+        // roms: ocean model; streams + stores + some chains.
+        SyntheticParams p = base();
+        p.w_alu = 0.26; p.w_fp_add = 0.14; p.w_fp_mul = 0.12;
+        p.w_load = 0.28; p.w_store = 0.14; p.w_branch = 0.06;
+        p.data_footprint = 96ULL << 20;
+        p.stream_frac = 0.80; p.stream_stride = 8;
+        p.code_footprint = 64ULL << 10;
+        p.chain_frac = 0.35;
+        ws.push_back({"roms", "streaming FP + stores", p});
+    }
+
+    return ws;
+}
+
+}  // namespace
+
+const std::vector<Workload> &
+allSpecWorkloads()
+{
+    static const std::vector<Workload> registry = buildRegistry();
+    return registry;
+}
+
+Workload
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allSpecWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::out_of_range("unknown workload: " + name);
+}
+
+std::vector<std::string>
+allSpecWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allSpecWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+}  // namespace stackscope::trace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Named synthetic workload presets standing in for the SPEC CPU 2017
+ * benchmarks of the paper's evaluation (§IV).
+ *
+ * Each preset is tuned so that the *dominant bottleneck structure* matches
+ * what the paper reports or implies for the benchmark of the same name:
+ * mcf is pointer-chase/Dcache and branch bound, cactus has a large code
+ * footprint coupled to its data through the unified L2, bwaves is a
+ * prefetch-heavy streamer with MSHR contention, povray is microcode- and
+ * FP-latency heavy, imagick is a multi-cycle-ALU dependence chain, etc.
+ * Absolute CPIs are not expected to match SPEC; the bracketing behaviour
+ * of multi-stage CPI stacks that the paper validates is
+ * workload-independent.
+ */
+
+#ifndef STACKSCOPE_TRACE_WORKLOAD_LIBRARY_HPP
+#define STACKSCOPE_TRACE_WORKLOAD_LIBRARY_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic_generator.hpp"
+
+namespace stackscope::trace {
+
+/** A named workload: preset parameters plus a short description. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    SyntheticParams params;
+};
+
+/** Look up a preset by name; throws std::out_of_range for unknown names. */
+Workload findWorkload(const std::string &name);
+
+/** All SPEC-CPU-2017-inspired presets (the Figure 2 population). */
+const std::vector<Workload> &allSpecWorkloads();
+
+/** Names of all presets, in registry order. */
+std::vector<std::string> allSpecWorkloadNames();
+
+}  // namespace stackscope::trace
+
+#endif  // STACKSCOPE_TRACE_WORKLOAD_LIBRARY_HPP

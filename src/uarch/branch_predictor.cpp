@@ -1,0 +1,45 @@
+#include "uarch/branch_predictor.hpp"
+
+namespace stackscope::uarch {
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params)
+    : params_(params)
+{
+    gshare_.assign(1ULL << params_.gshare_bits, 1);
+    bimodal_.assign(1ULL << params_.bimodal_bits, 1);
+    chooser_.assign(1ULL << params_.chooser_bits, 2);  // slight gshare bias
+    history_mask_ = (1ULL << params_.history_bits) - 1;
+}
+
+bool
+BranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    ++predictions_;
+    if (params_.perfect)
+        return true;
+
+    const std::uint64_t pc_bits = pc >> 2;
+    const std::uint64_t gidx =
+        (pc_bits ^ history_) & ((1ULL << params_.gshare_bits) - 1);
+    const std::uint64_t bidx = pc_bits & ((1ULL << params_.bimodal_bits) - 1);
+    const std::uint64_t cidx = pc_bits & ((1ULL << params_.chooser_bits) - 1);
+
+    const bool g_pred = counterTaken(gshare_[gidx]);
+    const bool b_pred = counterTaken(bimodal_[bidx]);
+    const bool use_gshare = counterTaken(chooser_[cidx]);
+    const bool pred = use_gshare ? g_pred : b_pred;
+
+    // Train: chooser moves toward whichever component was right.
+    if (g_pred != b_pred)
+        counterUpdate(chooser_[cidx], g_pred == taken);
+    counterUpdate(gshare_[gidx], taken);
+    counterUpdate(bimodal_[bidx], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+
+    const bool correct = pred == taken;
+    if (!correct)
+        ++mispredictions_;
+    return correct;
+}
+
+}  // namespace stackscope::uarch

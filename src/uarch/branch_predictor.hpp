@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hybrid gshare/bimodal conditional branch predictor.
+ *
+ * Stackscope is functional-first, so the actual branch outcome is known at
+ * prediction time; the predictor is consulted and trained immediately, and
+ * the pipeline realizes the misprediction penalty by fetching wrong-path
+ * uops until the branch executes (see core::OooCore).
+ */
+
+#ifndef STACKSCOPE_UARCH_BRANCH_PREDICTOR_HPP
+#define STACKSCOPE_UARCH_BRANCH_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stackscope::uarch {
+
+/** Predictor configuration. */
+struct BranchPredictorParams
+{
+    unsigned gshare_bits = 14;   ///< log2 entries of the gshare table
+    unsigned bimodal_bits = 13;  ///< log2 entries of the bimodal table
+    unsigned chooser_bits = 12;  ///< log2 entries of the meta chooser
+    unsigned history_bits = 12;  ///< global history length
+    /** Idealization knob (§IV): every prediction is correct. */
+    bool perfect = false;
+};
+
+/**
+ * gshare + bimodal with a per-PC chooser (2-bit counters throughout).
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Predict the branch at @p pc and immediately train with the actual
+     * outcome @p taken.
+     * @retval true the prediction was correct.
+     */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Misprediction rate over the predictor's lifetime. */
+    double missRate() const
+    {
+        return predictions_ == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictions_) /
+                         static_cast<double>(predictions_);
+    }
+
+  private:
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void counterUpdate(std::uint8_t &c, bool taken)
+    {
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    BranchPredictorParams params_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> chooser_;
+    std::uint64_t history_ = 0;
+    std::uint64_t history_mask_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_BRANCH_PREDICTOR_HPP

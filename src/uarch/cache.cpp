@@ -1,0 +1,83 @@
+#include "uarch/cache.hpp"
+
+#include <cassert>
+
+namespace stackscope::uarch {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    assert(params_.line_bytes > 0 && params_.assoc > 0);
+    assert(params_.size_bytes >= params_.line_bytes * params_.assoc);
+    num_sets_ = static_cast<unsigned>(
+        params_.size_bytes / (params_.line_bytes * params_.assoc));
+    assert(num_sets_ > 0);
+    ways_.resize(static_cast<std::size_t>(num_sets_) * params_.assoc);
+    set_clock_.resize(num_sets_, 0);
+}
+
+bool
+Cache::lookup(Addr addr, bool update_lru)
+{
+    ++lookups_;
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            if (update_lru)
+                base[w].lru = ++set_clock_[set];
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Cache::insert(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            // Already present (e.g., racing prefetch): just touch it.
+            base[w].lru = ++set_clock_[set];
+            return;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->lru = ++set_clock_[set];
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+}
+
+}  // namespace stackscope::uarch

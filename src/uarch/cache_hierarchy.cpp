@@ -1,0 +1,148 @@
+#include "uarch/cache_hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stackscope::uarch {
+
+Uncore::Uncore(const UncoreParams &params)
+    : params_(params), l3_(params.l3)
+{
+    mem_slots_.resize(std::max(1u, params_.mem_queue_slots), 0);
+}
+
+Uncore::Result
+Uncore::access(Addr addr, Cycle now)
+{
+    if (l3_.lookup(addr))
+        return {now + params_.l3_lat, true};
+
+    // Miss in L3: find the earliest-available memory queue slot (models
+    // finite DRAM bandwidth).
+    auto slot = std::min_element(mem_slots_.begin(), mem_slots_.end());
+    const Cycle request_at = now + params_.l3_lat;
+    const Cycle start = std::max(request_at, *slot);
+    *slot = start + params_.mem_service;
+    l3_.insert(addr);
+    return {start + params_.mem_lat, false};
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               Uncore *shared_uncore)
+    : params_(params),
+      l1i_(params.l1i),
+      l1d_(params.l1d),
+      l2_(params.l2),
+      itlb_(params.itlb),
+      dtlb_(params.dtlb),
+      prefetcher_(params.prefetch)
+{
+    if (shared_uncore != nullptr) {
+        uncore_ = shared_uncore;
+    } else {
+        owned_uncore_ = std::make_unique<Uncore>(params.uncore);
+        uncore_ = owned_uncore_.get();
+    }
+    mshr_busy_.resize(std::max(1u, params_.l2_mshrs), 0);
+}
+
+AccessResult
+CacheHierarchy::missToL2(Addr addr, Cycle now, bool is_ifetch,
+                         bool is_prefetch)
+{
+    if (l2_.lookup(addr)) {
+        if (is_ifetch)
+            l1i_.insert(addr);
+        else if (!is_prefetch)
+            l1d_.insert(addr);
+        return {now + (params_.l2_lat - params_.l1_lat), false, 2};
+    }
+
+    // L2 miss: the request needs a free MSHR before it can go out. This is
+    // where prefetch pressure delays later (incl. Icache) misses.
+    const Cycle request_at = now + (params_.l2_lat - params_.l1_lat);
+    auto mshr = std::min_element(mshr_busy_.begin(), mshr_busy_.end());
+    const Cycle start = std::max(request_at, *mshr);
+    mshr_wait_cycles_ += start - request_at;
+
+    const Uncore::Result res = uncore_->access(addr, start);
+    *mshr = res.done;
+
+    l2_.insert(addr);
+    if (is_ifetch)
+        l1i_.insert(addr);
+    else if (!is_prefetch)
+        l1d_.insert(addr);
+    return {res.done, false, res.l3_hit ? 3u : 4u};
+}
+
+void
+CacheHierarchy::trainPrefetcher(Addr addr, Cycle now)
+{
+    for (Addr target : prefetcher_.onMiss(addr)) {
+        if (!l2_.lookup(target, /*update_lru=*/false))
+            (void)missToL2(target, now, /*is_ifetch=*/false,
+                           /*is_prefetch=*/true);
+    }
+}
+
+AccessResult
+CacheHierarchy::ifetch(Addr pc, Cycle now)
+{
+    if (params_.perfect_icache)
+        return {now + params_.l1_lat, true, 1};
+    // A TLB miss delays the fetch; the stall lands in the Icache
+    // component, matching the paper's "Icache (and TLB)" taxonomy.
+    const Cycle walk = itlb_.access(pc);
+    now += walk;
+    if (l1i_.lookup(pc)) {
+        // Walk delay makes an L1 hit report as a (cheap) miss so the
+        // frontend actually stalls for it.
+        return {now + params_.l1_lat, walk == 0, 1};
+    }
+    AccessResult res = missToL2(pc, now + params_.l1_lat,
+                                /*is_ifetch=*/true, /*is_prefetch=*/false);
+    res.l1_hit = false;
+    // Next-line instruction prefetch: sequential code misses once per
+    // run, not once per line. The prefetch uses the same timed path (so
+    // it competes for MSHRs on an L2 miss) but does not stall fetch.
+    const Addr next_line = pc + params_.l1i.line_bytes;
+    if (!l1i_.lookup(next_line, /*update_lru=*/false))
+        (void)missToL2(next_line, now + params_.l1_lat,
+                       /*is_ifetch=*/true, /*is_prefetch=*/false);
+    return res;
+}
+
+AccessResult
+CacheHierarchy::load(Addr addr, Cycle now)
+{
+    if (params_.perfect_dcache)
+        return {now + params_.l1_lat, true, 1};
+    const Cycle walk = dtlb_.access(addr);
+    now += walk;
+    if (l1d_.lookup(addr)) {
+        // As for ifetch: a walk-delayed L1 hit reports as a miss so the
+        // wait is attributed to the Dcache(+TLB) component.
+        return {now + params_.l1_lat, walk == 0, 1};
+    }
+    AccessResult res = missToL2(addr, now + params_.l1_lat,
+                                /*is_ifetch=*/false, /*is_prefetch=*/false);
+    res.l1_hit = false;
+    trainPrefetcher(addr, now);
+    return res;
+}
+
+void
+CacheHierarchy::store(Addr addr, Cycle now)
+{
+    if (params_.perfect_dcache)
+        return;
+    (void)dtlb_.access(addr);
+    if (l1d_.lookup(addr))
+        return;
+    (void)missToL2(addr, now + params_.l1_lat, /*is_ifetch=*/false,
+                   /*is_prefetch=*/false);
+    trainPrefetcher(addr, now);
+}
+
+}  // namespace stackscope::uarch

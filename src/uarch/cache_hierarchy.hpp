@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Multi-level cache hierarchy with latency, MSHR and bandwidth modeling.
+ *
+ * Tag state is atomic (lookup+fill at access time); timing is computed as
+ * the access flows down the levels, including:
+ *  - finite L2 MSHRs: requests that miss L2 wait for a free MSHR, so heavy
+ *    prefetch/demand-miss traffic delays later misses (incl. Icache misses,
+ *    the bwaves case study of Fig. 3(c));
+ *  - finite memory queue slots: models memory bandwidth, which the paper
+ *    scales down by the socket core count to mimic a loaded socket (§IV);
+ *  - a stride prefetcher trained by L1D demand misses that fills L2 and
+ *    occupies MSHRs.
+ *
+ * L2 and above are unified (instructions + data share capacity), which is
+ * what couples the Icache and Dcache components in the cactus case study
+ * (Fig. 3(b)).
+ */
+
+#ifndef STACKSCOPE_UARCH_CACHE_HIERARCHY_HPP
+#define STACKSCOPE_UARCH_CACHE_HIERARCHY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/prefetcher.hpp"
+#include "uarch/tlb.hpp"
+
+namespace stackscope::uarch {
+
+/** Shared last-level cache and memory interface parameters. */
+struct UncoreParams
+{
+    CacheParams l3{2 << 20, 16, 64};
+    /** Extra latency from the L2 miss point to an L3 hit. */
+    Cycle l3_lat = 28;
+    /** Extra latency from the L3 miss point to data return from DRAM. */
+    Cycle mem_lat = 160;
+    /** Concurrent memory requests (bandwidth), per attached hierarchy. */
+    unsigned mem_queue_slots = 10;
+    /** Slot occupancy per request (inverse bandwidth). */
+    Cycle mem_service = 4;
+};
+
+/**
+ * Shared L3 + DRAM model. One instance may be shared by several
+ * CacheHierarchy objects (multi-core), serializing on the same memory
+ * queue slots.
+ */
+class Uncore
+{
+  public:
+    explicit Uncore(const UncoreParams &params);
+
+    struct Result
+    {
+        Cycle done;
+        bool l3_hit;
+    };
+
+    /** Access for a request that left a core's L2 at time @p now. */
+    Result access(Addr addr, Cycle now);
+
+    std::uint64_t l3Misses() const { return l3_.misses(); }
+    Cache &l3() { return l3_; }
+
+  private:
+    UncoreParams params_;
+    Cache l3_;
+    std::vector<Cycle> mem_slots_;
+};
+
+/** Per-core cache parameters. */
+struct HierarchyParams
+{
+    CacheParams l1i{32 << 10, 8, 64};
+    CacheParams l1d{32 << 10, 8, 64};
+    CacheParams l2{256 << 10, 8, 64};
+    /** Total load-to-use latency for an L1 hit. */
+    Cycle l1_lat = 4;
+    /** Total latency for an L2 hit. */
+    Cycle l2_lat = 12;
+    /** L2 miss-status-holding registers. */
+    unsigned l2_mshrs = 12;
+    PrefetcherParams prefetch{};
+    /** Instruction TLB (misses add walk latency to the fetch). */
+    TlbParams itlb{true, 256, 4096, 9};
+    /** Data TLB (misses add walk latency to the load/store). */
+    TlbParams dtlb{true, 1024, 4096, 9};
+    UncoreParams uncore{};
+
+    /** Idealization knobs (§IV): every access hits in L1. */
+    bool perfect_icache = false;
+    bool perfect_dcache = false;
+};
+
+/** Outcome of a timed memory access. */
+struct AccessResult
+{
+    /** Cycle at which data is available to the pipeline. */
+    Cycle done = 0;
+    /** Hit in the first-level cache. */
+    bool l1_hit = true;
+    /** Level that served the access: 1, 2, 3 (L3) or 4 (memory). */
+    unsigned level = 1;
+};
+
+/**
+ * A private L1I/L1D/L2 stack in front of a (possibly shared) Uncore.
+ */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param params geometry and latencies.
+     * @param shared_uncore L3+memory shared with other cores; when null a
+     *                      private Uncore is created from params.uncore.
+     */
+    explicit CacheHierarchy(const HierarchyParams &params,
+                            Uncore *shared_uncore = nullptr);
+
+    /** Timed instruction fetch of the line containing @p pc. */
+    AccessResult ifetch(Addr pc, Cycle now);
+
+    /** Timed data load. */
+    AccessResult load(Addr addr, Cycle now);
+
+    /**
+     * Data store (write-allocate). The pipeline does not wait for stores;
+     * the access still consumes MSHR/memory bandwidth and updates tags.
+     */
+    void store(Addr addr, Cycle now);
+
+    /** @name Statistics @{ */
+    std::uint64_t l1iMisses() const { return l1i_.misses(); }
+    std::uint64_t itlbMisses() const { return itlb_.misses(); }
+    std::uint64_t dtlbMisses() const { return dtlb_.misses(); }
+    std::uint64_t l1dMisses() const { return l1d_.misses(); }
+    std::uint64_t l2Misses() const { return l2_.misses(); }
+    std::uint64_t prefetchesIssued() const { return prefetcher_.issued(); }
+    /** Total cycles requests spent waiting for a free L2 MSHR. */
+    std::uint64_t mshrWaitCycles() const { return mshr_wait_cycles_; }
+    /** @} */
+
+    const HierarchyParams &params() const { return params_; }
+
+  private:
+    /**
+     * Handle a request that missed in its L1 at time @p now: walk L2 /
+     * uncore, acquire an MSHR on an L2 miss, fill tags on the way back.
+     */
+    AccessResult missToL2(Addr addr, Cycle now, bool is_ifetch,
+                          bool is_prefetch);
+
+    /** Issue prefetch candidates after a demand miss at @p addr. */
+    void trainPrefetcher(Addr addr, Cycle now);
+
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    StridePrefetcher prefetcher_;
+    std::unique_ptr<Uncore> owned_uncore_;
+    Uncore *uncore_;
+    std::vector<Cycle> mshr_busy_;
+    std::uint64_t mshr_wait_cycles_ = 0;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_CACHE_HIERARCHY_HPP

@@ -1,0 +1,149 @@
+#include "uarch/fu_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stackscope::uarch {
+
+using trace::InstrClass;
+
+FuPool::FuPool(const FuPoolParams &params)
+    : params_(params)
+{
+    div_busy_.resize(std::max(1u, params_.div_units), 0);
+}
+
+FuPool::Group
+FuPool::classGroup(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::kNop:
+      case InstrClass::kAlu:
+      case InstrClass::kYield:
+        return kGroupAlu;
+      case InstrClass::kAluMul:
+        return kGroupMul;
+      case InstrClass::kAluDiv:
+      case InstrClass::kFpDiv:
+        return kGroupDiv;
+      case InstrClass::kLoad:
+        return kGroupLoad;
+      case InstrClass::kVecBroadcast:
+        // Broadcasts are emitted as memory-operand broadcasts in MKL-style
+        // code: they execute on the load ports, not the vector FP units.
+        return kGroupLoad;
+      case InstrClass::kStore:
+        return kGroupStore;
+      case InstrClass::kBranch:
+        return kGroupBranch;
+      case InstrClass::kFpAdd:
+      case InstrClass::kFpMul:
+        return kGroupFp;
+      case InstrClass::kVecFma:
+      case InstrClass::kVecAdd:
+      case InstrClass::kVecMul:
+      case InstrClass::kVecInt:
+        return kGroupVpu;
+    }
+    return kGroupAlu;
+}
+
+unsigned
+FuPool::groupLimit(Group g) const
+{
+    switch (g) {
+      case kGroupAlu: return params_.alu_units;
+      case kGroupMul: return params_.mul_units;
+      case kGroupDiv: return params_.div_units;
+      case kGroupLoad: return params_.load_ports;
+      case kGroupStore: return params_.store_ports;
+      case kGroupBranch: return params_.branch_units;
+      case kGroupFp: return params_.fp_units;
+      case kGroupVpu: return params_.vpu_units;
+      default: return 0;
+    }
+}
+
+void
+FuPool::beginCycle(Cycle now)
+{
+    now_ = now;
+    std::fill(std::begin(used_), std::end(used_), 0u);
+    vpu_vfp_ = 0;
+    vpu_nonvfp_ = 0;
+}
+
+bool
+FuPool::canIssue(InstrClass cls) const
+{
+    const Group g = classGroup(cls);
+    if (used_[g] >= groupLimit(g))
+        return false;
+    if (g == kGroupDiv && !params_.ideal_single_cycle_alu) {
+        // Unpipelined dividers: need one whose previous op has drained.
+        unsigned free_units = 0;
+        for (Cycle busy : div_busy_) {
+            if (busy <= now_)
+                ++free_units;
+        }
+        return used_[g] < free_units;
+    }
+    return true;
+}
+
+void
+FuPool::issue(InstrClass cls, Cycle now)
+{
+    const Group g = classGroup(cls);
+    assert(canIssue(cls));
+    ++used_[g];
+    if (g == kGroupDiv && !params_.ideal_single_cycle_alu) {
+        auto unit = std::min_element(div_busy_.begin(), div_busy_.end());
+        *unit = now + latency(cls);
+    }
+    if (g == kGroupVpu) {
+        if (trace::isVfp(cls))
+            ++vpu_vfp_;
+        else
+            ++vpu_nonvfp_;
+    }
+}
+
+Cycle
+FuPool::latency(InstrClass cls) const
+{
+    if (params_.ideal_single_cycle_alu) {
+        switch (cls) {
+          case InstrClass::kLoad:
+          case InstrClass::kStore:
+            break;  // cache-determined
+          default:
+            return 1;
+        }
+    }
+    switch (cls) {
+      case InstrClass::kNop:
+      case InstrClass::kAlu:
+      case InstrClass::kYield:
+        return params_.lat_alu;
+      case InstrClass::kAluMul: return params_.lat_mul;
+      case InstrClass::kAluDiv: return params_.lat_div;
+      case InstrClass::kBranch: return params_.lat_branch;
+      case InstrClass::kFpAdd: return params_.lat_fp_add;
+      case InstrClass::kFpMul: return params_.lat_fp_mul;
+      case InstrClass::kFpDiv: return params_.lat_fp_div;
+      case InstrClass::kVecFma: return params_.lat_vec_fma;
+      case InstrClass::kVecAdd:
+      case InstrClass::kVecMul:
+        return params_.lat_vec_arith;
+      case InstrClass::kVecInt:
+      case InstrClass::kVecBroadcast:
+        return params_.lat_vec_other;
+      case InstrClass::kLoad:
+      case InstrClass::kStore:
+        return 1;  // overridden by the cache access
+    }
+    return 1;
+}
+
+}  // namespace stackscope::uarch

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Functional-unit / issue-port pool with per-class latencies.
+ *
+ * Models per-cycle issue bandwidth per unit group (ALU, multiplier,
+ * divider, load/store ports, scalar FP, vector units) and occupancy of
+ * unpipelined units (dividers). Exposes the per-cycle vector-unit usage
+ * split (VFP vs non-VFP) that the FLOPS accountant needs (Table III).
+ */
+
+#ifndef STACKSCOPE_UARCH_FU_POOL_HPP
+#define STACKSCOPE_UARCH_FU_POOL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/instruction.hpp"
+
+namespace stackscope::uarch {
+
+/** Unit counts and execution latencies. */
+struct FuPoolParams
+{
+    unsigned alu_units = 4;     ///< simple-integer issue slots per cycle
+    unsigned mul_units = 1;
+    unsigned div_units = 1;     ///< shared int/FP divider (unpipelined)
+    unsigned load_ports = 2;
+    unsigned store_ports = 1;
+    unsigned branch_units = 1;
+    unsigned fp_units = 2;      ///< scalar FP pipes
+    unsigned vpu_units = 2;     ///< vector pipes ("k" of Table III)
+
+    Cycle lat_alu = 1;
+    Cycle lat_mul = 3;
+    Cycle lat_div = 22;
+    Cycle lat_branch = 1;
+    Cycle lat_fp_add = 3;
+    Cycle lat_fp_mul = 4;
+    Cycle lat_fp_div = 16;
+    Cycle lat_vec_fma = 4;
+    Cycle lat_vec_arith = 4;   ///< vector add/mul
+    Cycle lat_vec_other = 3;   ///< vector int / broadcast
+    /** Load execute latency is supplied by the cache hierarchy. */
+
+    /**
+     * Idealization knob (§IV, Table I "1-cycle ALU"): all arithmetic and
+     * logic instructions complete in 1 cycle (dividers become pipelined).
+     */
+    bool ideal_single_cycle_alu = false;
+};
+
+/**
+ * Issue-port and functional-unit availability tracker.
+ *
+ * Call beginCycle() once per simulated cycle, then canIssue()/issue() for
+ * each candidate uop.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolParams &params);
+
+    /** Reset per-cycle port counters. */
+    void beginCycle(Cycle now);
+
+    /** Would a uop of class @p cls find a free unit this cycle? */
+    bool canIssue(trace::InstrClass cls) const;
+
+    /** Consume a unit for @p cls; must follow a successful canIssue. */
+    void issue(trace::InstrClass cls, Cycle now);
+
+    /** Execution latency of @p cls (loads/stores excluded: cache decides). */
+    Cycle latency(trace::InstrClass cls) const;
+
+    /** @name Per-cycle vector-unit usage (for the FLOPS accountant) @{ */
+    unsigned vfpIssuedThisCycle() const { return vpu_vfp_; }
+    unsigned nonVfpOnVpuThisCycle() const { return vpu_nonvfp_; }
+    /** @} */
+
+    const FuPoolParams &params() const { return params_; }
+
+  private:
+    enum Group : unsigned
+    {
+        kGroupAlu,
+        kGroupMul,
+        kGroupDiv,
+        kGroupLoad,
+        kGroupStore,
+        kGroupBranch,
+        kGroupFp,
+        kGroupVpu,
+        kNumGroups,
+    };
+
+    static Group classGroup(trace::InstrClass cls);
+    unsigned groupLimit(Group g) const;
+
+    FuPoolParams params_;
+    Cycle now_ = 0;
+    unsigned used_[kNumGroups] = {};
+    unsigned vpu_vfp_ = 0;
+    unsigned vpu_nonvfp_ = 0;
+    /** Busy-until times of the unpipelined divider units. */
+    std::vector<Cycle> div_busy_;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_FU_POOL_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The in-flight (renamed) instruction record stored in the ROB.
+ */
+
+#ifndef STACKSCOPE_UARCH_INFLIGHT_HPP
+#define STACKSCOPE_UARCH_INFLIGHT_HPP
+
+#include "common/types.hpp"
+#include "trace/instruction.hpp"
+
+namespace stackscope::uarch {
+
+/**
+ * One dynamic instruction from fetch to commit (or squash).
+ */
+struct InflightInstr
+{
+    /** Static/trace information. */
+    trace::DynInstr instr;
+
+    /** Dynamic sequence number (assigned at fetch, wrong path included). */
+    SeqNum seq = kNoSeq;
+
+    /**
+     * Correct-path trace index (producer token for dependents);
+     * kNoSeq for wrong-path uops.
+     */
+    std::uint64_t trace_index = kNoSeq;
+
+    bool wrong_path = false;
+
+    /** Branch that the predictor got wrong (triggers squash at execute). */
+    bool mispredicted = false;
+
+    bool issued = false;
+    bool completed = false;
+
+    /** Load that missed the L1 Dcache (drives "Dcache" blame). */
+    bool dcache_miss = false;
+
+    /** Execution latency assigned at issue (cycles from issue to done). */
+    Cycle exec_latency = 1;
+
+    Cycle fetch_cycle = 0;
+    Cycle dispatch_cycle = 0;
+    Cycle issue_cycle = kNeverCycle;
+    Cycle complete_cycle = kNeverCycle;
+
+    /**
+     * Wrong-path intra-ROB dependence: ROB slot + seq of a producer uop
+     * (wrong-path uops cannot reference trace indices).
+     */
+    int wp_dep_slot = -1;
+    SeqNum wp_dep_seq = kNoSeq;
+
+    bool isWrongPath() const { return wrong_path; }
+    bool longLatency() const { return exec_latency > 1; }
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_INFLIGHT_HPP

@@ -1,0 +1,57 @@
+#include "uarch/prefetcher.hpp"
+
+namespace stackscope::uarch {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherParams &params)
+    : params_(params)
+{
+}
+
+std::vector<Addr>
+StridePrefetcher::onMiss(Addr addr)
+{
+    std::vector<Addr> out;
+    if (!params_.enable)
+        return out;
+
+    if (has_last_) {
+        const std::int64_t stride =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(last_addr_);
+        if (stride != 0 && stride == last_stride_) {
+            if (confidence_ < params_.confidence_threshold)
+                ++confidence_;
+        } else {
+            // A fresh non-zero stride observation counts as the first
+            // confirmation.
+            confidence_ = stride != 0 ? 1 : 0;
+        }
+        last_stride_ = stride;
+    }
+    last_addr_ = addr;
+    has_last_ = true;
+
+    if (confidence_ >= params_.confidence_threshold && last_stride_ != 0) {
+        out.reserve(params_.degree);
+        for (unsigned i = 1; i <= params_.degree; ++i) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(addr) +
+                last_stride_ * static_cast<std::int64_t>(i);
+            if (target > 0)
+                out.push_back(static_cast<Addr>(target));
+        }
+        issued_ += out.size();
+    }
+    return out;
+}
+
+void
+StridePrefetcher::reset()
+{
+    has_last_ = false;
+    last_stride_ = 0;
+    confidence_ = 0;
+    issued_ = 0;
+}
+
+}  // namespace stackscope::uarch

@@ -1,0 +1,2 @@
+// ReservationStations is header-only; see reservation_station.hpp.
+#include "uarch/reservation_station.hpp"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reservation stations (unified issue queue).
+ *
+ * Holds ROB slots of dispatched-but-not-yet-issued uops in age order. The
+ * issue stage scans it oldest-first; the accountants use its occupancy
+ * ("RS empty", "RS full") per Table II.
+ */
+
+#ifndef STACKSCOPE_UARCH_RESERVATION_STATION_HPP
+#define STACKSCOPE_UARCH_RESERVATION_STATION_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace stackscope::uarch {
+
+/**
+ * Fixed-capacity, age-ordered issue queue of ROB slot indices.
+ */
+class ReservationStations
+{
+  public:
+    explicit ReservationStations(unsigned capacity)
+        : capacity_(capacity)
+    {
+        assert(capacity > 0);
+        slots_.reserve(capacity);
+    }
+
+    bool full() const { return slots_.size() >= capacity_; }
+    bool empty() const { return slots_.empty(); }
+    unsigned size() const { return static_cast<unsigned>(slots_.size()); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert at the tail (dispatch happens in age order). */
+    void
+    insert(unsigned rob_slot)
+    {
+        assert(!full());
+        slots_.push_back(rob_slot);
+    }
+
+    /** Age-ordered view of the queued ROB slots. */
+    const std::vector<unsigned> &entries() const { return slots_; }
+
+    /** Remove one entry (after issue). */
+    void
+    remove(unsigned rob_slot)
+    {
+        auto it = std::find(slots_.begin(), slots_.end(), rob_slot);
+        assert(it != slots_.end());
+        slots_.erase(it);
+    }
+
+    /** Remove all entries matching @p pred (squash recovery). */
+    template <typename Pred>
+    void
+    removeIf(Pred &&pred)
+    {
+        slots_.erase(std::remove_if(slots_.begin(), slots_.end(),
+                                    std::forward<Pred>(pred)),
+                     slots_.end());
+    }
+
+  private:
+    unsigned capacity_;
+    std::vector<unsigned> slots_;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_RESERVATION_STATION_HPP

@@ -1,0 +1,20 @@
+// Rob is header-only; this translation unit exists to give the uarch
+// library a home for the class and to catch ODR/compile issues early.
+#include "uarch/rob.hpp"
+
+namespace stackscope::uarch {
+
+// Force instantiation of the template members with a simple visitor so
+// compile errors surface when building the library, not first use.
+namespace {
+
+[[maybe_unused]] void
+instantiationCheck()
+{
+    Rob rob(4);
+    rob.forEach([](const InflightInstr &) {});
+}
+
+}  // namespace
+
+}  // namespace stackscope::uarch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reorder buffer: a fixed-capacity circular buffer of in-flight
+ * instructions in fetch order, with tail squash for branch misprediction
+ * recovery.
+ */
+
+#ifndef STACKSCOPE_UARCH_ROB_HPP
+#define STACKSCOPE_UARCH_ROB_HPP
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "uarch/inflight.hpp"
+
+namespace stackscope::uarch {
+
+/**
+ * Circular reorder buffer.
+ *
+ * Slots are physical indices into the backing store; they remain stable
+ * for the lifetime of an entry and are reused after commit/squash.
+ * Consumers that cache slots (e.g., the writeback event queue) must
+ * validate with the stored sequence number.
+ */
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity)
+        : entries_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    bool full() const { return count_ == entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    unsigned size() const { return static_cast<unsigned>(count_); }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+    /** Append at the tail; the ROB must not be full. */
+    unsigned
+    push(InflightInstr &&entry)
+    {
+        assert(!full());
+        const unsigned slot = (head_ + count_) % capacity();
+        entries_[slot] = std::move(entry);
+        ++count_;
+        return slot;
+    }
+
+    unsigned headSlot() const
+    {
+        assert(!empty());
+        return head_;
+    }
+
+    InflightInstr &head()
+    {
+        assert(!empty());
+        return entries_[head_];
+    }
+    const InflightInstr &head() const
+    {
+        assert(!empty());
+        return entries_[head_];
+    }
+
+    void
+    popHead()
+    {
+        assert(!empty());
+        head_ = (head_ + 1) % capacity();
+        --count_;
+    }
+
+    InflightInstr &at(unsigned slot) { return entries_[slot]; }
+    const InflightInstr &at(unsigned slot) const { return entries_[slot]; }
+
+    /**
+     * Check whether @p slot currently holds a live entry with sequence
+     * number @p seq (used to validate cached slot references).
+     */
+    bool
+    holds(unsigned slot, SeqNum seq) const
+    {
+        if (empty())
+            return false;
+        if (entries_[slot].seq != seq)
+            return false;
+        // Verify the slot lies within [head, head+count).
+        const unsigned rel = (slot + capacity() - head_) % capacity();
+        return rel < count_;
+    }
+
+    /** Whether @p slot currently lies within the live [head, tail) range. */
+    bool
+    isLiveSlot(unsigned slot) const
+    {
+        if (empty())
+            return false;
+        const unsigned rel = (slot + capacity() - head_) % capacity();
+        return rel < count_;
+    }
+
+    /**
+     * Squash all entries strictly younger than @p slot (which must hold a
+     * live entry). @p on_squash is invoked for each squashed entry, oldest
+     * first.
+     */
+    template <typename F>
+    void
+    squashYounger(unsigned slot, F &&on_squash)
+    {
+        const unsigned rel = (slot + capacity() - head_) % capacity();
+        assert(rel < count_);
+        const unsigned keep = rel + 1;
+        for (unsigned i = keep; i < count_; ++i)
+            on_squash(entries_[(head_ + i) % capacity()]);
+        count_ = keep;
+    }
+
+    /** Visit live entries in age order (oldest first). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (unsigned i = 0; i < count_; ++i)
+            fn(entries_[(head_ + i) % capacity()]);
+    }
+
+  private:
+    std::vector<InflightInstr> entries_;
+    unsigned head_ = 0;
+    unsigned count_ = 0;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_ROB_HPP

@@ -1,0 +1,50 @@
+#include "uarch/tlb.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stackscope::uarch {
+
+Tlb::Tlb(const TlbParams &params)
+    : params_(params)
+{
+    assert(params_.page_bytes > 0);
+    num_sets_ = std::max(1u, params_.entries / kWays);
+    entries_.resize(static_cast<std::size_t>(num_sets_) * kWays);
+}
+
+Cycle
+Tlb::access(Addr addr)
+{
+    if (!params_.enable)
+        return 0;
+    ++accesses_;
+    const Addr page = addr / params_.page_bytes;
+    ++clock_;
+
+    Entry *base = &entries_[static_cast<std::size_t>(page % num_sets_) *
+                            kWays];
+    Entry *victim = base;
+    for (unsigned w = 0; w < kWays; ++w) {
+        if (base[w].page == page) {
+            base[w].stamp = clock_;
+            return 0;
+        }
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    ++misses_;
+    victim->page = page;
+    victim->stamp = clock_;
+    return params_.miss_latency;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+    clock_ = 0;
+}
+
+}  // namespace stackscope::uarch

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Translation lookaside buffer model.
+ *
+ * The paper's Icache and Dcache components explicitly cover "misses in the
+ * instruction and data cache (and TLB)" (§III-A). A TLB miss simply adds
+ * its walk latency to the access that triggered it, so the penalty
+ * naturally lands in the same stack component as the cache miss path.
+ *
+ * The model is a single-level, set-associative, LRU TLB sized like a
+ * unified second-level TLB (the small first-level TLBs hit under it and
+ * are not modeled separately).
+ */
+
+#ifndef STACKSCOPE_UARCH_TLB_HPP
+#define STACKSCOPE_UARCH_TLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stackscope::uarch {
+
+/** TLB geometry and walk cost. */
+struct TlbParams
+{
+    bool enable = true;
+    unsigned entries = 1024;
+    unsigned page_bytes = 4096;
+    /** Added latency of a page walk on a miss (STLB-hit walks). */
+    Cycle miss_latency = 9;
+};
+
+/**
+ * Set-associative LRU TLB (8-way).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /**
+     * Translate the page containing @p addr.
+     * @return extra cycles added by the walk (0 on a hit or when disabled).
+     */
+    Cycle access(Addr addr);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void flush();
+
+  private:
+    struct Entry
+    {
+        Addr page = ~Addr{0};
+        std::uint64_t stamp = 0;
+    };
+
+    static constexpr unsigned kWays = 8;
+
+    TlbParams params_;
+    unsigned num_sets_;
+    std::vector<Entry> entries_;  ///< num_sets_ x kWays, row-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace stackscope::uarch
+
+#endif  // STACKSCOPE_UARCH_TLB_HPP

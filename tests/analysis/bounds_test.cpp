@@ -1,0 +1,94 @@
+/** Tests for the multi-stage bounds and §V-A error metric. */
+
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::analysis {
+namespace {
+
+using stacks::CpiComponent;
+using stacks::CpiStack;
+
+MultiStageStacks
+sample()
+{
+    MultiStageStacks ms;
+    ms.dispatch[CpiComponent::kBpred] = 0.39;
+    ms.issue[CpiComponent::kBpred] = 0.20;
+    ms.commit[CpiComponent::kBpred] = 0.11;
+    ms.dispatch[CpiComponent::kDcache] = 0.06;
+    ms.issue[CpiComponent::kDcache] = 0.25;
+    ms.commit[CpiComponent::kDcache] = 0.30;
+    return ms;
+}
+
+TEST(Bounds, MinMaxAcrossStages)
+{
+    const MultiStageStacks ms = sample();
+    const ComponentBounds b = componentBounds(ms, CpiComponent::kBpred);
+    EXPECT_DOUBLE_EQ(b.lo, 0.11);
+    EXPECT_DOUBLE_EQ(b.hi, 0.39);
+    EXPECT_TRUE(b.contains(0.33));
+    EXPECT_FALSE(b.contains(0.40));
+    EXPECT_FALSE(b.contains(0.10));
+}
+
+TEST(Bounds, AtAccessor)
+{
+    const MultiStageStacks ms = sample();
+    EXPECT_DOUBLE_EQ(ms.at(stacks::Stage::kDispatch)[CpiComponent::kBpred],
+                     0.39);
+    EXPECT_DOUBLE_EQ(ms.at(stacks::Stage::kIssue)[CpiComponent::kBpred],
+                     0.20);
+    EXPECT_DOUBLE_EQ(ms.at(stacks::Stage::kCommit)[CpiComponent::kBpred],
+                     0.11);
+}
+
+TEST(Bounds, SingleStackErrorIsSigned)
+{
+    const MultiStageStacks ms = sample();
+    // Paper mcf/BDW: actual bpred reduction 0.33.
+    EXPECT_NEAR(singleStackError(ms.dispatch, CpiComponent::kBpred, 0.33),
+                0.06, 1e-12);
+    EXPECT_NEAR(singleStackError(ms.commit, CpiComponent::kBpred, 0.33),
+                -0.22, 1e-12);
+}
+
+TEST(Bounds, MultiStageErrorZeroWithinBounds)
+{
+    const MultiStageStacks ms = sample();
+    EXPECT_DOUBLE_EQ(multiStageError(ms, CpiComponent::kBpred, 0.33), 0.0);
+    EXPECT_DOUBLE_EQ(multiStageError(ms, CpiComponent::kBpred, 0.11), 0.0);
+    EXPECT_DOUBLE_EQ(multiStageError(ms, CpiComponent::kBpred, 0.39), 0.0);
+}
+
+TEST(Bounds, MultiStageErrorUsesClosestComponentOutside)
+{
+    const MultiStageStacks ms = sample();
+    // Actual above the upper bound: error = hi - actual (negative).
+    EXPECT_NEAR(multiStageError(ms, CpiComponent::kBpred, 0.50), -0.11,
+                1e-12);
+    // Actual below the lower bound: error = lo - actual (positive).
+    EXPECT_NEAR(multiStageError(ms, CpiComponent::kBpred, 0.05), 0.06,
+                1e-12);
+}
+
+TEST(Bounds, MultiStageErrorNeverLargerThanBestSingleStack)
+{
+    // Structural property from §V-A: the multi-stage error is bounded by
+    // the magnitude of every single stack's error.
+    const MultiStageStacks ms = sample();
+    for (double actual : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        const double multi =
+            std::abs(multiStageError(ms, CpiComponent::kDcache, actual));
+        for (const CpiStack *s : {&ms.dispatch, &ms.issue, &ms.commit}) {
+            const double single =
+                std::abs(singleStackError(*s, CpiComponent::kDcache, actual));
+            EXPECT_LE(multi, single + 1e-12) << actual;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::analysis

@@ -1,0 +1,58 @@
+/** Tests for box-plot construction and rendering. */
+
+#include "analysis/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::analysis {
+namespace {
+
+TEST(BoxPlot, MakeBoxComputesSummary)
+{
+    const BoxPlotEntry e = makeBox("disp", {1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(e.label, "disp");
+    EXPECT_EQ(e.summary.count, 5u);
+    EXPECT_DOUBLE_EQ(e.summary.median, 3.0);
+    EXPECT_DOUBLE_EQ(e.summary.min, 1.0);
+    EXPECT_DOUBLE_EQ(e.summary.max, 5.0);
+}
+
+TEST(BoxPlot, RenderContainsLabelsAndStats)
+{
+    std::vector<BoxPlotEntry> boxes;
+    boxes.push_back(makeBox("dispatch", {-0.1, 0.0, 0.1, 0.2}));
+    boxes.push_back(makeBox("commit", {-0.3, -0.2, -0.1, 0.0}));
+    const std::string out = renderBoxPlot(boxes, "Icache error");
+    EXPECT_NE(out.find("Icache error"), std::string::npos);
+    EXPECT_NE(out.find("dispatch"), std::string::npos);
+    EXPECT_NE(out.find("commit"), std::string::npos);
+    EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(BoxPlot, RenderEmptyGroup)
+{
+    const std::string out = renderBoxPlot({}, "empty");
+    EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(BoxPlot, RenderDegenerateAllZero)
+{
+    std::vector<BoxPlotEntry> boxes;
+    boxes.push_back(makeBox("zeros", {0.0, 0.0, 0.0}));
+    const std::string out = renderBoxPlot(boxes, "t");
+    EXPECT_NE(out.find("zeros"), std::string::npos);
+}
+
+TEST(BoxPlot, RowsHaveConsistentWidth)
+{
+    std::vector<BoxPlotEntry> boxes;
+    boxes.push_back(makeBox("a", {-1.0, 0.0, 2.0}));
+    boxes.push_back(makeBox("bb", {-0.5, 0.5, 1.0}));
+    const std::string out = renderBoxPlot(boxes, "title", 40);
+    // Each box row contains the 42-char bracketed area.
+    EXPECT_NE(out.find('['), std::string::npos);
+    EXPECT_NE(out.find(']'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stackscope::analysis

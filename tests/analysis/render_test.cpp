@@ -1,0 +1,99 @@
+/** Tests for stack rendering and CSV export. */
+
+#include "analysis/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/csv.hpp"
+
+namespace stackscope::analysis {
+namespace {
+
+using stacks::CpiComponent;
+using stacks::CpiStack;
+using stacks::FlopsComponent;
+using stacks::FlopsStack;
+
+CpiStack
+sampleCpi()
+{
+    CpiStack s;
+    s[CpiComponent::kBase] = 0.25;
+    s[CpiComponent::kDcache] = 0.30;
+    s[CpiComponent::kBpred] = 0.10;
+    return s;
+}
+
+TEST(Render, CpiStackShowsComponentsAndTotal)
+{
+    const std::string out = renderCpiStack(sampleCpi(), "test");
+    EXPECT_NE(out.find("Base"), std::string::npos);
+    EXPECT_NE(out.find("Dcache"), std::string::npos);
+    EXPECT_NE(out.find("TOTAL"), std::string::npos);
+    EXPECT_NE(out.find("0.650"), std::string::npos);
+    // Zero components are suppressed.
+    EXPECT_EQ(out.find("Microcode"), std::string::npos);
+}
+
+TEST(Render, SideBySideStacks)
+{
+    CpiStack a = sampleCpi();
+    CpiStack b = sampleCpi();
+    b[CpiComponent::kIcache] = 0.5;
+    const std::string out =
+        renderCpiStacks({a, b}, {"dispatch", "commit"}, "head");
+    EXPECT_NE(out.find("head"), std::string::npos);
+    EXPECT_NE(out.find("dispatch"), std::string::npos);
+    EXPECT_NE(out.find("commit"), std::string::npos);
+    EXPECT_NE(out.find("Icache"), std::string::npos);
+}
+
+TEST(Render, FlopsStackWithUnits)
+{
+    FlopsStack f;
+    f[FlopsComponent::kBase] = 1.7e12;
+    f[FlopsComponent::kMem] = 0.9e12;
+    const std::string out = renderFlopsStack(f, "conv", "flops/s");
+    EXPECT_NE(out.find("conv"), std::string::npos);
+    EXPECT_NE(out.find("flops/s"), std::string::npos);
+    EXPECT_NE(out.find("Memory"), std::string::npos);
+}
+
+TEST(Render, FormatFlopsPicksUnit)
+{
+    EXPECT_EQ(formatFlops(1.73e12), "1.73 TFLOPS");
+    EXPECT_EQ(formatFlops(5.5e9), "5.50 GFLOPS");
+    EXPECT_EQ(formatFlops(2.0e6), "2.00 MFLOPS");
+}
+
+TEST(Csv, CpiHeaderAndRowAlign)
+{
+    const std::string header = cpiStackCsvHeader("workload");
+    const std::string row = toCsvRow("mcf", sampleCpi());
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_NE(header.find("workload,Base,"), std::string::npos);
+    EXPECT_NE(row.find("mcf,0.25,"), std::string::npos);
+}
+
+TEST(Csv, FlopsHeaderAndRowAlign)
+{
+    FlopsStack f;
+    f[FlopsComponent::kBase] = 0.5;
+    const std::string header = flopsStackCsvHeader();
+    const std::string row = toCsvRow("sgemm", f);
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+}
+
+TEST(Csv, GenericRow)
+{
+    EXPECT_EQ(toCsvRow("x", std::vector<double>{1.0, 2.5}), "x,1,2.5");
+}
+
+}  // namespace
+}  // namespace stackscope::analysis

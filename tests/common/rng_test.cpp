@@ -1,0 +1,135 @@
+/** Unit tests for the deterministic PRNG. */
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace stackscope {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values reached
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, BurstLengthBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t len = r.burstLength(0.9, 8);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 8u);
+    }
+    // p = 0 always gives length 1.
+    EXPECT_EQ(r.burstLength(0.0, 100), 1u);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(13);
+    const std::array<double, 3> w = {0.0, 1.0, 3.0};
+    std::array<int, 3> counts{};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.weighted(w)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedAllZeroReturnsLast)
+{
+    Rng r(1);
+    const std::array<double, 4> w = {0.0, 0.0, 0.0, 0.0};
+    EXPECT_EQ(r.weighted(w), 3u);
+}
+
+TEST(Rng, ForkIsDeterministicButDecorrelated)
+{
+    Rng a(21);
+    Rng b(21);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    // Same parent seed -> same child stream.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+    // Child differs from parent continuation.
+    Rng c(21);
+    Rng fc = c.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += fc.next() == c.next();
+    EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace stackscope

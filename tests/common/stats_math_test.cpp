@@ -1,0 +1,86 @@
+/** Unit tests for the statistics helpers. */
+
+#include "common/stats_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stackscope {
+namespace {
+
+TEST(StatsMath, MeanBasics)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(StatsMath, StddevBasics)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsMath, PercentileInterpolates)
+{
+    const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};  // unsorted
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 1.75);
+}
+
+TEST(StatsMath, PercentileClampsQ)
+{
+    const std::vector<double> xs = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 2.0);
+}
+
+TEST(StatsMath, PercentileEmpty)
+{
+    EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(StatsMath, FiveNumberSummary)
+{
+    const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+    const FiveNumberSummary s = fiveNumberSummary(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.q1, 2.0);
+    EXPECT_DOUBLE_EQ(s.q3, 4.0);
+}
+
+TEST(StatsMath, FiveNumberSummaryEmpty)
+{
+    const FiveNumberSummary s = fiveNumberSummary(std::vector<double>{});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(StatsMath, SummaryOrderingInvariant)
+{
+    // Property: min <= q1 <= median <= q3 <= max on random data.
+    std::vector<double> xs;
+    unsigned state = 12345;
+    for (int i = 0; i < 200; ++i) {
+        state = state * 1664525u + 1013904223u;
+        xs.push_back(static_cast<double>(state % 1000) / 10.0);
+    }
+    const FiveNumberSummary s = fiveNumberSummary(xs);
+    EXPECT_LE(s.min, s.q1);
+    EXPECT_LE(s.q1, s.median);
+    EXPECT_LE(s.median, s.q3);
+    EXPECT_LE(s.q3, s.max);
+}
+
+}  // namespace
+}  // namespace stackscope

@@ -1,0 +1,172 @@
+/** Pipeline timing sanity: throughput and latency of simple traces. */
+
+#include <gtest/gtest.h>
+
+#include "test_core_config.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace stackscope::core {
+namespace {
+
+using testing::idealCoreParams;
+using trace::TraceBuilder;
+
+double
+runCpi(const CoreParams &params, std::unique_ptr<trace::TraceSource> trace)
+{
+    OooCore core(params, std::move(trace));
+    core.run(1'000'000);
+    EXPECT_TRUE(core.done());
+    return core.cpi();
+}
+
+TEST(PipelineBasics, IndependentAlusReachFullWidth)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 4000; ++i)
+        b.alu();
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 0.25, 0.02);
+}
+
+TEST(PipelineBasics, DependentAluChainIsSerial)
+{
+    TraceBuilder b;
+    auto prev = b.alu();
+    for (int i = 0; i < 2000; ++i)
+        prev = b.alu({prev});
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 1.0, 0.05);
+}
+
+TEST(PipelineBasics, MulChainExposesLatency)
+{
+    TraceBuilder b;
+    auto prev = b.mul();
+    for (int i = 0; i < 1000; ++i)
+        prev = b.mul({prev});
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 3.0, 0.1);  // lat_mul = 3
+}
+
+TEST(PipelineBasics, LoadChainExposesL1Latency)
+{
+    TraceBuilder b;
+    auto prev = b.load(0x1000);
+    for (int i = 0; i < 1000; ++i)
+        prev = b.load(0x1000 + (i % 8) * 8, {prev});
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 4.0, 0.1);  // l1_lat = 4
+}
+
+TEST(PipelineBasics, LoadPortsLimitThroughput)
+{
+    // Independent loads, 2 load ports, width 4: CPI -> 0.5.
+    TraceBuilder b;
+    for (int i = 0; i < 4000; ++i)
+        b.load(0x1000 + (i % 64) * 8);
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 0.5, 0.03);
+}
+
+TEST(PipelineBasics, UnpipelinedDividerSerializes)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.div();  // independent, but only one unpipelined divider
+    const double cpi = runCpi(idealCoreParams(), b.build());
+    EXPECT_NEAR(cpi, 20.0, 1.0);  // lat_div = 20
+}
+
+TEST(PipelineBasics, TwoMulUnitsDoubleThroughput)
+{
+    // Independent muls: pipelined, 2 units -> 2 per cycle -> CPI 0.5.
+    TraceBuilder b;
+    for (int i = 0; i < 4000; ++i)
+        b.mul();
+    CoreParams p = idealCoreParams();
+    const double cpi = runCpi(p, b.build());
+    EXPECT_NEAR(cpi, 0.5, 0.05);
+}
+
+TEST(PipelineBasics, RobLimitsMemoryParallelism)
+{
+    // A long-latency load followed by many dependents of a *later* load
+    // cannot overlap beyond the ROB size.
+    CoreParams p = idealCoreParams();
+    p.mem.perfect_dcache = false;
+    p.mem.prefetch.enable = false;  // isolate ROB-bound MLP
+    p.mem.l2_mshrs = 64;
+    p.mem.uncore.mem_lat = 200;
+    p.mem.uncore.mem_queue_slots = 64;
+    p.mem.uncore.mem_service = 1;
+    p.rob_size = 16;
+
+    TraceBuilder b;
+    for (int i = 0; i < 2000; ++i)
+        b.load(0x100000 + i * 4096);  // all miss, all independent
+    const double cpi_small_rob = runCpi(p, b.build());
+
+    p.rob_size = 128;
+    p.rs_size = 64;
+    TraceBuilder b2;
+    for (int i = 0; i < 2000; ++i)
+        b2.load(0x100000 + i * 4096);
+    const double cpi_big_rob = runCpi(p, b2.build());
+
+    // A bigger ROB exposes much more memory-level parallelism.
+    EXPECT_GT(cpi_small_rob, cpi_big_rob * 3);
+}
+
+TEST(PipelineBasics, CommitWidthBoundsIpc)
+{
+    CoreParams p = idealCoreParams();
+    p.commit_width = 2;  // narrowest stage
+    TraceBuilder b;
+    for (int i = 0; i < 4000; ++i)
+        b.alu();
+    const double cpi = runCpi(p, b.build());
+    EXPECT_NEAR(cpi, 0.5, 0.03);
+}
+
+TEST(PipelineBasics, EmptyTraceFinishesImmediately)
+{
+    TraceBuilder b;
+    OooCore core(idealCoreParams(), b.build());
+    core.run(1000);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.stats().instrs_committed, 0u);
+}
+
+TEST(PipelineBasics, StatsCountCommitted)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 123; ++i)
+        b.alu();
+    OooCore core(idealCoreParams(), b.build());
+    core.run(0);
+    EXPECT_EQ(core.stats().instrs_committed, 123u);
+    EXPECT_GT(core.cycles(), 0u);
+}
+
+TEST(PipelineBasics, DeterministicAcrossRuns)
+{
+    auto make = [] {
+        TraceBuilder b;
+        auto prev = b.load(0x40);
+        for (int i = 0; i < 500; ++i) {
+            prev = b.mul({prev});
+            b.alu();
+            b.store(0x80 + i * 8, {prev});
+        }
+        return b.build();
+    };
+    OooCore c1(idealCoreParams(), make());
+    OooCore c2(idealCoreParams(), make());
+    c1.run(0);
+    c2.run(0);
+    EXPECT_EQ(c1.cycles(), c2.cycles());
+}
+
+}  // namespace
+}  // namespace stackscope::core

@@ -1,0 +1,49 @@
+/** Shared test fixture helpers: a small, fully idealizable core config. */
+
+#ifndef STACKSCOPE_TESTS_CORE_TEST_CORE_CONFIG_HPP
+#define STACKSCOPE_TESTS_CORE_TEST_CORE_CONFIG_HPP
+
+#include "core/ooo_core.hpp"
+
+namespace stackscope::core::testing {
+
+/**
+ * A 4-wide core with perfect caches and perfect branch prediction, so
+ * individual mechanisms can be enabled one at a time.
+ */
+inline CoreParams
+idealCoreParams()
+{
+    CoreParams p;
+    p.fetch_width = 4;
+    p.dispatch_width = 4;
+    p.issue_width = 4;
+    p.commit_width = 4;
+    p.rob_size = 32;
+    p.rs_size = 16;
+    p.fetch_queue_size = 8;
+    p.frontend_depth = 4;
+
+    p.fu.alu_units = 4;
+    p.fu.mul_units = 2;
+    p.fu.div_units = 1;
+    p.fu.load_ports = 2;
+    p.fu.store_ports = 1;
+    p.fu.branch_units = 2;
+    p.fu.fp_units = 2;
+    p.fu.vpu_units = 2;
+    p.fu.lat_mul = 3;
+    p.fu.lat_div = 20;
+
+    p.mem.l1_lat = 4;
+    p.mem.l2_lat = 12;
+    p.mem.perfect_icache = true;
+    p.mem.perfect_dcache = true;
+    p.bpred.perfect = true;
+    p.flops_vec_lanes = 16;
+    return p;
+}
+
+}  // namespace stackscope::core::testing
+
+#endif  // STACKSCOPE_TESTS_CORE_TEST_CORE_CONFIG_HPP

@@ -1,0 +1,146 @@
+/** Cross-cutting conservation properties: whatever knobs are turned,
+ *  cycles are conserved and attributed exactly once. */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/hpc_kernels.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope {
+namespace {
+
+using sim::SimOptions;
+using sim::SimResult;
+using stacks::CpiComponent;
+using stacks::FlopsComponent;
+using stacks::SpeculationMode;
+using stacks::Stage;
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 50'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+TEST(Conservation, AllSpeculationModesConserveCycles)
+{
+    for (SpeculationMode mode :
+         {SpeculationMode::kOracle, SpeculationMode::kSimple,
+          SpeculationMode::kSpecCounters}) {
+        for (const char *w : {"deepsjeng", "mcf", "exchange2"}) {
+            auto gen = shortWorkload(w);
+            SimOptions opt;
+            opt.spec_mode = mode;
+            const SimResult r = sim::simulate(sim::bdwConfig(), gen, opt);
+            for (Stage s :
+                 {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+                EXPECT_NEAR(r.cycle_stacks[static_cast<std::size_t>(s)]
+                                .sum(),
+                            static_cast<double>(r.cycles),
+                            r.cycles * 0.002 + 2.0)
+                    << w << "/" << static_cast<int>(mode) << "/"
+                    << toString(s);
+            }
+        }
+    }
+}
+
+TEST(Conservation, SpeculationModesDoNotChangeTiming)
+{
+    // Accounting strategy is a pure observer: identical cycle counts.
+    auto gen = shortWorkload("mcf");
+    Cycle cycles[3];
+    int i = 0;
+    for (SpeculationMode mode :
+         {SpeculationMode::kOracle, SpeculationMode::kSimple,
+          SpeculationMode::kSpecCounters}) {
+        SimOptions opt;
+        opt.spec_mode = mode;
+        cycles[i++] = sim::simulate(sim::bdwConfig(), gen, opt).cycles;
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(cycles[0], cycles[2]);
+}
+
+TEST(Conservation, IntegerWorkloadHasZeroFlopsBase)
+{
+    // A workload with no vector FP can only accumulate non-base FLOPS
+    // components; the whole stack is "lost" peak.
+    auto gen = shortWorkload("gcc");
+    const SimResult r = sim::simulate(sim::skxConfig(), gen);
+    EXPECT_DOUBLE_EQ(r.flops_cycles[FlopsComponent::kBase], 0.0);
+    EXPECT_DOUBLE_EQ(r.flops_cycles[FlopsComponent::kNonFma], 0.0);
+    EXPECT_DOUBLE_EQ(r.flops_cycles[FlopsComponent::kMask], 0.0);
+    EXPECT_EQ(r.stats.flops_issued, 0u);
+    EXPECT_NEAR(r.flops_cycles.sum(), static_cast<double>(r.cycles), 2.0);
+}
+
+TEST(Conservation, HpcKernelFlopsMatchStackBase)
+{
+    // The base component in flops units equals the actually issued flops.
+    const trace::HpcTarget target{16, trace::SgemmCodegen::kKnlJit};
+    auto tr = trace::makeSgemmTrace({1024, 64, 1024}, target, 40'000);
+    const SimResult r = sim::simulate(sim::knlConfig(), *tr);
+    const double base_cycles = r.flops_cycles[FlopsComponent::kBase];
+    const double peak_per_cycle = 2.0 * 2 * 16;  // 2 VPUs x 16 lanes x FMA
+    EXPECT_NEAR(base_cycles * peak_per_cycle,
+                static_cast<double>(r.stats.flops_issued),
+                r.stats.flops_issued * 0.001 + 1.0);
+}
+
+TEST(Conservation, PerfectEverythingLeavesOnlyPipelineComponents)
+{
+    auto gen = shortWorkload("gcc");
+    sim::Idealization ideal;
+    ideal.perfect_icache = true;
+    ideal.perfect_dcache = true;
+    ideal.perfect_bpred = true;
+    ideal.single_cycle_alu = true;
+    const SimResult r =
+        sim::simulate(sim::applyIdealization(sim::bdwConfig(), ideal), gen);
+    for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+        const auto &c = r.cpiStack(s);
+        EXPECT_NEAR(c[CpiComponent::kIcache], 0.0, 1e-9);
+        EXPECT_NEAR(c[CpiComponent::kDcache], 0.0, 1e-9);
+        EXPECT_NEAR(c[CpiComponent::kBpred], 0.0, 1e-9);
+        // L1-hit loads are still multi-cycle ops, so a whiff of ALU-lat
+        // blame survives even with 1-cycle arithmetic.
+        EXPECT_NEAR(c[CpiComponent::kAluLat], 0.0, 0.01);
+        // Only base, dependences and residual structural slots remain.
+        EXPECT_NEAR(c[CpiComponent::kBase] + c[CpiComponent::kDepend] +
+                        c[CpiComponent::kOther] + c[CpiComponent::kAluLat] +
+                        c[CpiComponent::kMicrocode],
+                    r.cpi, r.cpi * 0.001);
+    }
+}
+
+TEST(Conservation, IdealizationNeverHurtsMuch)
+{
+    // Property over the registry: idealizing any single structure never
+    // increases CPI by more than noise (second-order effects can hurt a
+    // tiny bit, e.g. prefetch retraining).
+    const sim::Idealization ideals[] = {
+        {.perfect_icache = true},
+        {.perfect_dcache = true},
+        {.perfect_bpred = true},
+        {.single_cycle_alu = true},
+    };
+    for (const char *w : {"bwaves", "povray", "x264", "lbm"}) {
+        auto gen = shortWorkload(w, 30'000);
+        const SimResult real = sim::simulate(sim::bdwConfig(), gen);
+        for (const sim::Idealization &ideal : ideals) {
+            const SimResult r = sim::simulate(
+                sim::applyIdealization(sim::bdwConfig(), ideal), gen);
+            EXPECT_LE(r.cpi, real.cpi * 1.05 + 0.02)
+                << w << " with " << sim::Idealization(ideal).label();
+        }
+    }
+}
+
+}  // namespace
+}  // namespace stackscope

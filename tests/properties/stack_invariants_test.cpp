@@ -1,0 +1,116 @@
+/** Parameterized property tests: the paper's structural stack invariants
+ *  must hold for every workload x machine combination. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope {
+namespace {
+
+using sim::MachineConfig;
+using sim::SimResult;
+using stacks::CpiComponent;
+using stacks::Stage;
+
+class StackInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+  protected:
+    static SimResult
+    run(const std::string &workload, const std::string &machine)
+    {
+        trace::SyntheticParams p = trace::findWorkload(workload).params;
+        p.num_instrs = 60'000;
+        trace::SyntheticGenerator gen(p);
+        return sim::simulate(sim::machineByName(machine), gen);
+    }
+};
+
+TEST_P(StackInvariants, StacksSumToCpi)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+        EXPECT_NEAR(r.cpiStack(s).sum(), r.cpi, r.cpi * 0.001 + 1e-6)
+            << toString(s);
+    }
+}
+
+TEST_P(StackInvariants, FlopsStackSumsToCycles)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    EXPECT_NEAR(r.flops_cycles.sum(), static_cast<double>(r.cycles),
+                r.cycles * 0.001 + 2.0);
+}
+
+TEST_P(StackInvariants, AllComponentsNonNegative)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+        r.cpiStack(s).forEach([&](CpiComponent c, double v) {
+            EXPECT_GE(v, 0.0) << toString(s) << "/" << componentName(c);
+        });
+    }
+}
+
+TEST_P(StackInvariants, BaseEqualAcrossStages)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    const double base_c = r.cpiStack(Stage::kCommit)[CpiComponent::kBase];
+    for (Stage s : {Stage::kDispatch, Stage::kIssue}) {
+        EXPECT_NEAR(r.cpiStack(s)[CpiComponent::kBase], base_c,
+                    base_c * 0.005 + 1e-4)
+            << toString(s);
+    }
+}
+
+TEST_P(StackInvariants, FrontendComponentsOrdered)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    auto fe = [&](Stage s) {
+        const auto &c = r.cpiStack(s);
+        return c[CpiComponent::kIcache] + c[CpiComponent::kBpred] +
+               c[CpiComponent::kMicrocode];
+    };
+    const double slack = r.cpi * 0.03 + 0.01;
+    EXPECT_GE(fe(Stage::kDispatch), fe(Stage::kIssue) - slack);
+    EXPECT_GE(fe(Stage::kIssue), fe(Stage::kCommit) - slack);
+}
+
+TEST_P(StackInvariants, BackendComponentsOrdered)
+{
+    const auto [workload, machine] = GetParam();
+    const SimResult r = run(workload, machine);
+    auto be = [&](Stage s) {
+        const auto &c = r.cpiStack(s);
+        return c[CpiComponent::kDcache] + c[CpiComponent::kAluLat] +
+               c[CpiComponent::kDepend] + c[CpiComponent::kOther];
+    };
+    const double slack = r.cpi * 0.03 + 0.01;
+    EXPECT_LE(be(Stage::kDispatch), be(Stage::kIssue) + slack);
+    EXPECT_LE(be(Stage::kIssue), be(Stage::kCommit) + slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllMachines, StackInvariants,
+    ::testing::Combine(
+        ::testing::Values("mcf", "cactus", "bwaves", "povray", "imagick",
+                          "gcc", "deepsjeng", "exchange2", "lbm", "x264"),
+        ::testing::Values("bdw", "knl", "skx")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>
+           &info) {
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace stackscope

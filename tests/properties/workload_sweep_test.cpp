@@ -1,0 +1,94 @@
+/** Parameterized sweep: every registry workload simulates successfully,
+ *  deterministically and within sane CPI ranges on every machine. */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/hpc_kernels.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope {
+namespace {
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, RunsOnAllMachinesWithSaneCpi)
+{
+    trace::SyntheticParams p = trace::findWorkload(GetParam()).params;
+    p.num_instrs = 40'000;
+    trace::SyntheticGenerator gen(p);
+    for (const std::string &machine : sim::allMachineNames()) {
+        const sim::SimResult r =
+            sim::simulate(sim::machineByName(machine), gen);
+        EXPECT_EQ(r.instrs, 40'000u) << machine;
+        // CPI must be above the width bound and below an absurdity bound.
+        const double min_cpi =
+            1.0 /
+            sim::machineByName(machine).core.effectiveWidth();
+        EXPECT_GE(r.cpi, min_cpi - 1e-9) << machine;
+        EXPECT_LT(r.cpi, 25.0) << machine;
+    }
+}
+
+TEST_P(WorkloadSweep, CloneDeterminism)
+{
+    trace::SyntheticParams p = trace::findWorkload(GetParam()).params;
+    p.num_instrs = 20'000;
+    trace::SyntheticGenerator gen(p);
+    const sim::SimResult a = sim::simulate(sim::bdwConfig(), gen);
+    const sim::SimResult b = sim::simulate(sim::bdwConfig(), gen);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.branch_mispredicts, b.stats.branch_mispredicts);
+    EXPECT_EQ(a.stats.l1d_load_misses, b.stats.l1d_load_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, WorkloadSweep,
+    ::testing::ValuesIn(trace::allSpecWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+class HpcSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HpcSweep, KernelsRunOnKnlAndSkx)
+{
+    const trace::HpcBenchmark &bm = trace::deepBenchSuite()[GetParam()];
+    const struct
+    {
+        const char *machine;
+        trace::SgemmCodegen style;
+    } targets[] = {
+        {"knl", trace::SgemmCodegen::kKnlJit},
+        {"skx", trace::SgemmCodegen::kSkxBroadcast},
+    };
+    for (const auto &t : targets) {
+        const sim::MachineConfig m = sim::machineByName(t.machine);
+        auto trace = bm.make({m.core.flops_vec_lanes, t.style}, 30'000);
+        const sim::SimResult r = sim::simulate(m, *trace);
+        EXPECT_GT(r.instrs, 29'000u) << bm.name << " on " << t.machine;
+        EXPECT_GT(r.stats.flops_issued, 0u) << bm.name;
+        // The FLOPS base fraction is positive and below peak.
+        const double base_frac =
+            r.flops_cycles[stacks::FlopsComponent::kBase] /
+            static_cast<double>(r.cycles);
+        EXPECT_GT(base_frac, 0.0) << bm.name;
+        EXPECT_LE(base_frac, 1.0) << bm.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeepBenchSample, HpcSweep,
+    ::testing::Values(0, 4, 8, 12, 16, 20, 26, 32, 38, 44),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        return trace::deepBenchSuite()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace stackscope

@@ -1,0 +1,148 @@
+/** Tests for the single-core simulation driver and presets. */
+
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope::sim {
+namespace {
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 100'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+TEST(Presets, AllNamesResolve)
+{
+    for (const std::string &name : allMachineNames()) {
+        const MachineConfig m = machineByName(name);
+        EXPECT_FALSE(m.name.empty());
+        EXPECT_GT(m.freq_ghz, 0.0);
+        EXPECT_GT(m.socket_cores, 0u);
+    }
+    EXPECT_THROW((void)machineByName("p4"), std::out_of_range);
+}
+
+TEST(Presets, PaperMachineShapes)
+{
+    const MachineConfig bdw = bdwConfig();
+    const MachineConfig knl = knlConfig();
+    const MachineConfig skx = skxConfig();
+    // §IV: BDW is a 4-wide OoO, KNL a 2-wide OoO.
+    EXPECT_EQ(bdw.core.dispatch_width, 4u);
+    EXPECT_EQ(knl.core.dispatch_width, 2u);
+    EXPECT_EQ(skx.core.dispatch_width, 4u);
+    // AVX512 on KNL and SKX, AVX2 on BDW.
+    EXPECT_EQ(knl.core.flops_vec_lanes, 16u);
+    EXPECT_EQ(skx.core.flops_vec_lanes, 16u);
+    EXPECT_EQ(bdw.core.flops_vec_lanes, 8u);
+    // Socket sizes as in the paper.
+    EXPECT_EQ(bdw.socket_cores, 18u);
+    EXPECT_EQ(knl.socket_cores, 68u);
+    EXPECT_EQ(skx.socket_cores, 26u);
+}
+
+TEST(Presets, SkxSocketPeakIsFourTeraflops)
+{
+    // Fig. 5: the 26-core SKX peak is 4 TFLOPS.
+    EXPECT_NEAR(skxConfig().socketPeakFlops(), 4.0e12, 0.1e12);
+}
+
+TEST(Simulation, ProducesConsistentResult)
+{
+    const auto gen = shortWorkload("exchange2");
+    const SimResult r = simulate(bdwConfig(), gen);
+    EXPECT_EQ(r.machine, "BDW");
+    EXPECT_EQ(r.instrs, 100'000u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_NEAR(r.cpi, static_cast<double>(r.cycles) / r.instrs, 1e-9);
+    EXPECT_NEAR(r.ipc(), 1.0 / r.cpi, 1e-9);
+    for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
+        EXPECT_NEAR(r.cpi_stacks[s].sum(), r.cpi, r.cpi * 0.001);
+        EXPECT_NEAR(r.cycle_stacks[s].sum(), static_cast<double>(r.cycles),
+                    r.cycles * 0.001);
+    }
+}
+
+TEST(Simulation, DeterministicAcrossCalls)
+{
+    const auto gen = shortWorkload("gcc");
+    const SimResult a = simulate(bdwConfig(), gen);
+    const SimResult b = simulate(bdwConfig(), gen);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(
+        a.cpiStack(stacks::Stage::kDispatch)[stacks::CpiComponent::kBpred],
+        b.cpiStack(stacks::Stage::kDispatch)[stacks::CpiComponent::kBpred]);
+}
+
+TEST(Simulation, MaxCyclesCapsRun)
+{
+    const auto gen = shortWorkload("gcc", 1'000'000);
+    SimOptions opt;
+    opt.max_cycles = 5'000;
+    const SimResult r = simulate(bdwConfig(), gen, opt);
+    EXPECT_LE(r.cycles, 5'000u);
+    EXPECT_LT(r.instrs, 1'000'000u);
+}
+
+TEST(Simulation, AccountingOffSkipsStacks)
+{
+    const auto gen = shortWorkload("exchange2", 20'000);
+    SimOptions opt;
+    opt.accounting = false;
+    const SimResult r = simulate(bdwConfig(), gen, opt);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_DOUBLE_EQ(r.cpiStack(stacks::Stage::kDispatch).sum(), 0.0);
+}
+
+TEST(Simulation, KnlIsSlowerThanBdwPerInstruction)
+{
+    // 2-wide KNL vs 4-wide BDW on a compute-bound workload.
+    const auto gen = shortWorkload("exchange2");
+    const SimResult bdw = simulate(bdwConfig(), gen);
+    const SimResult knl = simulate(knlConfig(), gen);
+    EXPECT_GT(knl.cpi, bdw.cpi * 1.3);
+}
+
+TEST(Simulation, IpcStackHeightIsMaxIpc)
+{
+    const auto gen = shortWorkload("exchange2", 50'000);
+    const SimResult r = simulate(skxConfig(), gen);
+    const stacks::CpiStack ipc = r.ipcStack(4);
+    EXPECT_NEAR(ipc.sum(), 4.0, 0.01);
+    EXPECT_NEAR(ipc[stacks::CpiComponent::kBase], r.ipc(), r.ipc() * 0.01);
+}
+
+TEST(Simulation, CpiReductionMatchesManualDifference)
+{
+    const auto gen = shortWorkload("mcf", 50'000);
+    const MachineConfig m = bdwConfig();
+    Idealization ideal;
+    ideal.perfect_dcache = true;
+    const double delta = cpiReduction(m, gen, ideal);
+    const SimResult real = simulate(m, gen);
+    const SimResult pd = simulate(applyIdealization(m, ideal), gen);
+    EXPECT_NEAR(delta, real.cpi - pd.cpi, 1e-9);
+    EXPECT_GT(delta, 0.0);
+}
+
+TEST(Idealization, LabelFormatting)
+{
+    Idealization i;
+    EXPECT_EQ(i.label(), "all real");
+    i.perfect_dcache = true;
+    EXPECT_EQ(i.label(), "perfect D$");
+    i.single_cycle_alu = true;
+    EXPECT_EQ(i.label(), "perfect D$ + 1-cycle ALU");
+    EXPECT_TRUE(i.any());
+}
+
+}  // namespace
+}  // namespace stackscope::sim

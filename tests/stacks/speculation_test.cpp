@@ -1,0 +1,124 @@
+/** Tests for the wrong-path handling strategies of §III-B. */
+
+#include "stacks/speculation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::stacks {
+namespace {
+
+TEST(SpeculativeCounters, NoBranchesGoesStraightToCommitted)
+{
+    SpeculativeCounters sc;
+    sc.add(CpiComponent::kBase, 2.0);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 2.0);
+    EXPECT_EQ(sc.pendingEpochs(), 0u);
+}
+
+TEST(SpeculativeCounters, CorrectBranchFlushesEpoch)
+{
+    SpeculativeCounters sc;
+    sc.onBranchFetched(1);
+    sc.add(CpiComponent::kBase, 3.0);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 0.0);
+    sc.onBranchResolved(1, /*mispredicted=*/false);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 3.0);
+    EXPECT_EQ(sc.pendingEpochs(), 0u);
+}
+
+TEST(SpeculativeCounters, MispredictedBranchCreditsBpred)
+{
+    SpeculativeCounters sc;
+    sc.onBranchFetched(1);
+    sc.add(CpiComponent::kBase, 2.0);
+    sc.add(CpiComponent::kDcache, 1.0);
+    sc.onBranchResolved(1, /*mispredicted=*/true);
+    // Everything buffered since the branch was speculative work.
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBpred], 3.0);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 0.0);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kDcache], 0.0);
+}
+
+TEST(SpeculativeCounters, NestedBranchesMergeIntoParent)
+{
+    SpeculativeCounters sc;
+    sc.onBranchFetched(1);
+    sc.add(CpiComponent::kBase, 1.0);
+    sc.onBranchFetched(2);
+    sc.add(CpiComponent::kBase, 1.0);
+    // Inner branch correct: merges into branch 1's epoch, not committed.
+    sc.onBranchResolved(2, false);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 0.0);
+    EXPECT_EQ(sc.pendingEpochs(), 1u);
+    sc.onBranchResolved(1, false);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 2.0);
+}
+
+TEST(SpeculativeCounters, MispredictSquashesYoungerEpochs)
+{
+    SpeculativeCounters sc;
+    sc.onBranchFetched(1);
+    sc.add(CpiComponent::kBase, 1.0);
+    sc.onBranchFetched(2);
+    sc.add(CpiComponent::kIcache, 2.0);
+    sc.onBranchFetched(3);
+    sc.add(CpiComponent::kDepend, 4.0);
+    // Branch 1 mispredicts: its epoch AND the younger ones go to bpred.
+    sc.onBranchResolved(1, true);
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBpred], 7.0);
+    EXPECT_EQ(sc.pendingEpochs(), 0u);
+    // Late resolutions of squashed branches are ignored.
+    sc.onBranchResolved(2, false);
+    sc.onBranchResolved(3, true);
+    EXPECT_DOUBLE_EQ(sc.committed().sum(), 7.0);
+}
+
+TEST(SpeculativeCounters, FinalizeFlushesOutstanding)
+{
+    SpeculativeCounters sc;
+    sc.onBranchFetched(1);
+    sc.add(CpiComponent::kBase, 5.0);
+    sc.finalize();
+    EXPECT_DOUBLE_EQ(sc.committed()[CpiComponent::kBase], 5.0);
+    EXPECT_EQ(sc.pendingEpochs(), 0u);
+}
+
+TEST(SpeculativeCounters, TotalIsConservedAcrossOutcomes)
+{
+    // Property: whatever the resolution pattern, the committed total
+    // equals everything ever added.
+    SpeculativeCounters sc;
+    double added = 0.0;
+    for (int round = 0; round < 50; ++round) {
+        sc.onBranchFetched(100 + round);
+        sc.add(CpiComponent::kBase, 1.0);
+        sc.add(CpiComponent::kDcache, 0.5);
+        added += 1.5;
+        sc.onBranchResolved(100 + round, round % 3 == 0);
+    }
+    sc.finalize();
+    EXPECT_NEAR(sc.committed().sum(), added, 1e-9);
+}
+
+TEST(SimpleFixup, MovesSurplusBaseToBpred)
+{
+    CpiStack s;
+    s[CpiComponent::kBase] = 10.0;
+    s[CpiComponent::kIcache] = 2.0;
+    applySimpleSpeculationFixup(s, 7.0);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kBase], 7.0);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kBpred], 3.0);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kIcache], 2.0);
+}
+
+TEST(SimpleFixup, NoSurplusNoChange)
+{
+    CpiStack s;
+    s[CpiComponent::kBase] = 5.0;
+    applySimpleSpeculationFixup(s, 7.0);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kBase], 5.0);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kBpred], 0.0);
+}
+
+}  // namespace
+}  // namespace stackscope::stacks

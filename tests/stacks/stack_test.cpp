@@ -1,0 +1,88 @@
+/** Tests for the stack container arithmetic. */
+
+#include "stacks/stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::stacks {
+namespace {
+
+TEST(Stack, DefaultIsZero)
+{
+    CpiStack s;
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    s.forEach([](CpiComponent, double v) { EXPECT_DOUBLE_EQ(v, 0.0); });
+}
+
+TEST(Stack, IndexAndSum)
+{
+    CpiStack s;
+    s[CpiComponent::kBase] = 0.25;
+    s[CpiComponent::kDcache] = 0.5;
+    EXPECT_DOUBLE_EQ(s.sum(), 0.75);
+    EXPECT_DOUBLE_EQ(s[CpiComponent::kBase], 0.25);
+}
+
+TEST(Stack, ScaledAndNormalized)
+{
+    CpiStack s;
+    s[CpiComponent::kBase] = 1.0;
+    s[CpiComponent::kBpred] = 3.0;
+    const CpiStack n = s.normalized();
+    EXPECT_DOUBLE_EQ(n.sum(), 1.0);
+    EXPECT_DOUBLE_EQ(n[CpiComponent::kBpred], 0.75);
+    const CpiStack d = s.scaled(2.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 8.0);
+}
+
+TEST(Stack, NormalizeZeroIsNoop)
+{
+    CpiStack s;
+    const CpiStack n = s.normalized();
+    EXPECT_DOUBLE_EQ(n.sum(), 0.0);
+}
+
+TEST(Stack, AddSubtract)
+{
+    CpiStack a;
+    CpiStack b;
+    a[CpiComponent::kBase] = 1.0;
+    b[CpiComponent::kBase] = 0.5;
+    b[CpiComponent::kIcache] = 0.25;
+    const CpiStack sum = a + b;
+    EXPECT_DOUBLE_EQ(sum[CpiComponent::kBase], 1.5);
+    EXPECT_DOUBLE_EQ(sum[CpiComponent::kIcache], 0.25);
+    const CpiStack diff = sum - b;
+    EXPECT_DOUBLE_EQ(diff[CpiComponent::kBase], 1.0);
+    EXPECT_DOUBLE_EQ(diff[CpiComponent::kIcache], 0.0);
+}
+
+TEST(Stack, MinMax)
+{
+    CpiStack a;
+    CpiStack b;
+    a[CpiComponent::kDcache] = 1.0;
+    b[CpiComponent::kDcache] = 2.0;
+    a[CpiComponent::kBpred] = 4.0;
+    b[CpiComponent::kBpred] = 3.0;
+    const CpiStack lo = CpiStack::min(a, b);
+    const CpiStack hi = CpiStack::max(a, b);
+    EXPECT_DOUBLE_EQ(lo[CpiComponent::kDcache], 1.0);
+    EXPECT_DOUBLE_EQ(lo[CpiComponent::kBpred], 3.0);
+    EXPECT_DOUBLE_EQ(hi[CpiComponent::kDcache], 2.0);
+    EXPECT_DOUBLE_EQ(hi[CpiComponent::kBpred], 4.0);
+}
+
+TEST(Stack, ComponentNamesExist)
+{
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+        EXPECT_NE(componentName(static_cast<CpiComponent>(i)), "?");
+    for (std::size_t i = 0; i < kNumFlopsComponents; ++i)
+        EXPECT_NE(componentName(static_cast<FlopsComponent>(i)), "?");
+    EXPECT_EQ(toString(Stage::kDispatch), "dispatch");
+    EXPECT_EQ(toString(Stage::kIssue), "issue");
+    EXPECT_EQ(toString(Stage::kCommit), "commit");
+}
+
+}  // namespace
+}  // namespace stackscope::stacks

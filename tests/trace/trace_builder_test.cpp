@@ -1,0 +1,145 @@
+/** Unit tests for TraceBuilder and VectorTraceSource. */
+
+#include "trace/trace_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::trace {
+namespace {
+
+TEST(VectorTraceSource, NextAndReset)
+{
+    TraceBuilder b;
+    b.alu();
+    b.load(0x1000);
+    b.branch(true);
+    auto src = b.build();
+    ASSERT_EQ(src->size(), 3u);
+
+    DynInstr i;
+    ASSERT_TRUE(src->next(i));
+    EXPECT_EQ(i.cls, InstrClass::kAlu);
+    ASSERT_TRUE(src->next(i));
+    EXPECT_EQ(i.cls, InstrClass::kLoad);
+    EXPECT_EQ(i.mem_addr, 0x1000u);
+    ASSERT_TRUE(src->next(i));
+    EXPECT_EQ(i.cls, InstrClass::kBranch);
+    EXPECT_TRUE(i.branch_taken);
+    EXPECT_FALSE(src->next(i));
+
+    src->reset();
+    ASSERT_TRUE(src->next(i));
+    EXPECT_EQ(i.cls, InstrClass::kAlu);
+}
+
+TEST(VectorTraceSource, CloneIsIndependent)
+{
+    TraceBuilder b;
+    b.alu();
+    b.alu();
+    auto src = b.build();
+    DynInstr i;
+    ASSERT_TRUE(src->next(i));
+
+    auto copy = src->clone();
+    // Clone starts from the beginning regardless of the original position.
+    DynInstr j;
+    ASSERT_TRUE(copy->next(j));
+    EXPECT_EQ(j.cls, InstrClass::kAlu);
+    ASSERT_TRUE(copy->next(j));
+    EXPECT_FALSE(copy->next(j));
+    // Original still has one left.
+    ASSERT_TRUE(src->next(i));
+    EXPECT_FALSE(src->next(i));
+}
+
+TEST(TraceBuilder, DependenceHandles)
+{
+    TraceBuilder b;
+    auto ld = b.load(0x2000);
+    auto mu = b.mul({ld});
+    auto br = b.branch(false, {mu});
+    auto src = b.build();
+    const auto &v = src->instructions();
+    EXPECT_EQ(v[mu.index].num_srcs, 1u);
+    EXPECT_EQ(v[mu.index].src[0], ld.index);
+    EXPECT_EQ(v[br.index].num_srcs, 1u);
+    EXPECT_EQ(v[br.index].src[0], mu.index);
+}
+
+TEST(TraceBuilder, PcAutoAdvancesAndAt)
+{
+    TraceBuilder b;
+    b.at(0x500000);
+    auto a = b.alu();
+    auto c = b.alu();
+    auto src = b.build();
+    const auto &v = src->instructions();
+    EXPECT_EQ(v[a.index].pc, 0x500000u);
+    EXPECT_EQ(v[c.index].pc, 0x500004u);
+}
+
+TEST(TraceBuilder, VectorOpsCarryLanes)
+{
+    TraceBuilder b;
+    auto f = b.vfma(16);
+    auto a = b.vadd(7);
+    auto src = b.build();
+    const auto &v = src->instructions();
+    EXPECT_EQ(v[f.index].active_lanes, 16u);
+    EXPECT_EQ(v[a.index].active_lanes, 7u);
+    EXPECT_EQ(v[f.index].cls, InstrClass::kVecFma);
+}
+
+TEST(TraceBuilder, MicrocodedDecodeCycles)
+{
+    TraceBuilder b;
+    auto m = b.microcoded(5);
+    auto src = b.build();
+    EXPECT_EQ(src->instructions()[m.index].decode_cycles, 5u);
+}
+
+TEST(TraceBuilder, YieldCarriesCycles)
+{
+    TraceBuilder b;
+    auto y = b.yield(1234);
+    auto src = b.build();
+    const auto &i = src->instructions()[y.index];
+    EXPECT_EQ(i.cls, InstrClass::kYield);
+    EXPECT_EQ(i.yield_cycles, 1234u);
+}
+
+TEST(TraceBuilder, RepeatLastPreservesDependenceDistance)
+{
+    TraceBuilder b;
+    auto ld = b.load(0x100);
+    b.mul({ld});  // distance 1
+    b.repeatLast(2, 3);
+    auto src = b.build();
+    const auto &v = src->instructions();
+    ASSERT_EQ(v.size(), 8u);
+    // Every odd instruction is a mul depending on the load right before it.
+    for (std::size_t i = 1; i < v.size(); i += 2) {
+        EXPECT_EQ(v[i].cls, InstrClass::kAluMul);
+        ASSERT_EQ(v[i].num_srcs, 1u);
+        EXPECT_EQ(v[i].src[0], i - 1);
+    }
+}
+
+TEST(TraceBuilder, RepeatLastLoopCarriedAccumulator)
+{
+    TraceBuilder b;
+    auto acc0 = b.vadd(8);
+    b.vfma(8, {acc0});  // accumulator: distance 1
+    b.repeatLast(1, 4);  // four more FMAs, each chaining to the previous
+    auto src = b.build();
+    const auto &v = src->instructions();
+    ASSERT_EQ(v.size(), 6u);
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        ASSERT_EQ(v[i].num_srcs, 1u);
+        EXPECT_EQ(v[i].src[0], i - 1);
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::trace

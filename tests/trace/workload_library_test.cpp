@@ -1,0 +1,88 @@
+/** Tests for the SPEC-inspired workload registry. */
+
+#include "trace/workload_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stackscope::trace {
+namespace {
+
+TEST(WorkloadLibrary, HasExpectedPopulation)
+{
+    // Figure 2 needs a reasonably sized population of applications.
+    EXPECT_GE(allSpecWorkloads().size(), 15u);
+}
+
+TEST(WorkloadLibrary, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const Workload &w : allSpecWorkloads())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(WorkloadLibrary, PaperCaseStudyWorkloadsExist)
+{
+    // The Fig. 1/3 case studies and Table I all reference these by name.
+    for (const char *name :
+         {"mcf", "cactus", "bwaves", "povray", "imagick", "gcc"}) {
+        EXPECT_NO_THROW((void)findWorkload(name)) << name;
+    }
+}
+
+TEST(WorkloadLibrary, UnknownNameThrows)
+{
+    EXPECT_THROW((void)findWorkload("no_such_benchmark"), std::out_of_range);
+}
+
+TEST(WorkloadLibrary, AllParamsAreSane)
+{
+    for (const Workload &w : allSpecWorkloads()) {
+        const SyntheticParams &p = w.params;
+        EXPECT_GT(p.num_instrs, 0u) << w.name;
+        EXPECT_GE(p.code_footprint, 4096u) << w.name;
+        EXPECT_GE(p.data_footprint, p.hot_bytes) << w.name;
+        EXPECT_LE(p.dep_window, kMaxDepDistance) << w.name;
+        EXPECT_GE(p.branch_bias, 0.5) << w.name;
+        EXPECT_LE(p.branch_bias, 1.0) << w.name;
+        const double mix = p.w_alu + p.w_mul + p.w_div + p.w_load +
+                           p.w_store + p.w_branch + p.w_fp_add + p.w_fp_mul +
+                           p.w_fp_div + p.w_vec_fma + p.w_vec_add +
+                           p.w_vec_int;
+        EXPECT_NEAR(mix, 1.0, 0.05) << w.name;
+        EXPECT_GT(p.w_branch, 0.0) << w.name;
+    }
+}
+
+TEST(WorkloadLibrary, BehaviouralDiversity)
+{
+    // The population must cover the regimes the paper's Figure 2 needs:
+    // at least one pointer chaser, one streamer, one microcode-heavy and
+    // one hard-to-predict workload.
+    bool chaser = false;
+    bool streamer = false;
+    bool microcode = false;
+    bool branchy = false;
+    for (const Workload &w : allSpecWorkloads()) {
+        chaser |= w.params.pointer_chase_frac > 0.0;
+        streamer |= w.params.stream_frac > 0.5;
+        microcode |= w.params.microcoded_frac > 0.0;
+        branchy |= w.params.branch_random_frac >= 0.15;
+    }
+    EXPECT_TRUE(chaser);
+    EXPECT_TRUE(streamer);
+    EXPECT_TRUE(microcode);
+    EXPECT_TRUE(branchy);
+}
+
+TEST(WorkloadLibrary, NamesAccessorMatchesRegistry)
+{
+    const auto names = allSpecWorkloadNames();
+    ASSERT_EQ(names.size(), allSpecWorkloads().size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(names[i], allSpecWorkloads()[i].name);
+}
+
+}  // namespace
+}  // namespace stackscope::trace

@@ -1,0 +1,97 @@
+/** Tests for the hybrid branch predictor. */
+
+#include "uarch/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace stackscope::uarch {
+namespace {
+
+TEST(BranchPredictor, PerfectModeNeverMisses)
+{
+    BranchPredictorParams p;
+    p.perfect = true;
+    BranchPredictor bp(p);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_TRUE(bp.predictAndUpdate(0x1000 + rng.below(64) * 4,
+                                        rng.chance(0.5)));
+    EXPECT_EQ(bp.mispredictions(), 0u);
+    EXPECT_EQ(bp.predictions(), 10000u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp({});
+    for (int i = 0; i < 1000; ++i)
+        (void)bp.predictAndUpdate(0x4000, true);
+    EXPECT_LT(bp.missRate(), 0.01);
+}
+
+TEST(BranchPredictor, LearnsPerPcBiases)
+{
+    BranchPredictor bp({});
+    // Two branches with opposite fixed behaviour.
+    for (int i = 0; i < 2000; ++i) {
+        (void)bp.predictAndUpdate(0x4000, true);
+        (void)bp.predictAndUpdate(0x5000, false);
+    }
+    EXPECT_LT(bp.missRate(), 0.01);
+}
+
+TEST(BranchPredictor, GshareLearnsAlternatingPattern)
+{
+    // T,N,T,N... is perfectly predictable from global history.
+    BranchPredictor bp({});
+    bool taken = false;
+    std::uint64_t warm_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        taken = !taken;
+        if (!bp.predictAndUpdate(0x6000, taken) && i >= 2000)
+            ++warm_misses;
+    }
+    EXPECT_LT(warm_misses, 50u);
+}
+
+TEST(BranchPredictor, RandomBranchesNear50Percent)
+{
+    BranchPredictor bp({});
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        (void)bp.predictAndUpdate(0x7000, rng.chance(0.5));
+    EXPECT_GT(bp.missRate(), 0.4);
+    EXPECT_LT(bp.missRate(), 0.6);
+}
+
+TEST(BranchPredictor, MixedPopulationIntermediateAccuracy)
+{
+    BranchPredictor bp({});
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr pc = 0x1000 + rng.below(500) * 8;
+        const bool random_branch = pc % 40 == 0;  // ~1 in 5 PCs
+        const bool bias = (pc >> 3) & 1;
+        const bool taken = random_branch ? rng.chance(0.5)
+                                         : rng.chance(bias ? 0.95 : 0.05);
+        (void)bp.predictAndUpdate(pc, taken);
+    }
+    EXPECT_GT(bp.missRate(), 0.03);
+    EXPECT_LT(bp.missRate(), 0.25);
+}
+
+TEST(BranchPredictor, StatsAreConsistent)
+{
+    BranchPredictor bp({});
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        (void)bp.predictAndUpdate(0x1000, rng.chance(0.7));
+    EXPECT_EQ(bp.predictions(), 1000u);
+    EXPECT_LE(bp.mispredictions(), bp.predictions());
+    EXPECT_NEAR(bp.missRate(),
+                static_cast<double>(bp.mispredictions()) / 1000.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

@@ -1,0 +1,206 @@
+/** Tests for the timed cache hierarchy: latencies, MSHRs, bandwidth,
+ *  unified-L2 coupling and idealization knobs. */
+
+#include "uarch/cache_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::uarch {
+namespace {
+
+HierarchyParams
+smallParams()
+{
+    HierarchyParams p;
+    p.l1i = {4 << 10, 4, 64};
+    p.l1d = {4 << 10, 4, 64};
+    p.l2 = {16 << 10, 8, 64};
+    p.l1_lat = 4;
+    p.l2_lat = 12;
+    p.l2_mshrs = 2;
+    p.prefetch.enable = false;
+    // TLBs off: these tests isolate the cache/MSHR/bandwidth arithmetic
+    // (tlb_test.cpp covers the TLBs).
+    p.itlb.enable = false;
+    p.dtlb.enable = false;
+    p.uncore.l3 = {64 << 10, 8, 64};
+    p.uncore.l3_lat = 30;
+    p.uncore.mem_lat = 100;
+    p.uncore.mem_queue_slots = 2;
+    p.uncore.mem_service = 10;
+    return p;
+}
+
+TEST(CacheHierarchy, L1HitLatency)
+{
+    CacheHierarchy h(smallParams());
+    (void)h.load(0x1000, 0);           // cold miss fills L1
+    const AccessResult r = h.load(0x1000, 500);
+    EXPECT_TRUE(r.l1_hit);
+    EXPECT_EQ(r.done, 504u);
+    EXPECT_EQ(r.level, 1u);
+}
+
+TEST(CacheHierarchy, ColdMissGoesToMemory)
+{
+    CacheHierarchy h(smallParams());
+    const AccessResult r = h.load(0x1000, 0);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_EQ(r.level, 4u);
+    // l2_lat (12) + l3_lat (30) + mem_lat (100) = 142.
+    EXPECT_EQ(r.done, 142u);
+}
+
+TEST(CacheHierarchy, L2HitLatency)
+{
+    HierarchyParams p = smallParams();
+    CacheHierarchy h(p);
+    (void)h.load(0x1000, 0);
+    // Evict from tiny L1 (4 KB, 4-way, 16 sets): fill 4 more lines in the
+    // same set (stride = 16 sets * 64 B = 1 KB).
+    for (int i = 1; i <= 4; ++i)
+        (void)h.load(0x1000 + i * 1024, 1000 + i);
+    const AccessResult r = h.load(0x1000, 5000);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_EQ(r.level, 2u);
+    EXPECT_EQ(r.done, 5012u);
+}
+
+TEST(CacheHierarchy, L3HitAfterL2Eviction)
+{
+    HierarchyParams p = smallParams();
+    CacheHierarchy h(p);
+    (void)h.load(0x1000, 0);
+    // Thrash L2 set: L2 has 32 sets (16KB/64/8); same-set stride = 2 KB.
+    for (int i = 1; i <= 8; ++i)
+        (void)h.load(0x1000 + i * 2048, 1000 + i * 200);
+    const AccessResult r = h.load(0x1000, 50000);
+    EXPECT_EQ(r.level, 3u);
+    EXPECT_EQ(r.done, 50000u + 12 + 30);
+}
+
+TEST(CacheHierarchy, MshrContentionDelaysMisses)
+{
+    HierarchyParams p = smallParams();
+    p.uncore.mem_queue_slots = 8;  // isolate the MSHR effect
+    p.uncore.mem_service = 1;
+    CacheHierarchy h(p);
+    // Two MSHRs: the first two concurrent L2 misses proceed, the third
+    // waits for an MSHR to free up.
+    const AccessResult a = h.load(0x10000, 0);
+    const AccessResult b = h.load(0x20000, 0);
+    const AccessResult c = h.load(0x30000, 0);
+    EXPECT_EQ(a.done, 142u);
+    EXPECT_EQ(b.done, 142u);
+    EXPECT_GT(c.done, 142u);  // queued behind a or b
+    EXPECT_GT(h.mshrWaitCycles(), 0u);
+}
+
+TEST(CacheHierarchy, MemoryBandwidthSerializes)
+{
+    HierarchyParams p = smallParams();
+    p.l2_mshrs = 16;  // isolate the memory-queue effect
+    p.uncore.mem_queue_slots = 1;
+    p.uncore.mem_service = 50;
+    CacheHierarchy h(p);
+    const AccessResult a = h.load(0x10000, 0);
+    const AccessResult b = h.load(0x20000, 0);
+    EXPECT_EQ(a.done, 142u);
+    EXPECT_EQ(b.done, a.done + 50);  // one slot, 50-cycle service
+}
+
+TEST(CacheHierarchy, PerfectDcacheAlwaysL1)
+{
+    HierarchyParams p = smallParams();
+    p.perfect_dcache = true;
+    CacheHierarchy h(p);
+    for (Addr a = 0; a < 100 * 4096; a += 4096) {
+        const AccessResult r = h.load(a, 10);
+        EXPECT_TRUE(r.l1_hit);
+        EXPECT_EQ(r.done, 14u);
+    }
+}
+
+TEST(CacheHierarchy, PerfectIcacheAlwaysL1)
+{
+    HierarchyParams p = smallParams();
+    p.perfect_icache = true;
+    CacheHierarchy h(p);
+    const AccessResult r = h.ifetch(0x77777740, 3);
+    EXPECT_TRUE(r.l1_hit);
+    EXPECT_EQ(r.done, 7u);
+}
+
+TEST(CacheHierarchy, UnifiedL2CouplesInstructionsAndData)
+{
+    // The cactus effect (Fig. 3(b)): instruction lines occupy the unified
+    // L2 and evict data. With a perfect Icache, the same data stays in L2.
+    auto run = [](bool perfect_icache) {
+        HierarchyParams p = smallParams();
+        p.perfect_icache = perfect_icache;
+        CacheHierarchy h(p);
+        // Load a data working set that exactly fits L2.
+        for (Addr a = 0; a < 16 << 10; a += 64)
+            (void)h.load(0x100000 + a, 0);
+        // Stream a large code footprint through L2.
+        for (Addr a = 0; a < 64 << 10; a += 64)
+            (void)h.ifetch(0x400000 + a, 1000);
+        // Re-touch the data: count how many still hit L2 or closer.
+        std::uint64_t mem_level = 0;
+        for (Addr a = 0; a < 16 << 10; a += 64) {
+            if (h.load(0x100000 + a, 100000).level >= 3)
+                ++mem_level;
+        }
+        return mem_level;
+    };
+    const std::uint64_t evicted_with_code = run(false);
+    const std::uint64_t evicted_without_code = run(true);
+    EXPECT_GT(evicted_with_code, evicted_without_code + 50);
+}
+
+TEST(CacheHierarchy, PrefetcherFillsAhead)
+{
+    HierarchyParams p = smallParams();
+    p.prefetch.enable = true;
+    p.prefetch.degree = 4;
+    p.prefetch.confidence_threshold = 2;
+    p.l2_mshrs = 16;
+    CacheHierarchy h(p);
+    // Stride-64 stream: after a few misses the prefetcher runs ahead and
+    // later lines hit L2 instead of memory.
+    Cycle t = 0;
+    unsigned mem_hits = 0;
+    for (int i = 0; i < 64; ++i) {
+        const AccessResult r = h.load(0x200000 + i * 64, t);
+        t += 200;
+        mem_hits += r.level == 4;
+    }
+    EXPECT_LT(mem_hits, 20u);
+    EXPECT_GT(h.prefetchesIssued(), 0u);
+}
+
+TEST(CacheHierarchy, SharedUncoreContention)
+{
+    // Two hierarchies sharing one uncore contend for memory slots.
+    HierarchyParams p = smallParams();
+    p.uncore.mem_queue_slots = 1;
+    p.uncore.mem_service = 40;
+    Uncore shared(p.uncore);
+    CacheHierarchy h1(p, &shared);
+    CacheHierarchy h2(p, &shared);
+    const AccessResult a = h1.load(0x10000, 0);
+    const AccessResult b = h2.load(0x90000, 0);
+    EXPECT_EQ(a.done, 142u);
+    EXPECT_EQ(b.done, a.done + 40);
+}
+
+TEST(CacheHierarchy, StoreFillsTags)
+{
+    CacheHierarchy h(smallParams());
+    h.store(0x3000, 0);
+    const AccessResult r = h.load(0x3000, 1000);
+    EXPECT_TRUE(r.l1_hit);
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

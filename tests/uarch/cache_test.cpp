@@ -1,0 +1,113 @@
+/** Unit tests for the set-associative tag cache. */
+
+#include "uarch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::uarch {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    Cache c({1024, 2, 64});
+    EXPECT_FALSE(c.lookup(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.lookup(0x1000));
+    // Same line, different offset.
+    EXPECT_TRUE(c.lookup(0x103f));
+    // Next line misses.
+    EXPECT_FALSE(c.lookup(0x1040));
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c({32 << 10, 8, 64});
+    EXPECT_EQ(c.numSets(), 64u);
+    EXPECT_EQ(c.assoc(), 8u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, line 64, 2 sets (256 bytes).
+    Cache c({256, 2, 64});
+    // Three lines mapping to set 0: line addresses 0, 2, 4 (even lines).
+    c.insert(0 * 64);
+    c.insert(2 * 64);
+    EXPECT_TRUE(c.lookup(0 * 64));   // touch 0 -> MRU
+    c.insert(4 * 64);                // evicts line 2 (LRU)
+    EXPECT_TRUE(c.lookup(0 * 64));
+    EXPECT_FALSE(c.lookup(2 * 64));
+    EXPECT_TRUE(c.lookup(4 * 64));
+}
+
+TEST(Cache, LookupWithoutLruUpdate)
+{
+    Cache c({256, 2, 64});
+    c.insert(0 * 64);
+    c.insert(2 * 64);
+    // Peek at line 0 without promoting it.
+    EXPECT_TRUE(c.lookup(0 * 64, /*update_lru=*/false));
+    c.insert(4 * 64);  // line 0 is still LRU -> evicted
+    EXPECT_FALSE(c.lookup(0 * 64));
+    EXPECT_TRUE(c.lookup(2 * 64));
+}
+
+TEST(Cache, InsertExistingTouches)
+{
+    Cache c({256, 2, 64});
+    c.insert(0 * 64);
+    c.insert(2 * 64);
+    c.insert(0 * 64);  // already present: becomes MRU
+    c.insert(4 * 64);  // evicts 2
+    EXPECT_TRUE(c.lookup(0 * 64));
+    EXPECT_FALSE(c.lookup(2 * 64));
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c({1024, 2, 64});
+    c.insert(0x2000);
+    EXPECT_TRUE(c.lookup(0x2000));
+    c.invalidate(0x2000);
+    EXPECT_FALSE(c.lookup(0x2000));
+    // Invalidating a missing line is a no-op.
+    c.invalidate(0xdead00);
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c({1024, 2, 64});
+    c.insert(0x0);
+    c.insert(0x40);
+    c.invalidateAll();
+    EXPECT_FALSE(c.lookup(0x0));
+    EXPECT_FALSE(c.lookup(0x40));
+}
+
+TEST(Cache, StatsCountLookupsAndMisses)
+{
+    Cache c({1024, 2, 64});
+    (void)c.lookup(0x0);  // miss
+    c.insert(0x0);
+    (void)c.lookup(0x0);  // hit
+    (void)c.lookup(0x40);  // miss
+    EXPECT_EQ(c.lookups(), 3u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    // 2 sets, 1 way: lines alternate sets.
+    Cache c({128, 1, 64});
+    c.insert(0 * 64);  // set 0
+    c.insert(1 * 64);  // set 1
+    EXPECT_TRUE(c.lookup(0 * 64));
+    EXPECT_TRUE(c.lookup(1 * 64));
+    c.insert(2 * 64);  // set 0 again: evicts line 0 only
+    EXPECT_FALSE(c.lookup(0 * 64));
+    EXPECT_TRUE(c.lookup(1 * 64));
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

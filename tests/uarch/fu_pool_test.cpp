@@ -1,0 +1,137 @@
+/** Tests for the functional-unit / issue-port pool. */
+
+#include "uarch/fu_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::uarch {
+namespace {
+
+using trace::InstrClass;
+
+FuPoolParams
+params()
+{
+    FuPoolParams p;
+    p.alu_units = 2;
+    p.mul_units = 1;
+    p.div_units = 1;
+    p.load_ports = 2;
+    p.store_ports = 1;
+    p.branch_units = 1;
+    p.fp_units = 1;
+    p.vpu_units = 2;
+    p.lat_mul = 3;
+    p.lat_div = 20;
+    return p;
+}
+
+TEST(FuPool, PerCyclePortLimits)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAlu));
+    fu.issue(InstrClass::kAlu, 0);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAlu));
+    fu.issue(InstrClass::kAlu, 0);
+    EXPECT_FALSE(fu.canIssue(InstrClass::kAlu));  // 2 ALU units used
+    // Other groups unaffected.
+    EXPECT_TRUE(fu.canIssue(InstrClass::kLoad));
+    fu.beginCycle(1);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAlu));  // new cycle resets ports
+}
+
+TEST(FuPool, UnpipelinedDividerBlocksAcrossCycles)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    ASSERT_TRUE(fu.canIssue(InstrClass::kAluDiv));
+    fu.issue(InstrClass::kAluDiv, 0);
+    // Divider busy for lat_div cycles.
+    fu.beginCycle(5);
+    EXPECT_FALSE(fu.canIssue(InstrClass::kAluDiv));
+    fu.beginCycle(20);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAluDiv));
+}
+
+TEST(FuPool, MultiplierIsPipelined)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kAluMul, 0);
+    fu.beginCycle(1);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAluMul));  // pipelined
+}
+
+TEST(FuPool, Latencies)
+{
+    FuPool fu(params());
+    EXPECT_EQ(fu.latency(InstrClass::kAlu), 1u);
+    EXPECT_EQ(fu.latency(InstrClass::kAluMul), 3u);
+    EXPECT_EQ(fu.latency(InstrClass::kAluDiv), 20u);
+    EXPECT_EQ(fu.latency(InstrClass::kVecFma), params().lat_vec_fma);
+}
+
+TEST(FuPool, IdealSingleCycleAlu)
+{
+    FuPoolParams p = params();
+    p.ideal_single_cycle_alu = true;
+    FuPool fu(p);
+    EXPECT_EQ(fu.latency(InstrClass::kAluMul), 1u);
+    EXPECT_EQ(fu.latency(InstrClass::kAluDiv), 1u);
+    EXPECT_EQ(fu.latency(InstrClass::kFpMul), 1u);
+    EXPECT_EQ(fu.latency(InstrClass::kVecFma), 1u);
+    // Divider behaves as pipelined.
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kAluDiv, 0);
+    fu.beginCycle(1);
+    EXPECT_TRUE(fu.canIssue(InstrClass::kAluDiv));
+}
+
+TEST(FuPool, VpuUsageSplit)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kVecFma, 0);
+    fu.issue(InstrClass::kVecInt, 0);
+    EXPECT_EQ(fu.vfpIssuedThisCycle(), 1u);
+    EXPECT_EQ(fu.nonVfpOnVpuThisCycle(), 1u);
+    EXPECT_FALSE(fu.canIssue(InstrClass::kVecAdd));  // both VPUs used
+    fu.beginCycle(1);
+    EXPECT_EQ(fu.vfpIssuedThisCycle(), 0u);
+    EXPECT_EQ(fu.nonVfpOnVpuThisCycle(), 0u);
+}
+
+TEST(FuPool, BroadcastRunsOnLoadPorts)
+{
+    // MKL-style broadcasts have a memory operand: they occupy a load port
+    // and leave the vector FP units to the FMAs.
+    FuPool fu(params());
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kVecBroadcast, 0);
+    EXPECT_EQ(fu.vfpIssuedThisCycle(), 0u);
+    EXPECT_EQ(fu.nonVfpOnVpuThisCycle(), 0u);
+    fu.issue(InstrClass::kVecBroadcast, 0);
+    EXPECT_FALSE(fu.canIssue(InstrClass::kLoad));  // 2 load ports used
+    EXPECT_TRUE(fu.canIssue(InstrClass::kVecFma));
+}
+
+TEST(FuPool, VecIntCountsAsNonVfpOnVpu)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kVecInt, 0);
+    EXPECT_EQ(fu.vfpIssuedThisCycle(), 0u);
+    EXPECT_EQ(fu.nonVfpOnVpuThisCycle(), 1u);
+}
+
+TEST(FuPool, DivAndFpDivShareDividers)
+{
+    FuPool fu(params());
+    fu.beginCycle(0);
+    fu.issue(InstrClass::kAluDiv, 0);
+    EXPECT_FALSE(fu.canIssue(InstrClass::kFpDiv));
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

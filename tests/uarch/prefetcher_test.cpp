@@ -1,0 +1,96 @@
+/** Tests for the stride prefetcher. */
+
+#include "uarch/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stackscope::uarch {
+namespace {
+
+PrefetcherParams
+params(unsigned degree = 4, unsigned conf = 2)
+{
+    PrefetcherParams p;
+    p.enable = true;
+    p.degree = degree;
+    p.confidence_threshold = conf;
+    return p;
+}
+
+TEST(StridePrefetcher, NoPrefetchBeforeConfidence)
+{
+    StridePrefetcher pf(params());
+    EXPECT_TRUE(pf.onMiss(0x1000).empty());
+    EXPECT_TRUE(pf.onMiss(0x1040).empty());  // first stride observation
+    // Second confirmation reaches the threshold.
+    EXPECT_FALSE(pf.onMiss(0x1080).empty());
+}
+
+TEST(StridePrefetcher, PrefetchesDegreeLinesAhead)
+{
+    StridePrefetcher pf(params(3));
+    (void)pf.onMiss(0x1000);
+    (void)pf.onMiss(0x1040);
+    const auto targets = pf.onMiss(0x1080);
+    ASSERT_EQ(targets.size(), 3u);
+    EXPECT_EQ(targets[0], 0x10c0u);
+    EXPECT_EQ(targets[1], 0x1100u);
+    EXPECT_EQ(targets[2], 0x1140u);
+}
+
+TEST(StridePrefetcher, DetectsNegativeStride)
+{
+    StridePrefetcher pf(params(2));
+    (void)pf.onMiss(0x5000);
+    (void)pf.onMiss(0x4f80);
+    const auto targets = pf.onMiss(0x4f00);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], 0x4e80u);
+    EXPECT_EQ(targets[1], 0x4e00u);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf(params());
+    (void)pf.onMiss(0x1000);
+    (void)pf.onMiss(0x1040);
+    (void)pf.onMiss(0x1080);          // confident now
+    EXPECT_TRUE(pf.onMiss(0x9000).empty());   // stride broken
+    EXPECT_TRUE(pf.onMiss(0x9040).empty());   // rebuilding
+    EXPECT_FALSE(pf.onMiss(0x9080).empty());  // confident again
+}
+
+TEST(StridePrefetcher, DisabledIssuesNothing)
+{
+    PrefetcherParams p = params();
+    p.enable = false;
+    StridePrefetcher pf(p);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(pf.onMiss(0x1000 + i * 64).empty());
+    EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(StridePrefetcher, IssuedCounterAccumulates)
+{
+    StridePrefetcher pf(params(4));
+    (void)pf.onMiss(0x1000);
+    (void)pf.onMiss(0x1040);
+    (void)pf.onMiss(0x1080);
+    (void)pf.onMiss(0x10c0);
+    EXPECT_EQ(pf.issued(), 8u);
+}
+
+TEST(StridePrefetcher, ResetClearsState)
+{
+    StridePrefetcher pf(params());
+    (void)pf.onMiss(0x1000);
+    (void)pf.onMiss(0x1040);
+    (void)pf.onMiss(0x1080);
+    pf.reset();
+    EXPECT_EQ(pf.issued(), 0u);
+    EXPECT_TRUE(pf.onMiss(0x2000).empty());
+    EXPECT_TRUE(pf.onMiss(0x2040).empty());
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

@@ -1,0 +1,157 @@
+/** Tests for the reorder buffer and reservation stations. */
+
+#include "uarch/rob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uarch/reservation_station.hpp"
+
+namespace stackscope::uarch {
+namespace {
+
+InflightInstr
+instr(SeqNum seq)
+{
+    InflightInstr e;
+    e.seq = seq;
+    return e;
+}
+
+TEST(Rob, PushPopFifoOrder)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    rob.push(instr(1));
+    rob.push(instr(2));
+    rob.push(instr(3));
+    EXPECT_EQ(rob.size(), 3u);
+    EXPECT_EQ(rob.head().seq, 1u);
+    rob.popHead();
+    EXPECT_EQ(rob.head().seq, 2u);
+    rob.popHead();
+    rob.popHead();
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, FullAndWraparound)
+{
+    Rob rob(3);
+    rob.push(instr(1));
+    rob.push(instr(2));
+    rob.push(instr(3));
+    EXPECT_TRUE(rob.full());
+    rob.popHead();
+    EXPECT_FALSE(rob.full());
+    const unsigned slot = rob.push(instr(4));  // reuses slot 0
+    EXPECT_EQ(slot, 0u);
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head().seq, 2u);
+}
+
+TEST(Rob, HoldsValidatesSeqAndLiveness)
+{
+    Rob rob(3);
+    const unsigned s1 = rob.push(instr(10));
+    EXPECT_TRUE(rob.holds(s1, 10));
+    EXPECT_FALSE(rob.holds(s1, 11));
+    rob.popHead();
+    EXPECT_FALSE(rob.holds(s1, 10));
+    // Slot reuse: new entry, new seq.
+    const unsigned s2 = rob.push(instr(20));
+    EXPECT_EQ(s2, (s1 + 1) % 3);
+    rob.push(instr(30));
+    rob.push(instr(40));  // this lands in the recycled slot s1
+    EXPECT_TRUE(rob.holds(s1, 40));
+    EXPECT_FALSE(rob.holds(s1, 10));
+}
+
+TEST(Rob, SquashYoungerTruncatesTail)
+{
+    Rob rob(8);
+    std::vector<unsigned> slots;
+    for (SeqNum s = 1; s <= 6; ++s)
+        slots.push_back(rob.push(instr(s)));
+    std::vector<SeqNum> squashed;
+    rob.squashYounger(slots[2],
+                      [&](InflightInstr &e) { squashed.push_back(e.seq); });
+    ASSERT_EQ(squashed.size(), 3u);
+    EXPECT_EQ(squashed[0], 4u);
+    EXPECT_EQ(squashed[1], 5u);
+    EXPECT_EQ(squashed[2], 6u);
+    EXPECT_EQ(rob.size(), 3u);
+    EXPECT_TRUE(rob.isLiveSlot(slots[2]));
+    EXPECT_FALSE(rob.isLiveSlot(slots[3]));
+}
+
+TEST(Rob, SquashThenRefill)
+{
+    Rob rob(4);
+    const unsigned s0 = rob.push(instr(1));
+    rob.push(instr(2));
+    rob.push(instr(3));
+    rob.squashYounger(s0, [](InflightInstr &) {});
+    EXPECT_EQ(rob.size(), 1u);
+    rob.push(instr(10));
+    rob.push(instr(11));
+    rob.push(instr(12));
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head().seq, 1u);
+}
+
+TEST(Rob, ForEachVisitsAgeOrder)
+{
+    Rob rob(4);
+    rob.push(instr(5));
+    rob.push(instr(6));
+    rob.popHead();
+    rob.push(instr(7));
+    rob.push(instr(8));  // wraps
+    std::vector<SeqNum> seen;
+    rob.forEach([&](const InflightInstr &e) { seen.push_back(e.seq); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 6u);
+    EXPECT_EQ(seen[1], 7u);
+    EXPECT_EQ(seen[2], 8u);
+}
+
+TEST(ReservationStations, CapacityAndOrder)
+{
+    ReservationStations rs(3);
+    EXPECT_TRUE(rs.empty());
+    rs.insert(7);
+    rs.insert(3);
+    rs.insert(9);
+    EXPECT_TRUE(rs.full());
+    // Age order is insertion order.
+    EXPECT_EQ(rs.entries()[0], 7u);
+    EXPECT_EQ(rs.entries()[1], 3u);
+    EXPECT_EQ(rs.entries()[2], 9u);
+}
+
+TEST(ReservationStations, RemovePreservesOrder)
+{
+    ReservationStations rs(4);
+    rs.insert(1);
+    rs.insert(2);
+    rs.insert(3);
+    rs.remove(2);
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_EQ(rs.entries()[0], 1u);
+    EXPECT_EQ(rs.entries()[1], 3u);
+}
+
+TEST(ReservationStations, RemoveIf)
+{
+    ReservationStations rs(8);
+    for (unsigned i = 0; i < 8; ++i)
+        rs.insert(i);
+    rs.removeIf([](unsigned slot) { return slot % 2 == 0; });
+    ASSERT_EQ(rs.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(rs.entries()[i], 2 * i + 1);
+}
+
+}  // namespace
+}  // namespace stackscope::uarch

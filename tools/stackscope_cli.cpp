@@ -1,0 +1,381 @@
+/**
+ * @file
+ * The stackscope command-line tool: run any workload on any machine and
+ * print (or export) multi-stage CPI stacks, FLOPS stacks, idealization
+ * bounds and speculation-mode comparisons without writing C++.
+ *
+ * Subcommands:
+ *   list                     enumerate workloads, machines and HPC kernels
+ *   run     [options]        single- or multi-core run with all stacks
+ *   bounds  [options]        multi-stage bounds vs measured idealizations
+ *   hpc     [options]        FLOPS stack analysis of a DeepBench kernel
+ *   compare-spec [options]   oracle / simple / spec-counter stacks
+ *
+ * Common options:
+ *   --workload NAME   workload preset (default mcf)
+ *   --kernel NAME     HPC kernel (hpc subcommand; default conv_fwd_0)
+ *   --machine NAME    bdw | knl | skx (default bdw)
+ *   --instrs N        measured instructions (default 250000)
+ *   --warmup N        warmup instructions (default instrs/2)
+ *   --cores N         cores sharing an uncore (default 1)
+ *   --csv             machine-readable output
+ *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/render.hpp"
+#include "sim/multicore.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/hpc_kernels.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace {
+
+using namespace stackscope;
+using stacks::CpiComponent;
+using stacks::Stage;
+
+struct CliOptions
+{
+    std::string command = "help";
+    std::string workload = "mcf";
+    std::string kernel = "conv_fwd_0";
+    std::string machine = "bdw";
+    std::uint64_t instrs = 250'000;
+    std::uint64_t warmup = ~std::uint64_t{0};  // default: instrs / 2
+    unsigned cores = 1;
+    bool csv = false;
+    sim::Idealization ideal{};
+
+    std::uint64_t
+    warmupInstrs() const
+    {
+        return warmup == ~std::uint64_t{0} ? instrs / 2 : warmup;
+    }
+    std::uint64_t totalInstrs() const { return instrs + warmupInstrs(); }
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <list|run|bounds|hpc|compare-spec> [options]\n"
+        "  --workload NAME  --kernel NAME  --machine bdw|knl|skx\n"
+        "  --instrs N  --warmup N  --cores N  --csv\n"
+        "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &opt)
+{
+    if (argc < 2)
+        return false;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = value();
+        } else if (arg == "--kernel") {
+            opt.kernel = value();
+        } else if (arg == "--machine") {
+            opt.machine = value();
+        } else if (arg == "--instrs") {
+            opt.instrs = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            opt.warmup = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--cores") {
+            opt.cores = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--perfect-icache") {
+            opt.ideal.perfect_icache = true;
+        } else if (arg == "--perfect-dcache") {
+            opt.ideal.perfect_dcache = true;
+        } else if (arg == "--perfect-bpred") {
+            opt.ideal.perfect_bpred = true;
+        } else if (arg == "--ideal-alu") {
+            opt.ideal.single_cycle_alu = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<trace::TraceSource>
+makeWorkloadTrace(const CliOptions &opt)
+{
+    trace::SyntheticParams params =
+        trace::findWorkload(opt.workload).params;
+    params.num_instrs = opt.totalInstrs();
+    return std::make_unique<trace::SyntheticGenerator>(params);
+}
+
+sim::SimOptions
+simOptions(const CliOptions &opt)
+{
+    sim::SimOptions so;
+    so.warmup_instrs = opt.warmupInstrs();
+    return so;
+}
+
+int
+cmdList()
+{
+    std::printf("machines:\n");
+    for (const std::string &m : sim::allMachineNames()) {
+        const sim::MachineConfig cfg = sim::machineByName(m);
+        std::printf("  %-4s %-4s  %u-wide OoO, %u-core socket, %.1f GHz, "
+                    "peak %s/socket\n",
+                    m.c_str(), cfg.name.c_str(), cfg.core.dispatch_width,
+                    cfg.socket_cores, cfg.freq_ghz,
+                    analysis::formatFlops(cfg.socketPeakFlops()).c_str());
+    }
+    std::printf("\nworkloads (SPEC-CPU-2017-inspired):\n");
+    for (const trace::Workload &w : trace::allSpecWorkloads())
+        std::printf("  %-11s %s\n", w.name.c_str(), w.description.c_str());
+    std::printf("\nhpc kernels (DeepBench-inspired):\n");
+    for (const trace::HpcBenchmark &bm : trace::deepBenchSuite())
+        std::printf("  %-15s (%s)\n", bm.name.c_str(), bm.group.c_str());
+    return 0;
+}
+
+int
+cmdRun(const CliOptions &opt)
+{
+    const sim::MachineConfig machine =
+        sim::applyIdealization(sim::machineByName(opt.machine), opt.ideal);
+    auto trace = makeWorkloadTrace(opt);
+
+    if (opt.cores > 1) {
+        const sim::MulticoreResult r = sim::simulateMulticore(
+            machine, *trace, opt.cores, simOptions(opt));
+        if (opt.csv) {
+            std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
+            for (Stage s :
+                 {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+                std::printf("%s\n",
+                            analysis::toCsvRow(std::string(toString(s)),
+                                               r.cpiStack(s))
+                                .c_str());
+            }
+            return 0;
+        }
+        std::printf("%s on %s x%u: avg CPI %.3f (IPC %.2f)\n",
+                    opt.workload.c_str(), machine.name.c_str(), opt.cores,
+                    r.avg_cpi, r.avg_ipc);
+        std::printf("%s",
+                    analysis::renderCpiStacks(
+                        {r.cpiStack(Stage::kDispatch),
+                         r.cpiStack(Stage::kIssue),
+                         r.cpiStack(Stage::kCommit)},
+                        {"dispatch", "issue", "commit"},
+                        "  averaged CPI stacks:")
+                        .c_str());
+        return 0;
+    }
+
+    const sim::SimResult r = sim::simulate(machine, *trace, simOptions(opt));
+    if (opt.csv) {
+        std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
+        for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+            std::printf("%s\n",
+                        analysis::toCsvRow(std::string(toString(s)),
+                                           r.cpiStack(s))
+                            .c_str());
+        }
+        std::printf("%s\n", analysis::flopsStackCsvHeader("stack").c_str());
+        std::printf("%s\n",
+                    analysis::toCsvRow("flops_cycles", r.flops_cycles)
+                        .c_str());
+        return 0;
+    }
+    std::printf("%s",
+                analysis::renderMultiStage(r, opt.workload).c_str());
+    std::printf("\nbranches %llu (%.2f%% mispredicted), loads %llu "
+                "(%.2f%% L1D misses)\n",
+                static_cast<unsigned long long>(r.stats.branches),
+                r.stats.branches == 0 ? 0.0
+                                      : 100.0 * r.stats.branch_mispredicts /
+                                            r.stats.branches,
+                static_cast<unsigned long long>(r.stats.loads),
+                r.stats.loads == 0 ? 0.0
+                                   : 100.0 * r.stats.l1d_load_misses /
+                                         r.stats.loads);
+    return 0;
+}
+
+int
+cmdBounds(const CliOptions &opt)
+{
+    const sim::MachineConfig machine = sim::machineByName(opt.machine);
+    auto trace = makeWorkloadTrace(opt);
+    const sim::SimOptions so = simOptions(opt);
+
+    const sim::SimResult real = sim::simulate(machine, *trace, so);
+    const analysis::MultiStageStacks ms{real.cpiStack(Stage::kDispatch),
+                                        real.cpiStack(Stage::kIssue),
+                                        real.cpiStack(Stage::kCommit)};
+
+    struct Knob
+    {
+        const char *label;
+        CpiComponent comp;
+        sim::Idealization ideal;
+    };
+    const Knob knobs[] = {
+        {"Icache", CpiComponent::kIcache, {.perfect_icache = true}},
+        {"Dcache", CpiComponent::kDcache, {.perfect_dcache = true}},
+        {"bpred", CpiComponent::kBpred, {.perfect_bpred = true}},
+        {"ALU", CpiComponent::kAluLat, {.single_cycle_alu = true}},
+    };
+
+    if (opt.csv) {
+        std::printf("component,lo,hi,actual,error\n");
+    } else {
+        std::printf("%s on %s: CPI %.3f\n  %-8s %9s %9s %9s %9s\n",
+                    opt.workload.c_str(), machine.name.c_str(), real.cpi,
+                    "comp", "lo", "hi", "actual", "error");
+    }
+    for (const Knob &k : knobs) {
+        const double actual =
+            sim::cpiReduction(machine, *trace, k.ideal, so);
+        const analysis::ComponentBounds b =
+            analysis::componentBounds(ms, k.comp);
+        const double err = analysis::multiStageError(ms, k.comp, actual);
+        if (opt.csv) {
+            std::printf("%s,%.6g,%.6g,%.6g,%.6g\n", k.label, b.lo, b.hi,
+                        actual, err);
+        } else {
+            std::printf("  %-8s %9.3f %9.3f %9.3f %9.3f%s\n", k.label, b.lo,
+                        b.hi, actual, err,
+                        err == 0.0 ? "  (within bounds)" : "");
+        }
+    }
+    return 0;
+}
+
+int
+cmdHpc(const CliOptions &opt)
+{
+    const sim::MachineConfig machine =
+        sim::applyIdealization(sim::machineByName(opt.machine), opt.ideal);
+    const trace::HpcBenchmark *bench = nullptr;
+    for (const trace::HpcBenchmark &bm : trace::deepBenchSuite()) {
+        if (bm.name == opt.kernel)
+            bench = &bm;
+    }
+    if (bench == nullptr) {
+        std::fprintf(stderr, "unknown kernel '%s' (see `stackscope list`)\n",
+                     opt.kernel.c_str());
+        return 1;
+    }
+    const trace::HpcTarget target{
+        machine.core.flops_vec_lanes,
+        opt.machine == "knl" ? trace::SgemmCodegen::kKnlJit
+                             : trace::SgemmCodegen::kSkxBroadcast};
+    auto trace = bench->make(target, opt.totalInstrs());
+
+    const sim::MulticoreResult r = sim::simulateMulticore(
+        machine, *trace, std::max(1u, opt.cores), simOptions(opt));
+
+    if (opt.csv) {
+        std::printf("%s\n", analysis::flopsStackCsvHeader("stack").c_str());
+        std::printf("%s\n",
+                    analysis::toCsvRow("socket_flops", r.socketFlopsStack())
+                        .c_str());
+        return 0;
+    }
+    std::printf("%s on %s: avg IPC %.2f of %u\n", bench->name.c_str(),
+                machine.name.c_str(), r.avg_ipc,
+                machine.core.effectiveWidth());
+    std::printf("%s",
+                analysis::renderFlopsStack(r.socketFlopsStack(),
+                                           "socket FLOPS stack", "flops/s")
+                    .c_str());
+    std::printf("achieved %s of %s peak (%.0f%%)\n",
+                analysis::formatFlops(r.socket_flops).c_str(),
+                analysis::formatFlops(r.socket_peak_flops).c_str(),
+                100.0 * r.socket_flops / r.socket_peak_flops);
+    return 0;
+}
+
+int
+cmdCompareSpec(const CliOptions &opt)
+{
+    const sim::MachineConfig machine = sim::machineByName(opt.machine);
+    auto trace = makeWorkloadTrace(opt);
+
+    const struct
+    {
+        const char *label;
+        stacks::SpeculationMode mode;
+    } modes[] = {
+        {"oracle", stacks::SpeculationMode::kOracle},
+        {"simple", stacks::SpeculationMode::kSimple},
+        {"spec-counters", stacks::SpeculationMode::kSpecCounters},
+    };
+
+    std::vector<stacks::CpiStack> dispatch_stacks;
+    std::vector<std::string> labels;
+    for (const auto &m : modes) {
+        sim::SimOptions so = simOptions(opt);
+        so.spec_mode = m.mode;
+        const sim::SimResult r = sim::simulate(machine, *trace, so);
+        dispatch_stacks.push_back(r.cpiStack(Stage::kDispatch));
+        labels.push_back(m.label);
+    }
+    std::printf("%s on %s: dispatch CPI stack per wrong-path handling "
+                "strategy (§III-B)\n",
+                opt.workload.c_str(), machine.name.c_str());
+    std::printf("%s",
+                analysis::renderCpiStacks(dispatch_stacks, labels, "")
+                    .c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opt;
+    if (!parseArgs(argc, argv, opt))
+        return usage(argv[0]);
+    try {
+        if (opt.command == "list")
+            return cmdList();
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "bounds")
+            return cmdBounds(opt);
+        if (opt.command == "hpc")
+            return cmdHpc(opt);
+        if (opt.command == "compare-spec")
+            return cmdCompareSpec(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}
