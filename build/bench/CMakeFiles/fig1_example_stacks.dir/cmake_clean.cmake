@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_example_stacks.dir/bench_util.cpp.o"
+  "CMakeFiles/fig1_example_stacks.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig1_example_stacks.dir/fig1_example_stacks.cpp.o"
+  "CMakeFiles/fig1_example_stacks.dir/fig1_example_stacks.cpp.o.d"
+  "fig1_example_stacks"
+  "fig1_example_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_component_error.dir/bench_util.cpp.o"
+  "CMakeFiles/fig2_component_error.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig2_component_error.dir/fig2_component_error.cpp.o"
+  "CMakeFiles/fig2_component_error.dir/fig2_component_error.cpp.o.d"
+  "fig2_component_error"
+  "fig2_component_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_component_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

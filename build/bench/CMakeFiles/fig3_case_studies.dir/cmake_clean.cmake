@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_case_studies.dir/bench_util.cpp.o"
+  "CMakeFiles/fig3_case_studies.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig3_case_studies.dir/fig3_case_studies.cpp.o"
+  "CMakeFiles/fig3_case_studies.dir/fig3_case_studies.cpp.o.d"
+  "fig3_case_studies"
+  "fig3_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_flops_vs_cpi.dir/bench_util.cpp.o"
+  "CMakeFiles/fig4_flops_vs_cpi.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig4_flops_vs_cpi.dir/fig4_flops_vs_cpi.cpp.o"
+  "CMakeFiles/fig4_flops_vs_cpi.dir/fig4_flops_vs_cpi.cpp.o.d"
+  "fig4_flops_vs_cpi"
+  "fig4_flops_vs_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_flops_vs_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

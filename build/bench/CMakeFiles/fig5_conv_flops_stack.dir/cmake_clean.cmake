@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_conv_flops_stack.dir/bench_util.cpp.o"
+  "CMakeFiles/fig5_conv_flops_stack.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig5_conv_flops_stack.dir/fig5_conv_flops_stack.cpp.o"
+  "CMakeFiles/fig5_conv_flops_stack.dir/fig5_conv_flops_stack.cpp.o.d"
+  "fig5_conv_flops_stack"
+  "fig5_conv_flops_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_conv_flops_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_idealization.dir/bench_util.cpp.o"
+  "CMakeFiles/table1_idealization.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table1_idealization.dir/table1_idealization.cpp.o"
+  "CMakeFiles/table1_idealization.dir/table1_idealization.cpp.o.d"
+  "table1_idealization"
+  "table1_idealization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_idealization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

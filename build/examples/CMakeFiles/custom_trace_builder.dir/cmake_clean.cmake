@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_trace_builder.dir/custom_trace_builder.cpp.o"
+  "CMakeFiles/custom_trace_builder.dir/custom_trace_builder.cpp.o.d"
+  "custom_trace_builder"
+  "custom_trace_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_trace_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

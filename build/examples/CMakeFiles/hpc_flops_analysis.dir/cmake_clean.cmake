@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_flops_analysis.dir/hpc_flops_analysis.cpp.o"
+  "CMakeFiles/hpc_flops_analysis.dir/hpc_flops_analysis.cpp.o.d"
+  "hpc_flops_analysis"
+  "hpc_flops_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_flops_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

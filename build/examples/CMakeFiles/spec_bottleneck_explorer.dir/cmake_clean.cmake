@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_bottleneck_explorer.dir/spec_bottleneck_explorer.cpp.o"
+  "CMakeFiles/spec_bottleneck_explorer.dir/spec_bottleneck_explorer.cpp.o.d"
+  "spec_bottleneck_explorer"
+  "spec_bottleneck_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_bottleneck_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/stackscope_analysis.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/stackscope_analysis.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/boxplot.cpp" "src/CMakeFiles/stackscope_analysis.dir/analysis/boxplot.cpp.o" "gcc" "src/CMakeFiles/stackscope_analysis.dir/analysis/boxplot.cpp.o.d"
+  "/root/repo/src/analysis/csv.cpp" "src/CMakeFiles/stackscope_analysis.dir/analysis/csv.cpp.o" "gcc" "src/CMakeFiles/stackscope_analysis.dir/analysis/csv.cpp.o.d"
+  "/root/repo/src/analysis/render.cpp" "src/CMakeFiles/stackscope_analysis.dir/analysis/render.cpp.o" "gcc" "src/CMakeFiles/stackscope_analysis.dir/analysis/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

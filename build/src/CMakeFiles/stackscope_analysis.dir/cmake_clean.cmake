@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_analysis.dir/analysis/bounds.cpp.o"
+  "CMakeFiles/stackscope_analysis.dir/analysis/bounds.cpp.o.d"
+  "CMakeFiles/stackscope_analysis.dir/analysis/boxplot.cpp.o"
+  "CMakeFiles/stackscope_analysis.dir/analysis/boxplot.cpp.o.d"
+  "CMakeFiles/stackscope_analysis.dir/analysis/csv.cpp.o"
+  "CMakeFiles/stackscope_analysis.dir/analysis/csv.cpp.o.d"
+  "CMakeFiles/stackscope_analysis.dir/analysis/render.cpp.o"
+  "CMakeFiles/stackscope_analysis.dir/analysis/render.cpp.o.d"
+  "libstackscope_analysis.a"
+  "libstackscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

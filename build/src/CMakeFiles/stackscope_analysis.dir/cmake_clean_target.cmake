@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstackscope_analysis.a"
+)

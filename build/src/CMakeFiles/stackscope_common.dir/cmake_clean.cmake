@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_common.dir/common/rng.cpp.o"
+  "CMakeFiles/stackscope_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/stackscope_common.dir/common/stats_math.cpp.o"
+  "CMakeFiles/stackscope_common.dir/common/stats_math.cpp.o.d"
+  "libstackscope_common.a"
+  "libstackscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

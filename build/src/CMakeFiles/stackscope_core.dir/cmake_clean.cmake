@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_core.dir/core/ooo_core.cpp.o"
+  "CMakeFiles/stackscope_core.dir/core/ooo_core.cpp.o.d"
+  "libstackscope_core.a"
+  "libstackscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_config.cpp" "src/CMakeFiles/stackscope_sim.dir/sim/core_config.cpp.o" "gcc" "src/CMakeFiles/stackscope_sim.dir/sim/core_config.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/CMakeFiles/stackscope_sim.dir/sim/multicore.cpp.o" "gcc" "src/CMakeFiles/stackscope_sim.dir/sim/multicore.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/CMakeFiles/stackscope_sim.dir/sim/presets.cpp.o" "gcc" "src/CMakeFiles/stackscope_sim.dir/sim/presets.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/stackscope_sim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/stackscope_sim.dir/sim/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

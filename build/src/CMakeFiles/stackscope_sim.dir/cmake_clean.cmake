@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_sim.dir/sim/core_config.cpp.o"
+  "CMakeFiles/stackscope_sim.dir/sim/core_config.cpp.o.d"
+  "CMakeFiles/stackscope_sim.dir/sim/multicore.cpp.o"
+  "CMakeFiles/stackscope_sim.dir/sim/multicore.cpp.o.d"
+  "CMakeFiles/stackscope_sim.dir/sim/presets.cpp.o"
+  "CMakeFiles/stackscope_sim.dir/sim/presets.cpp.o.d"
+  "CMakeFiles/stackscope_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/stackscope_sim.dir/sim/simulation.cpp.o.d"
+  "libstackscope_sim.a"
+  "libstackscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stacks/components.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/components.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/components.cpp.o.d"
+  "/root/repo/src/stacks/cpi_accountant.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/cpi_accountant.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/cpi_accountant.cpp.o.d"
+  "/root/repo/src/stacks/cycle_state.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/cycle_state.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/cycle_state.cpp.o.d"
+  "/root/repo/src/stacks/flops_accountant.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/flops_accountant.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/flops_accountant.cpp.o.d"
+  "/root/repo/src/stacks/speculation.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/speculation.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/speculation.cpp.o.d"
+  "/root/repo/src/stacks/stack.cpp" "src/CMakeFiles/stackscope_stacks.dir/stacks/stack.cpp.o" "gcc" "src/CMakeFiles/stackscope_stacks.dir/stacks/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_stacks.dir/stacks/components.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/components.cpp.o.d"
+  "CMakeFiles/stackscope_stacks.dir/stacks/cpi_accountant.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/cpi_accountant.cpp.o.d"
+  "CMakeFiles/stackscope_stacks.dir/stacks/cycle_state.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/cycle_state.cpp.o.d"
+  "CMakeFiles/stackscope_stacks.dir/stacks/flops_accountant.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/flops_accountant.cpp.o.d"
+  "CMakeFiles/stackscope_stacks.dir/stacks/speculation.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/speculation.cpp.o.d"
+  "CMakeFiles/stackscope_stacks.dir/stacks/stack.cpp.o"
+  "CMakeFiles/stackscope_stacks.dir/stacks/stack.cpp.o.d"
+  "libstackscope_stacks.a"
+  "libstackscope_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

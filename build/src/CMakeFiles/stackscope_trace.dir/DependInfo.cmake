@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/hpc_kernels.cpp" "src/CMakeFiles/stackscope_trace.dir/trace/hpc_kernels.cpp.o" "gcc" "src/CMakeFiles/stackscope_trace.dir/trace/hpc_kernels.cpp.o.d"
+  "/root/repo/src/trace/instruction.cpp" "src/CMakeFiles/stackscope_trace.dir/trace/instruction.cpp.o" "gcc" "src/CMakeFiles/stackscope_trace.dir/trace/instruction.cpp.o.d"
+  "/root/repo/src/trace/synthetic_generator.cpp" "src/CMakeFiles/stackscope_trace.dir/trace/synthetic_generator.cpp.o" "gcc" "src/CMakeFiles/stackscope_trace.dir/trace/synthetic_generator.cpp.o.d"
+  "/root/repo/src/trace/trace_builder.cpp" "src/CMakeFiles/stackscope_trace.dir/trace/trace_builder.cpp.o" "gcc" "src/CMakeFiles/stackscope_trace.dir/trace/trace_builder.cpp.o.d"
+  "/root/repo/src/trace/workload_library.cpp" "src/CMakeFiles/stackscope_trace.dir/trace/workload_library.cpp.o" "gcc" "src/CMakeFiles/stackscope_trace.dir/trace/workload_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_trace.dir/trace/hpc_kernels.cpp.o"
+  "CMakeFiles/stackscope_trace.dir/trace/hpc_kernels.cpp.o.d"
+  "CMakeFiles/stackscope_trace.dir/trace/instruction.cpp.o"
+  "CMakeFiles/stackscope_trace.dir/trace/instruction.cpp.o.d"
+  "CMakeFiles/stackscope_trace.dir/trace/synthetic_generator.cpp.o"
+  "CMakeFiles/stackscope_trace.dir/trace/synthetic_generator.cpp.o.d"
+  "CMakeFiles/stackscope_trace.dir/trace/trace_builder.cpp.o"
+  "CMakeFiles/stackscope_trace.dir/trace/trace_builder.cpp.o.d"
+  "CMakeFiles/stackscope_trace.dir/trace/workload_library.cpp.o"
+  "CMakeFiles/stackscope_trace.dir/trace/workload_library.cpp.o.d"
+  "libstackscope_trace.a"
+  "libstackscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

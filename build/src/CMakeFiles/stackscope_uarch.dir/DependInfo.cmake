@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/cache.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/cache.cpp.o.d"
+  "/root/repo/src/uarch/cache_hierarchy.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/cache_hierarchy.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/uarch/fu_pool.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/fu_pool.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/fu_pool.cpp.o.d"
+  "/root/repo/src/uarch/prefetcher.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/prefetcher.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/prefetcher.cpp.o.d"
+  "/root/repo/src/uarch/reservation_station.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/reservation_station.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/reservation_station.cpp.o.d"
+  "/root/repo/src/uarch/rob.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/rob.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/rob.cpp.o.d"
+  "/root/repo/src/uarch/tlb.cpp" "src/CMakeFiles/stackscope_uarch.dir/uarch/tlb.cpp.o" "gcc" "src/CMakeFiles/stackscope_uarch.dir/uarch/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

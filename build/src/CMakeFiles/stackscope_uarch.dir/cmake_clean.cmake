@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_uarch.dir/uarch/branch_predictor.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/branch_predictor.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/cache.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/cache.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/cache_hierarchy.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/cache_hierarchy.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/fu_pool.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/fu_pool.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/prefetcher.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/prefetcher.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/reservation_station.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/reservation_station.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/rob.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/rob.cpp.o.d"
+  "CMakeFiles/stackscope_uarch.dir/uarch/tlb.cpp.o"
+  "CMakeFiles/stackscope_uarch.dir/uarch/tlb.cpp.o.d"
+  "libstackscope_uarch.a"
+  "libstackscope_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

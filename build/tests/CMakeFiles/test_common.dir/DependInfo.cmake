@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_math_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_math_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_math_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stackscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stackscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/accounting_integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/accounting_integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/measurement_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/measurement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_basics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_basics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_stalls_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_stalls_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stacks.dir/stacks/cpi_accountant_test.cpp.o"
+  "CMakeFiles/test_stacks.dir/stacks/cpi_accountant_test.cpp.o.d"
+  "CMakeFiles/test_stacks.dir/stacks/flops_accountant_test.cpp.o"
+  "CMakeFiles/test_stacks.dir/stacks/flops_accountant_test.cpp.o.d"
+  "CMakeFiles/test_stacks.dir/stacks/speculation_test.cpp.o"
+  "CMakeFiles/test_stacks.dir/stacks/speculation_test.cpp.o.d"
+  "CMakeFiles/test_stacks.dir/stacks/stack_test.cpp.o"
+  "CMakeFiles/test_stacks.dir/stacks/stack_test.cpp.o.d"
+  "test_stacks"
+  "test_stacks.pdb"
+  "test_stacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/uarch/branch_predictor_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/branch_predictor_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/cache_hierarchy_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/cache_hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/cache_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/cache_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/fu_pool_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/fu_pool_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/prefetcher_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/prefetcher_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/rob_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/rob_test.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/uarch/tlb_test.cpp.o"
+  "CMakeFiles/test_uarch.dir/uarch/tlb_test.cpp.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackscope_cli.dir/stackscope_cli.cpp.o"
+  "CMakeFiles/stackscope_cli.dir/stackscope_cli.cpp.o.d"
+  "stackscope"
+  "stackscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
