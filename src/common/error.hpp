@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Structured, recoverable error handling for all stackscope subsystems.
+ *
+ * Historically fatal conditions (bad configuration, API misuse, violated
+ * accounting invariants) surfaced as bare `assert` or `std::exit`, which
+ * is unacceptable for a library embedded in long-running services: a
+ * single bad request must not take the process down, and callers need
+ * enough structure to map failures onto exit codes / HTTP statuses /
+ * retry policies. This header provides
+ *
+ *  - ErrorCategory: a coarse taxonomy mapped onto process exit codes;
+ *  - StackscopeError: an exception carrying category, message and a list
+ *    of key/value context pairs (machine, workload, invariant, ...);
+ *  - Result<T>: a value-or-error return type for call sites that prefer
+ *    explicit propagation over exceptions.
+ */
+
+#ifndef STACKSCOPE_COMMON_ERROR_HPP
+#define STACKSCOPE_COMMON_ERROR_HPP
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stackscope {
+
+/** Coarse failure taxonomy; determines the CLI exit code. */
+enum class ErrorCategory
+{
+    kUsage,       ///< malformed command line / bad argument value
+    kConfig,      ///< inconsistent machine or accounting configuration
+    kValidation,  ///< a runtime stack invariant was violated
+    kWatchdog,    ///< the run watchdog aborted a stuck simulation
+    kInternal,    ///< API misuse or broken internal invariant (a bug)
+};
+
+constexpr const char *
+toString(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::kUsage:
+        return "usage";
+      case ErrorCategory::kConfig:
+        return "config";
+      case ErrorCategory::kValidation:
+        return "validation";
+      case ErrorCategory::kWatchdog:
+        return "watchdog";
+      case ErrorCategory::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+/** Process exit code for a failure category (0 is success). */
+constexpr int
+exitCodeFor(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::kUsage:
+      case ErrorCategory::kConfig:
+        return 2;
+      case ErrorCategory::kValidation:
+      case ErrorCategory::kWatchdog:
+        return 3;
+      case ErrorCategory::kInternal:
+        return 1;
+    }
+    return 1;
+}
+
+/**
+ * The stackscope exception: a category, a human-readable message and
+ * optional key/value context attached at the throw site or while the
+ * error propagates upward.
+ */
+class StackscopeError : public std::runtime_error
+{
+  public:
+    using Context = std::vector<std::pair<std::string, std::string>>;
+
+    StackscopeError(ErrorCategory category, std::string message)
+        : std::runtime_error(std::move(message)), category_(category)
+    {
+    }
+
+    /** Attach one key/value pair; chainable at the throw site. */
+    StackscopeError &
+    withContext(std::string key, std::string value)
+    {
+        context_.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+
+    ErrorCategory category() const { return category_; }
+    const Context &context() const { return context_; }
+    int exitCode() const { return exitCodeFor(category_); }
+
+    /** "category error: message [key=value, ...]" for terminal output. */
+    std::string
+    describe() const
+    {
+        std::string out = std::string(toString(category_)) + " error: " +
+                          what();
+        if (!context_.empty()) {
+            out += " [";
+            bool first = true;
+            for (const auto &[k, v] : context_) {
+                if (!first)
+                    out += ", ";
+                first = false;
+                out += k + "=" + v;
+            }
+            out += "]";
+        }
+        return out;
+    }
+
+  private:
+    ErrorCategory category_;
+    Context context_;
+};
+
+/**
+ * Value-or-error return type.
+ *
+ * A lightweight std::expected stand-in: holds either a T or a
+ * StackscopeError. value() on an error rethrows the stored error, so
+ * callers may either branch on ok() or let the exception propagate.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : v_(std::move(value)) {}                  // NOLINT
+    Result(StackscopeError error) : v_(std::move(error)) {}    // NOLINT
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; throws the stored StackscopeError when !ok(). */
+    T &
+    value()
+    {
+        if (!ok())
+            throw std::get<StackscopeError>(v_);
+        return std::get<T>(v_);
+    }
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw std::get<StackscopeError>(v_);
+        return std::get<T>(v_);
+    }
+
+    /** The value, or @p fallback when this holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(v_) : std::move(fallback);
+    }
+
+    /** The error; must not be called when ok(). */
+    const StackscopeError &
+    error() const
+    {
+        return std::get<StackscopeError>(v_);
+    }
+
+  private:
+    std::variant<T, StackscopeError> v_;
+};
+
+/** Result<void>: success marker or error. */
+template <>
+class Result<void>
+{
+  public:
+    Result() = default;
+    Result(StackscopeError error) : error_(std::move(error)) {}  // NOLINT
+
+    bool ok() const { return !error_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Throws the stored error when !ok(). */
+    void
+    value() const
+    {
+        if (error_)
+            throw *error_;
+    }
+
+    const StackscopeError &error() const { return *error_; }
+
+  private:
+    std::optional<StackscopeError> error_;
+};
+
+}  // namespace stackscope
+
+#endif  // STACKSCOPE_COMMON_ERROR_HPP

@@ -1,15 +1,20 @@
 #include "sim/multicore.hpp"
 
-#include <cassert>
 #include <memory>
+#include <string>
+#include <utility>
 
+#include "common/error.hpp"
 #include "core/ooo_core.hpp"
+#include "validate/watchdog.hpp"
 
 namespace stackscope::sim {
 
 namespace {
 
 using stacks::Stage;
+using validate::FaultTarget;
+using validate::ValidationPolicy;
 
 /**
  * Decorator that shifts data addresses into a per-core region so
@@ -55,7 +60,11 @@ simulateMulticore(const MachineConfig &machine,
                   const trace::TraceSource &trace, unsigned num_cores,
                   const SimOptions &options)
 {
-    assert(num_cores >= 1);
+    if (num_cores < 1) {
+        throw StackscopeError(ErrorCategory::kConfig,
+                              "simulateMulticore requires at least one core")
+            .withContext("cores", std::to_string(num_cores));
+    }
 
     // The per-core config carries a per-core slice of the socket uncore;
     // the shared uncore of an n-core run is n slices.
@@ -71,38 +80,62 @@ simulateMulticore(const MachineConfig &machine,
         params.spec_mode = options.spec_mode;
         params.accounting_enabled = options.accounting;
         params.wrong_path_seed = machine.core.wrong_path_seed + i;
-        auto src = std::make_unique<AddressOffsetSource>(
-            trace.clone(), static_cast<Addr>(i) << 33);
+        if (options.fault &&
+            validate::targetOf(options.fault->kind) == FaultTarget::kConfig)
+            validate::applyToConfig(*options.fault, params);
+        std::unique_ptr<trace::TraceSource> src =
+            std::make_unique<AddressOffsetSource>(
+                trace.clone(), static_cast<Addr>(i) << 33);
+        if (options.fault &&
+            validate::targetOf(options.fault->kind) == FaultTarget::kTrace)
+            src = validate::wrapTrace(*options.fault, std::move(src));
         cores.push_back(std::make_unique<core::OooCore>(params,
                                                         std::move(src),
                                                         &uncore));
     }
 
+    const bool checking =
+        options.validation != ValidationPolicy::kOff && options.accounting;
+    const std::uint64_t warmup = options.warmup_instrs.value_or(0);
+    std::vector<validate::Watchdog> watchdogs(
+        num_cores, validate::Watchdog(
+                       {options.max_cycles, options.watchdog_cycles}));
+    std::vector<validate::IntervalValidator> intervals(
+        num_cores,
+        validate::IntervalValidator(options.validation_interval));
+    std::vector<validate::ValidationReport> reports(num_cores);
+
     // Lockstep simulation so uncore contention is interleaved fairly.
-    // Each core restarts measurement once it passes the warmup window.
-    std::vector<bool> warmed(num_cores, options.warmup_instrs == 0);
+    // Each core restarts measurement once it passes the warmup window; a
+    // core whose watchdog trips is parked while the others finish.
+    std::vector<bool> warmed(num_cores, warmup == 0);
     bool any_running = true;
     while (any_running) {
         any_running = false;
         for (unsigned i = 0; i < num_cores; ++i) {
             auto &c = cores[i];
-            if (!c->done() &&
-                (options.max_cycles == 0 ||
-                 c->absoluteCycles() < options.max_cycles)) {
-                c->cycle();
-                any_running = true;
-                if (!warmed[i] && c->stats().instrs_committed >=
-                                      options.warmup_instrs) {
-                    c->resetMeasurement();
-                    warmed[i] = true;
-                }
+            if (c->done() || watchdogs[i].tripped())
+                continue;
+            if (!watchdogs[i].poll(c->absoluteCycles(),
+                                   c->stats().instrs_committed))
+                continue;
+            c->cycle();
+            any_running = true;
+            if (!warmed[i] &&
+                c->stats().instrs_committed >= warmup) {
+                c->resetMeasurement();
+                warmed[i] = true;
             }
+            if (checking && warmed[i] && intervals[i].due(c->cycles()))
+                intervals[i].check(*c, reports[i]);
         }
     }
 
     MulticoreResult out;
+    out.validation.policy = options.validation;
     out.socket_peak_flops = machine.socketPeakFlops();
-    for (auto &c : cores) {
+    for (unsigned i = 0; i < num_cores; ++i) {
+        auto &c = cores[i];
         c->finalizeAccounting();
 
         SimResult r;
@@ -113,6 +146,7 @@ simulateMulticore(const MachineConfig &machine,
         r.freq_hz = machine.freqHz();
         r.core_peak_flops = machine.corePeakFlops();
         r.stats = c->stats();
+        r.stats.cycles = r.cycles;
         if (options.accounting) {
             for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
                 const auto stage = static_cast<Stage>(s);
@@ -121,6 +155,31 @@ simulateMulticore(const MachineConfig &machine,
             }
             r.flops_cycles = c->flopsAccountant().cycles();
         }
+
+        if (options.fault &&
+            validate::targetOf(options.fault->kind) == FaultTarget::kResult) {
+            validate::FaultSpec per_core = *options.fault;
+            per_core.seed += i;
+            validate::applyToResult(per_core, r);
+        }
+
+        validate::ValidationReport &rep = reports[i];
+        rep.policy = options.validation;
+        if (watchdogs[i].deadlocked()) {
+            rep.add(validate::Invariant::kProgress,
+                    watchdogs[i].snapshot().describe(), r.cycles);
+        }
+        if (checking)
+            rep.merge(validate::validateResult(r));
+        r.validation = std::move(rep);
+
+        for (const validate::Violation &v : r.validation.violations) {
+            out.validation.add(v.invariant,
+                               "core " + std::to_string(i) + ": " + v.detail,
+                               v.cycle);
+        }
+        out.validation.checks_run += r.validation.checks_run;
+
         out.per_core.push_back(std::move(r));
     }
 
@@ -143,6 +202,13 @@ simulateMulticore(const MachineConfig &machine,
     out.socket_flops =
         out.avg_flops_fraction[stacks::FlopsComponent::kBase] *
         out.socket_peak_flops;
+
+    if (options.validation == ValidationPolicy::kStrict &&
+        !out.validation.passed()) {
+        throw out.validation.toError()
+            .withContext("machine", machine.name)
+            .withContext("cores", std::to_string(num_cores));
+    }
     return out;
 }
 

@@ -30,6 +30,13 @@ struct MulticoreResult
     double avg_cpi = 0.0;
     double avg_ipc = 0.0;
 
+    /**
+     * Merged validation outcome of all cores (each violation detail is
+     * prefixed with the core index); per-core reports stay available in
+     * per_core[i].validation.
+     */
+    validate::ValidationReport validation{};
+
     /** Socket-level achieved FLOPS (base fraction x socket peak). */
     double socket_flops = 0.0;
     /** Socket-level peak FLOPS. */

@@ -195,7 +195,8 @@ machineByName(const std::string &name)
         return knlConfig();
     if (name == "skx")
         return skxConfig();
-    throw std::out_of_range("unknown machine: " + name);
+    throw std::out_of_range("unknown machine '" + name +
+                            "' (valid: bdw, knl, skx)");
 }
 
 std::vector<std::string>

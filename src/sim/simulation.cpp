@@ -1,10 +1,15 @@
 #include "sim/simulation.hpp"
 
+#include <utility>
+
 #include "core/ooo_core.hpp"
+#include "validate/watchdog.hpp"
 
 namespace stackscope::sim {
 
 using stacks::Stage;
+using validate::FaultTarget;
+using validate::ValidationPolicy;
 
 stacks::FlopsStack
 SimResult::flopsStack() const
@@ -43,16 +48,48 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     core::CoreParams params = machine.core;
     params.spec_mode = options.spec_mode;
     params.accounting_enabled = options.accounting;
+    if (options.fault &&
+        validate::targetOf(options.fault->kind) == FaultTarget::kConfig)
+        validate::applyToConfig(*options.fault, params);
 
-    core::OooCore core(params, trace.clone());
-    if (options.warmup_instrs > 0) {
+    std::unique_ptr<trace::TraceSource> src = trace.clone();
+    if (options.fault &&
+        validate::targetOf(options.fault->kind) == FaultTarget::kTrace)
+        src = validate::wrapTrace(*options.fault, std::move(src));
+
+    core::OooCore core(params, std::move(src));
+
+    validate::Watchdog watchdog(
+        {options.max_cycles, options.watchdog_cycles});
+    const bool checking =
+        options.validation != ValidationPolicy::kOff && options.accounting;
+    validate::IntervalValidator interval(options.validation_interval);
+    validate::ValidationReport report;
+    report.policy = options.validation;
+
+    // Fast-forward (§IV): warm structures, then restart measurement. The
+    // watchdog also guards this phase — a hung trace must not spin here.
+    const std::uint64_t warmup = options.warmup_instrs.value_or(0);
+    if (warmup > 0) {
         while (!core.done() &&
-               core.stats().instrs_committed < options.warmup_instrs) {
+               core.stats().instrs_committed < warmup &&
+               watchdog.poll(core.absoluteCycles(),
+                             core.stats().instrs_committed)) {
             core.cycle();
         }
-        core.resetMeasurement();
+        if (!watchdog.tripped())
+            core.resetMeasurement();
     }
-    core.run(options.max_cycles);
+
+    while (!core.done() && !watchdog.tripped()) {
+        if (!watchdog.poll(core.absoluteCycles(),
+                           core.stats().instrs_committed))
+            break;
+        core.cycle();
+        if (checking && interval.due(core.cycles()))
+            interval.check(core, report);
+    }
+    core.finalizeAccounting();
 
     SimResult r;
     r.machine = machine.name;
@@ -62,6 +99,7 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     r.freq_hz = machine.freqHz();
     r.core_peak_flops = machine.corePeakFlops();
     r.stats = core.stats();
+    r.stats.cycles = r.cycles;
     if (options.accounting) {
         for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
             const auto stage = static_cast<Stage>(s);
@@ -69,6 +107,27 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
             r.cpi_stacks[s] = core.accountant(stage).cpi(r.instrs);
         }
         r.flops_cycles = core.flopsAccountant().cycles();
+    }
+
+    if (options.fault &&
+        validate::targetOf(options.fault->kind) == FaultTarget::kResult)
+        validate::applyToResult(*options.fault, r);
+
+    // A no-retire watchdog trip is a detected deadlock and recorded even
+    // with validation off; a max-cycles stop stays a silent truncation.
+    if (watchdog.deadlocked()) {
+        report.add(validate::Invariant::kProgress,
+                   watchdog.snapshot().describe(), core.cycles());
+    }
+    if (checking)
+        report.merge(validate::validateResult(r));
+    r.validation = std::move(report);
+
+    if (options.validation == ValidationPolicy::kStrict &&
+        !r.validation.passed()) {
+        throw r.validation.toError()
+            .withContext("machine", machine.name)
+            .withContext("cycles", std::to_string(r.cycles));
     }
     return r;
 }

@@ -9,11 +9,14 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sim/core_config.hpp"
 #include "stacks/stack.hpp"
 #include "trace/trace_source.hpp"
+#include "validate/fault_injection.hpp"
+#include "validate/invariants.hpp"
 
 namespace stackscope::sim {
 
@@ -22,14 +25,31 @@ struct SimOptions
 {
     stacks::SpeculationMode spec_mode = stacks::SpeculationMode::kOracle;
     bool accounting = true;
-    /** Safety valve; 0 = unlimited. */
+    /** Safety valve; 0 = unlimited. Truncates the run without error. */
     Cycle max_cycles = 0;
     /**
      * Instructions executed before measurement starts (caches and
      * predictor stay warm, counters reset) — the paper's fast-forward
-     * methodology (§IV).
+     * methodology (§IV). std::nullopt means no warmup; the CLI defaults
+     * this to half the measured instruction count.
      */
-    std::uint64_t warmup_instrs = 0;
+    std::optional<std::uint64_t> warmup_instrs{};
+    /**
+     * Runtime invariant checking: kOff skips all checks, kWarn records
+     * violations in SimResult::validation, kStrict additionally raises
+     * StackscopeError (category kValidation / kWatchdog).
+     */
+    validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
+    /** Measured-cycle period of the in-flight periodic checks. */
+    Cycle validation_interval = 8192;
+    /**
+     * No-retire watchdog window: abort (with a diagnostic snapshot in the
+     * validation report) when no instruction commits for this many
+     * cycles. 0 disables deadlock detection.
+     */
+    Cycle watchdog_cycles = 0;
+    /** Deterministic fault to inject, for validating the validators. */
+    std::optional<validate::FaultSpec> fault{};
 };
 
 /** Everything a single-core run produces. */
@@ -50,6 +70,12 @@ struct SimResult
     stacks::FlopsStack flops_cycles{};
 
     core::CoreStats stats{};
+
+    /**
+     * Outcome of the invariant checks that ran on this result (empty
+     * when SimOptions::validation was kOff and no watchdog fired).
+     */
+    validate::ValidationReport validation{};
 
     double ipc() const { return cpi == 0.0 ? 0.0 : 1.0 / cpi; }
 

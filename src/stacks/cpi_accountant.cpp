@@ -1,13 +1,20 @@
 #include "stacks/cpi_accountant.hpp"
 
-#include <cassert>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace stackscope::stacks {
 
 CpiAccountant::CpiAccountant(const CpiAccountantConfig &config)
     : config_(config)
 {
-    assert(config_.effective_width > 0);
+    if (config_.effective_width == 0) {
+        throw StackscopeError(ErrorCategory::kConfig,
+                              "CPI accountant needs an accounting width "
+                              ">= 1")
+            .withContext("stage", std::string(toString(config_.stage)));
+    }
 }
 
 void
@@ -145,7 +152,10 @@ CpiAccountant::tickCommit(const CycleState &s, double rem)
 void
 CpiAccountant::tick(const CycleState &s)
 {
-    assert(!finalized_);
+    if (finalized_) {
+        throw StackscopeError(ErrorCategory::kInternal,
+                              "CpiAccountant::tick() after finalize()");
+    }
     if (s.unsched) {
         add(CpiComponent::kUnsched, 1.0);
         return;
@@ -167,8 +177,8 @@ CpiAccountant::tick(const CycleState &s)
         n_wrong = 0;  // wrong-path uops never commit
         break;
       case Stage::kCount:
-        assert(false);
-        break;
+        throw StackscopeError(ErrorCategory::kInternal,
+                              "CpiAccountant configured with Stage::kCount");
     }
 
     const double f = usefulFraction(n, n_wrong);
@@ -227,7 +237,12 @@ CpiAccountant::applySimpleFixup(double commit_base)
 const CpiStack &
 CpiAccountant::cycles() const
 {
-    assert(config_.spec_mode != SpeculationMode::kSpecCounters || finalized_);
+    if (config_.spec_mode == SpeculationMode::kSpecCounters && !finalized_) {
+        throw StackscopeError(
+            ErrorCategory::kInternal,
+            "spec-counter stacks are undefined before finalize()")
+            .withContext("stage", std::string(toString(config_.stage)));
+    }
     return cycles_;
 }
 

@@ -1,13 +1,17 @@
 #include "stacks/flops_accountant.hpp"
 
-#include <cassert>
+#include "common/error.hpp"
 
 namespace stackscope::stacks {
 
 FlopsAccountant::FlopsAccountant(const FlopsAccountantConfig &config)
     : config_(config)
 {
-    assert(config_.vpu_count > 0 && config_.vec_lanes > 0);
+    if (config_.vpu_count == 0 || config_.vec_lanes == 0) {
+        throw StackscopeError(ErrorCategory::kConfig,
+                              "FLOPS accountant needs vpu_count >= 1 and "
+                              "vec_lanes >= 1");
+    }
 }
 
 void

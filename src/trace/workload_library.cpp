@@ -267,7 +267,14 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     }
-    throw std::out_of_range("unknown workload: " + name);
+    std::string valid;
+    for (const Workload &w : allSpecWorkloads()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += w.name;
+    }
+    throw std::out_of_range("unknown workload '" + name +
+                            "' (valid: " + valid + ")");
 }
 
 std::vector<std::string>

@@ -1,0 +1,295 @@
+#include "validate/fault_injection.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/ooo_core.hpp"
+#include "sim/simulation.hpp"
+
+namespace stackscope::validate {
+
+using stacks::CpiComponent;
+using stacks::CpiStack;
+using stacks::FlopsComponent;
+using stacks::Stage;
+
+std::string_view
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kStackLeak:
+        return "stack-leak";
+      case FaultKind::kStackNegative:
+        return "stack-negative";
+      case FaultKind::kStackNan:
+        return "stack-nan";
+      case FaultKind::kOrderingFlip:
+        return "ordering-flip";
+      case FaultKind::kFlopsLeak:
+        return "flops-leak";
+      case FaultKind::kCpiSkew:
+        return "cpi-skew";
+      case FaultKind::kConfigWidths:
+        return "config-widths";
+      case FaultKind::kTraceHang:
+        return "trace-hang";
+      case FaultKind::kCount:
+        break;
+    }
+    return "?";
+}
+
+FaultTarget
+targetOf(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kConfigWidths:
+        return FaultTarget::kConfig;
+      case FaultKind::kTraceHang:
+        return FaultTarget::kTrace;
+      default:
+        return FaultTarget::kResult;
+    }
+}
+
+Invariant
+violatedBy(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kStackLeak:
+        return Invariant::kStackSum;
+      case FaultKind::kStackNegative:
+        return Invariant::kNonNegative;
+      case FaultKind::kStackNan:
+        return Invariant::kFinite;
+      case FaultKind::kOrderingFlip:
+        return Invariant::kFrontendOrdering;
+      case FaultKind::kFlopsLeak:
+        return Invariant::kFlopsSum;
+      case FaultKind::kCpiSkew:
+        return Invariant::kCpiConsistency;
+      case FaultKind::kConfigWidths:
+        return Invariant::kBaseEquality;
+      case FaultKind::kTraceHang:
+        return Invariant::kProgress;
+      case FaultKind::kCount:
+        break;
+    }
+    return Invariant::kCount;
+}
+
+std::vector<std::string_view>
+allFaultNames()
+{
+    std::vector<std::string_view> names;
+    for (unsigned k = 0; k < static_cast<unsigned>(FaultKind::kCount); ++k)
+        names.push_back(toString(static_cast<FaultKind>(k)));
+    return names;
+}
+
+Result<FaultSpec>
+parseFaultSpec(std::string_view text)
+{
+    FaultSpec spec;
+    std::string_view name = text;
+    const std::size_t colon = text.find(':');
+    if (colon != std::string_view::npos) {
+        name = text.substr(0, colon);
+        const std::string_view seed_text = text.substr(colon + 1);
+        const auto [end, ec] =
+            std::from_chars(seed_text.data(),
+                            seed_text.data() + seed_text.size(), spec.seed);
+        if (ec != std::errc{} || end != seed_text.data() + seed_text.size())
+            return StackscopeError(ErrorCategory::kUsage,
+                                   "bad fault seed '" +
+                                       std::string(seed_text) +
+                                       "' (expected KIND[:SEED])");
+    }
+    for (unsigned k = 0; k < static_cast<unsigned>(FaultKind::kCount); ++k) {
+        if (name == toString(static_cast<FaultKind>(k))) {
+            spec.kind = static_cast<FaultKind>(k);
+            return spec;
+        }
+    }
+    std::string valid;
+    for (std::string_view n : allFaultNames()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += n;
+    }
+    return StackscopeError(ErrorCategory::kUsage,
+                           "unknown fault kind '" + std::string(name) +
+                               "' (valid: " + valid + ")");
+}
+
+void
+applyToConfig(const FaultSpec &fault, core::CoreParams &params)
+{
+    switch (fault.kind) {
+      case FaultKind::kConfigWidths:
+        // Account each stage with its native width instead of the §III-A
+        // normalized minimum: the base components drift apart across
+        // stages, which base-equality validation must catch.
+        params.accounting_native_widths = true;
+        break;
+      default:
+        break;
+    }
+}
+
+namespace {
+
+/**
+ * Passes a seed-chosen prefix through, then degenerates into an endless
+ * stream of thread yields: the core never retires another instruction
+ * and only the no-retire watchdog can end the run.
+ */
+class HangingTraceSource : public trace::TraceSource
+{
+  public:
+    HangingTraceSource(std::unique_ptr<trace::TraceSource> inner,
+                       std::uint64_t seed)
+        : inner_(std::move(inner)), seed_(seed),
+          hang_after_(Rng(seed).range(256, 4096))
+    {
+    }
+
+    bool
+    next(trace::DynInstr &out) override
+    {
+        if (emitted_ < hang_after_ && inner_->next(out)) {
+            ++emitted_;
+            return true;
+        }
+        // One enormous yield per record: the thread stops retiring for
+        // ~1G cycles at a time, which only the no-retire watchdog can
+        // distinguish from forward progress.
+        out = trace::DynInstr{};
+        out.cls = trace::InstrClass::kYield;
+        out.yield_cycles = 1u << 30;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        emitted_ = 0;
+    }
+
+    std::unique_ptr<trace::TraceSource>
+    clone() const override
+    {
+        return std::make_unique<HangingTraceSource>(inner_->clone(), seed_);
+    }
+
+  private:
+    std::unique_ptr<trace::TraceSource> inner_;
+    std::uint64_t seed_;
+    std::uint64_t hang_after_;
+    std::uint64_t emitted_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<trace::TraceSource>
+wrapTrace(const FaultSpec &fault, std::unique_ptr<trace::TraceSource> inner)
+{
+    switch (fault.kind) {
+      case FaultKind::kTraceHang:
+        return std::make_unique<HangingTraceSource>(std::move(inner),
+                                                    fault.seed);
+      default:
+        return inner;
+    }
+}
+
+namespace {
+
+constexpr Stage kStages[] = {Stage::kDispatch, Stage::kIssue,
+                             Stage::kCommit};
+
+CpiStack &
+cycleStack(sim::SimResult &r, Stage s)
+{
+    return r.cycle_stacks[static_cast<std::size_t>(s)];
+}
+
+/** Frontend mass of one stack (mirrors the validator's definition). */
+double
+frontendMass(const CpiStack &s)
+{
+    return s[CpiComponent::kIcache] + s[CpiComponent::kBpred] +
+           s[CpiComponent::kMicrocode];
+}
+
+}  // namespace
+
+void
+applyToResult(const FaultSpec &fault, sim::SimResult &r)
+{
+    Rng rng(fault.seed ^ 0x0fa017fa017fa017ULL);
+    const double cycles = static_cast<double>(r.cycles);
+
+    switch (fault.kind) {
+      case FaultKind::kStackLeak: {
+        // Silently lose 5–15% of one stage's cycles, the classic
+        // "forgot to account a stall condition" bug.
+        Stage s = kStages[rng.below(3)];
+        const double leak = (0.05 + 0.10 * rng.uniform()) * cycles + 4.0;
+        cycleStack(r, s)[CpiComponent::kBase] -= leak;
+        if (r.instrs > 0) {
+            r.cpi_stacks[static_cast<std::size_t>(s)][CpiComponent::kBase] -=
+                leak / static_cast<double>(r.instrs);
+        }
+        break;
+      }
+      case FaultKind::kStackNegative: {
+        Stage s = kStages[rng.below(3)];
+        CpiStack &stack = cycleStack(r, s);
+        const double v = stack[CpiComponent::kDcache];
+        stack[CpiComponent::kDcache] = -(v + 0.01 * cycles + 4.0);
+        break;
+      }
+      case FaultKind::kStackNan: {
+        Stage s = kStages[rng.below(3)];
+        cycleStack(r, s)[CpiComponent::kOther] =
+            std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+      case FaultKind::kOrderingFlip: {
+        // Teleport frontend mass from dispatch to commit while keeping
+        // both stack sums intact: conservation alone cannot notice, the
+        // §III ordering law must.
+        CpiStack &dispatch = cycleStack(r, Stage::kDispatch);
+        CpiStack &commit = cycleStack(r, Stage::kCommit);
+        const double delta = frontendMass(dispatch) -
+                             frontendMass(commit) + 0.2 * cycles + 4.0;
+        commit[CpiComponent::kIcache] += delta;
+        commit[CpiComponent::kDepend] -= delta;
+        break;
+      }
+      case FaultKind::kFlopsLeak: {
+        const double leak = (0.05 + 0.10 * rng.uniform()) * cycles + 4.0;
+        r.flops_cycles[FlopsComponent::kFrontend] -= leak;
+        break;
+      }
+      case FaultKind::kCpiSkew: {
+        // The CPI rendering diverges from the underlying cycle counts —
+        // e.g. a stale instruction count used for the division.
+        const double skew = 1.10 + 0.20 * rng.uniform();
+        for (Stage s : kStages) {
+            auto &cpi = r.cpi_stacks[static_cast<std::size_t>(s)];
+            cpi = cpi.scaled(skew);
+        }
+        break;
+      }
+      case FaultKind::kConfigWidths:
+      case FaultKind::kTraceHang:
+      case FaultKind::kCount:
+        break;
+    }
+}
+
+}  // namespace stackscope::validate

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic fault injection for the accounting pipeline.
+ *
+ * Validators that never fire are worse than none: they create false
+ * confidence. The injector perturbs each layer the validators guard —
+ * trace records, core configuration, and accountant counters — in a way
+ * that is (a) fully deterministic per seed, so failures reproduce, and
+ * (b) guaranteed to violate a specific named invariant, so tests can
+ * assert the detection path end to end.
+ */
+
+#ifndef STACKSCOPE_VALIDATE_FAULT_INJECTION_HPP
+#define STACKSCOPE_VALIDATE_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/trace_source.hpp"
+#include "validate/invariants.hpp"
+
+namespace stackscope::core {
+struct CoreParams;
+}
+namespace stackscope::sim {
+struct SimResult;
+}
+
+namespace stackscope::validate {
+
+/** The supported perturbations. */
+enum class FaultKind : unsigned
+{
+    kStackLeak,     ///< drop cycles from one stage's stack (counter fault)
+    kStackNegative, ///< drive one component negative (counter fault)
+    kStackNan,      ///< poison one component with NaN (counter fault)
+    kOrderingFlip,  ///< move frontend mass downstream, sums conserved
+    kFlopsLeak,     ///< drop cycles from the FLOPS stack (counter fault)
+    kCpiSkew,       ///< scale CPI stacks away from the cycle stacks
+    kConfigWidths,  ///< config fault: native per-stage accounting widths
+    kTraceHang,     ///< trace fault: the stream stops retiring forever
+    kCount,
+};
+
+std::string_view toString(FaultKind k);
+
+/** Where in the pipeline a fault kind is applied. */
+enum class FaultTarget
+{
+    kResult,  ///< perturbs accountant counters on the finished result
+    kConfig,  ///< perturbs the core configuration before the run
+    kTrace,   ///< perturbs the instruction stream
+};
+
+FaultTarget targetOf(FaultKind k);
+
+/** The invariant this fault is guaranteed to violate when undetected. */
+Invariant violatedBy(FaultKind k);
+
+/** One fault to inject, with the seed driving its random choices. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::kStackLeak;
+    std::uint64_t seed = 1;
+};
+
+/** All fault names, for usage messages and exhaustive tests. */
+std::vector<std::string_view> allFaultNames();
+
+/** Parse "KIND" or "KIND:SEED" (e.g. "stack-leak:42"). */
+Result<FaultSpec> parseFaultSpec(std::string_view text);
+
+/** Apply a kConfig-target fault to @p params before core construction. */
+void applyToConfig(const FaultSpec &fault, core::CoreParams &params);
+
+/**
+ * Wrap @p inner with a kTrace-target fault decorator. kTraceHang lets a
+ * seed-chosen prefix of the stream through, then yields forever — the
+ * no-retire watchdog is the only defence.
+ */
+std::unique_ptr<trace::TraceSource>
+wrapTrace(const FaultSpec &fault, std::unique_ptr<trace::TraceSource> inner);
+
+/** Apply a kResult-target fault to a completed result's counters. */
+void applyToResult(const FaultSpec &fault, sim::SimResult &result);
+
+}  // namespace stackscope::validate
+
+#endif  // STACKSCOPE_VALIDATE_FAULT_INJECTION_HPP

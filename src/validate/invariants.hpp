@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Runtime validation of the algebraic laws every stack must obey.
+ *
+ * The paper's central claim is that a CPI stack is only meaningful when it
+ * is *conservative*: each stage's components sum to total cycles (Table
+ * II), frontend components shrink and backend components grow monotonically
+ * from dispatch to commit (§III), the base component is equal across
+ * stages (§III-A width normalization), and the FLOPS stack accounts every
+ * issue slot of peak (Equation 1). This module checks those laws at run
+ * time — both periodically while a simulation is in flight and on the
+ * completed result — so that accounting bugs fail loudly instead of
+ * producing plausible-looking but wrong stacks.
+ */
+
+#ifndef STACKSCOPE_VALIDATE_INVARIANTS_HPP
+#define STACKSCOPE_VALIDATE_INVARIANTS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace stackscope::core {
+class OooCore;
+}
+namespace stackscope::sim {
+struct SimResult;
+}
+
+namespace stackscope::validate {
+
+/** How much checking a run performs and what a violation does. */
+enum class ValidationPolicy
+{
+    kOff,     ///< no checks (the historical behaviour)
+    kWarn,    ///< run checks, record violations in the report
+    kStrict,  ///< run checks, violations raise StackscopeError
+};
+
+std::string_view toString(ValidationPolicy p);
+
+/** Parse "off" / "warn" / "strict"; nullopt for anything else. */
+std::optional<ValidationPolicy> parsePolicy(std::string_view text);
+
+/** The individual laws we can check. */
+enum class Invariant : unsigned
+{
+    kStackSum,          ///< Table II: stage cycle stack sums to total cycles
+    kFlopsSum,          ///< Eq. 1: FLOPS stack sums to total cycles
+    kNonNegative,       ///< no component is negative
+    kFinite,            ///< no component is NaN or infinite
+    kFrontendOrdering,  ///< §III: frontend mass dispatch >= issue >= commit
+    kBackendOrdering,   ///< §III: backend mass commit >= issue >= dispatch
+    kBaseEquality,      ///< §III-A: base component equal across stages
+    kCpiConsistency,    ///< CPI stacks == cycle stacks / instructions
+    kProgress,          ///< watchdog: the run kept retiring instructions
+    kCount,
+};
+
+std::string_view toString(Invariant inv);
+
+/** One detected violation. */
+struct Violation
+{
+    Invariant invariant = Invariant::kCount;
+    /** Human-readable diagnostic with the offending numbers. */
+    std::string detail;
+    /** Measured cycle at which the violation was detected (0 = end of run). */
+    Cycle cycle = 0;
+};
+
+/** Outcome of all checks that ran on one simulation. */
+struct ValidationReport
+{
+    ValidationPolicy policy = ValidationPolicy::kOff;
+    /** Number of individual invariant evaluations performed. */
+    std::uint64_t checks_run = 0;
+    std::vector<Violation> violations;
+
+    bool passed() const { return violations.empty(); }
+
+    void
+    add(Invariant inv, std::string detail, Cycle cycle = 0)
+    {
+        violations.push_back({inv, std::move(detail), cycle});
+    }
+
+    /** Fold @p other into this report (per-core / per-phase merging). */
+    void merge(const ValidationReport &other);
+
+    /** True when @p inv appears among the violations. */
+    bool contains(Invariant inv) const;
+
+    /** Multi-line diagnostic naming every violated invariant. */
+    std::string summary() const;
+
+    /** Convert a failed report into a structured error. */
+    StackscopeError toError() const;
+};
+
+/** Comparison slack for the end-of-run checks (cycle-count units). */
+struct Tolerances
+{
+    /** Stack-sum / FLOPS-sum conservation: rel * cycles + abs. */
+    double sum_rel = 0.002;
+    double sum_abs = 2.0;
+    /** Cross-stage ordering: rel * cycles + cpi_abs * instrs + abs. */
+    double order_rel = 0.03;
+    double order_cpi_abs = 0.01;
+    /**
+     * Base equality: rel * base + abs. The absolute term absorbs the
+     * in-flight window: a measurement reset (or truncation) can leave up
+     * to a ROB's worth of uops dispatched on one side of the measuring
+     * window but committed on the other, skewing the stage bases by up
+     * to rob_size / width (~56 cycles on the largest preset).
+     */
+    double base_rel = 0.005;
+    double base_abs = 96.0;
+    /** CPI-vs-cycle-stack consistency: rel * cycles + abs. */
+    double cpi_rel = 1e-9;
+    double cpi_abs = 1e-6;
+};
+
+/**
+ * Run every end-of-run invariant on a completed result. Cheap (a few
+ * hundred flops); safe to run on every simulation.
+ */
+ValidationReport validateResult(const sim::SimResult &result,
+                                const Tolerances &tol = {});
+
+/**
+ * Periodic in-flight checker: call check() at a fixed cycle interval
+ * during simulation to catch accounting divergence long before the run
+ * finishes (the per-interval counterpart of validateResult()).
+ *
+ * Checks per-stage cycle conservation against elapsed measured cycles and
+ * the finiteness/non-negativity of every accumulating component. Stages
+ * accounted in SpeculationMode::kSpecCounters are skipped mid-run (their
+ * stacks are only defined after finalize()).
+ */
+class IntervalValidator
+{
+  public:
+    explicit IntervalValidator(Cycle interval) : interval_(interval) {}
+
+    /** True when a check is due at measured cycle @p elapsed. */
+    bool
+    due(Cycle elapsed) const
+    {
+        return interval_ != 0 && elapsed >= next_check_;
+    }
+
+    /** Check @p core now; violations are appended to @p report. */
+    void check(const core::OooCore &core, ValidationReport &report);
+
+  private:
+    Cycle interval_;
+    Cycle next_check_ = 1;  // first check as soon as due() is consulted
+};
+
+}  // namespace stackscope::validate
+
+#endif  // STACKSCOPE_VALIDATE_INVARIANTS_HPP

@@ -1,0 +1,32 @@
+#include "validate/watchdog.hpp"
+
+#include <cstdio>
+
+namespace stackscope::validate {
+
+std::string
+WatchdogSnapshot::describe() const
+{
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "watchdog %s: aborted at cycle %llu after %llu committed "
+        "instructions (no commit for %llu cycles)",
+        reason.c_str(), static_cast<unsigned long long>(cycle),
+        static_cast<unsigned long long>(instrs_committed),
+        static_cast<unsigned long long>(stalled_for));
+    return buf;
+}
+
+bool
+Watchdog::trip(const char *reason, Cycle now, std::uint64_t instrs)
+{
+    tripped_ = true;
+    snapshot_.reason = reason;
+    snapshot_.cycle = now;
+    snapshot_.instrs_committed = instrs;
+    snapshot_.stalled_for = now - last_progress_;
+    return false;
+}
+
+}  // namespace stackscope::validate

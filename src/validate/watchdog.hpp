@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Run watchdog: deadlock and runaway detection for simulation loops.
+ *
+ * The historical safety valve was a bare `max_cycles` cap that silently
+ * truncated the run. The watchdog upgrades it with *no-retire* detection:
+ * if no instruction commits for a configurable window the run is aborted
+ * with a diagnostic snapshot (cycle, committed instructions, stall length)
+ * instead of spinning — the difference between a production service that
+ * sheds a poisoned request and one that wedges a worker forever.
+ */
+
+#ifndef STACKSCOPE_VALIDATE_WATCHDOG_HPP
+#define STACKSCOPE_VALIDATE_WATCHDOG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace stackscope::validate {
+
+/** Watchdog thresholds; 0 disables the respective check. */
+struct WatchdogConfig
+{
+    /** Absolute cycle cap (the historical safety valve; not an error). */
+    Cycle max_cycles = 0;
+    /** Abort when no instruction retires for this many cycles. */
+    Cycle no_retire_cycles = 0;
+};
+
+/** State captured when the watchdog fires. */
+struct WatchdogSnapshot
+{
+    /** Why the run was stopped ("max-cycles" or "no-retire"). */
+    std::string reason;
+    Cycle cycle = 0;
+    std::uint64_t instrs_committed = 0;
+    /** Cycles since the last observed commit. */
+    Cycle stalled_for = 0;
+
+    /** One-line diagnostic for reports and error messages. */
+    std::string describe() const;
+};
+
+/**
+ * Poll-based watchdog. Call poll() once per simulated cycle; it returns
+ * false exactly once — when a threshold is crossed — after which the
+ * caller must stop the run and read snapshot().
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogConfig &config) : config_(config) {}
+
+    /**
+     * Observe progress at absolute cycle @p now with cumulative commit
+     * count @p instrs_committed. @return true to keep running.
+     */
+    bool
+    poll(Cycle now, std::uint64_t instrs_committed)
+    {
+        if (instrs_committed != last_instrs_) {
+            last_instrs_ = instrs_committed;
+            last_progress_ = now;
+        }
+        if (config_.max_cycles != 0 && now >= config_.max_cycles)
+            return trip("max-cycles", now, instrs_committed);
+        if (config_.no_retire_cycles != 0 &&
+            now - last_progress_ >= config_.no_retire_cycles)
+            return trip("no-retire", now, instrs_committed);
+        return true;
+    }
+
+    bool tripped() const { return tripped_; }
+    /** True when the trip reason is the no-retire deadlock detector. */
+    bool
+    deadlocked() const
+    {
+        return tripped_ && snapshot_.reason == "no-retire";
+    }
+    const WatchdogSnapshot &snapshot() const { return snapshot_; }
+
+  private:
+    bool trip(const char *reason, Cycle now, std::uint64_t instrs);
+
+    WatchdogConfig config_;
+    Cycle last_progress_ = 0;
+    std::uint64_t last_instrs_ = 0;
+    bool tripped_ = false;
+    WatchdogSnapshot snapshot_;
+};
+
+}  // namespace stackscope::validate
+
+#endif  // STACKSCOPE_VALIDATE_WATCHDOG_HPP

@@ -1,0 +1,189 @@
+/** Fault injection validates the validators: every fault kind must be
+ *  deterministic, detected, and mapped to the invariant it violates. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/multicore.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/workload_library.hpp"
+#include "validate/fault_injection.hpp"
+#include "validate/invariants.hpp"
+
+namespace stackscope {
+namespace {
+
+using sim::SimOptions;
+using sim::SimResult;
+using validate::FaultKind;
+using validate::FaultSpec;
+using validate::Invariant;
+using validate::ValidationPolicy;
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 20'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+SimOptions
+faultyOptions(FaultKind kind, std::uint64_t seed,
+              ValidationPolicy policy = ValidationPolicy::kWarn)
+{
+    SimOptions opt;
+    opt.warmup_instrs = 10'000;
+    opt.validation = policy;
+    opt.fault = FaultSpec{kind, seed};
+    // Generous deadlock window; only the trace-hang fault ever trips it.
+    opt.watchdog_cycles = 50'000;
+    return opt;
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(FaultSpecParsing, KindAloneDefaultsSeed)
+{
+    const auto spec = validate::parseFaultSpec("stack-leak");
+    ASSERT_TRUE(spec.ok()) << spec.error().describe();
+    EXPECT_EQ(spec.value().kind, FaultKind::kStackLeak);
+    EXPECT_EQ(spec.value().seed, 1u);
+}
+
+TEST(FaultSpecParsing, ExplicitSeed)
+{
+    const auto spec = validate::parseFaultSpec("cpi-skew:42");
+    ASSERT_TRUE(spec.ok()) << spec.error().describe();
+    EXPECT_EQ(spec.value().kind, FaultKind::kCpiSkew);
+    EXPECT_EQ(spec.value().seed, 42u);
+}
+
+TEST(FaultSpecParsing, UnknownKindListsValidNames)
+{
+    const auto spec = validate::parseFaultSpec("bit-rot");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().exitCode(), 2);
+    EXPECT_NE(spec.error().describe().find("trace-hang"), std::string::npos)
+        << spec.error().describe();
+}
+
+TEST(FaultSpecParsing, BadSeedRejected)
+{
+    EXPECT_FALSE(validate::parseFaultSpec("stack-leak:banana").ok());
+    EXPECT_FALSE(validate::parseFaultSpec("stack-leak:").ok());
+}
+
+// --------------------------------------------------------------- coverage
+
+TEST(FaultInjection, EveryKindViolatesItsInvariant)
+{
+    // The contract behind `--inject-fault`: each fault kind is detected
+    // and the report names the invariant violatedBy() promises.
+    for (unsigned k = 0; k < static_cast<unsigned>(FaultKind::kCount);
+         ++k) {
+        const FaultKind kind = static_cast<FaultKind>(k);
+        auto gen = shortWorkload("mcf");
+        const SimResult r = sim::simulate(sim::bdwConfig(), gen,
+                                          faultyOptions(kind, 7));
+        EXPECT_FALSE(r.validation.passed()) << toString(kind);
+        EXPECT_TRUE(r.validation.contains(validate::violatedBy(kind)))
+            << toString(kind) << " should violate "
+            << toString(validate::violatedBy(kind)) << "\n"
+            << r.validation.summary();
+    }
+}
+
+TEST(FaultInjection, WarnPolicyRecordsButDoesNotThrow)
+{
+    auto gen = shortWorkload("mcf");
+    SimResult r;
+    EXPECT_NO_THROW(r = sim::simulate(sim::bdwConfig(), gen,
+                                      faultyOptions(FaultKind::kStackNan,
+                                                    3)));
+    EXPECT_TRUE(r.validation.contains(Invariant::kFinite))
+        << r.validation.summary();
+}
+
+TEST(FaultInjection, StrictPolicyThrowsWithExitCode3)
+{
+    auto gen = shortWorkload("mcf");
+    try {
+        sim::simulate(sim::bdwConfig(), gen,
+                      faultyOptions(FaultKind::kStackNan, 3,
+                                    ValidationPolicy::kStrict));
+        FAIL() << "strict validation did not throw";
+    } catch (const StackscopeError &err) {
+        EXPECT_EQ(err.exitCode(), 3);
+        EXPECT_NE(err.describe().find("component-finite"),
+                  std::string::npos)
+            << err.describe();
+    }
+}
+
+TEST(FaultInjection, TraceHangTripsDeadlockWatchdog)
+{
+    auto gen = shortWorkload("mcf");
+    const SimResult r = sim::simulate(
+        sim::bdwConfig(), gen, faultyOptions(FaultKind::kTraceHang, 5));
+    ASSERT_TRUE(r.validation.contains(Invariant::kProgress))
+        << r.validation.summary();
+    EXPECT_NE(r.validation.summary().find("no-retire"), std::string::npos)
+        << r.validation.summary();
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(FaultInjection, SameSeedSameViolations)
+{
+    auto run = [](std::uint64_t seed) {
+        auto gen = shortWorkload("mcf");
+        return sim::simulate(sim::bdwConfig(), gen,
+                             faultyOptions(FaultKind::kStackLeak, seed));
+    };
+    const SimResult a = run(9);
+    const SimResult b = run(9);
+    ASSERT_EQ(a.validation.violations.size(),
+              b.validation.violations.size());
+    for (std::size_t i = 0; i < a.validation.violations.size(); ++i) {
+        EXPECT_EQ(a.validation.violations[i].detail,
+                  b.validation.violations[i].detail);
+        EXPECT_EQ(a.validation.violations[i].invariant,
+                  b.validation.violations[i].invariant);
+    }
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+// -------------------------------------------------------------- multicore
+
+TEST(FaultInjection, MulticoreReportPrefixesCoreIndex)
+{
+    auto gen = shortWorkload("mcf", 10'000);
+    SimOptions opt = faultyOptions(FaultKind::kStackLeak, 11);
+    opt.warmup_instrs = 5'000;
+    const sim::MulticoreResult out =
+        sim::simulateMulticore(sim::bdwConfig(), gen, 2, opt);
+    ASSERT_FALSE(out.validation.passed());
+    EXPECT_TRUE(out.validation.contains(Invariant::kStackSum))
+        << out.validation.summary();
+    EXPECT_EQ(out.validation.violations[0].detail.rfind("core ", 0), 0u)
+        << out.validation.violations[0].detail;
+    // Per-core reports survive unprefixed.
+    EXPECT_FALSE(out.per_core[0].validation.passed());
+}
+
+TEST(FaultInjection, MulticoreRejectsZeroCores)
+{
+    auto gen = shortWorkload("mcf", 5'000);
+    try {
+        sim::simulateMulticore(sim::bdwConfig(), gen, 0, {});
+        FAIL() << "zero cores accepted";
+    } catch (const StackscopeError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::kConfig);
+        EXPECT_EQ(err.exitCode(), 2);
+    }
+}
+
+}  // namespace
+}  // namespace stackscope

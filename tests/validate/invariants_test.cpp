@@ -1,0 +1,298 @@
+/** The validators must accept every clean run and reject every crafted
+ *  violation of the paper's stack laws (Table II, Eq. 1, §III). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/workload_library.hpp"
+#include "validate/invariants.hpp"
+#include "validate/watchdog.hpp"
+
+namespace stackscope {
+namespace {
+
+using sim::SimOptions;
+using sim::SimResult;
+using stacks::CpiComponent;
+using stacks::FlopsComponent;
+using stacks::Stage;
+using validate::Invariant;
+using validate::ValidationPolicy;
+using validate::ValidationReport;
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 20'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+/** One clean reference run, shared by all corruption tests. */
+const SimResult &
+cleanResult()
+{
+    static const SimResult r = [] {
+        auto gen = shortWorkload("mcf");
+        SimOptions opt;
+        opt.warmup_instrs = 10'000;
+        return sim::simulate(sim::bdwConfig(), gen, opt);
+    }();
+    return r;
+}
+
+stacks::CpiStack &
+cycleStack(SimResult &r, Stage s)
+{
+    return r.cycle_stacks[static_cast<std::size_t>(s)];
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(ErrorLayer, ExitCodesByCategory)
+{
+    EXPECT_EQ(exitCodeFor(ErrorCategory::kUsage), 2);
+    EXPECT_EQ(exitCodeFor(ErrorCategory::kConfig), 2);
+    EXPECT_EQ(exitCodeFor(ErrorCategory::kValidation), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCategory::kWatchdog), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCategory::kInternal), 1);
+}
+
+TEST(ErrorLayer, DescribeCarriesCategoryMessageAndContext)
+{
+    const auto err = StackscopeError(
+                         ErrorCategory::kConfig, "bad widths")
+                         .withContext("machine", "bdw")
+                         .withContext("stage", "issue");
+    const std::string d = err.describe();
+    EXPECT_NE(d.find("config error: bad widths"), std::string::npos) << d;
+    EXPECT_NE(d.find("machine=bdw"), std::string::npos) << d;
+    EXPECT_NE(d.find("stage=issue"), std::string::npos) << d;
+    EXPECT_EQ(err.exitCode(), 2);
+}
+
+TEST(ErrorLayer, ResultValueRethrowsStoredError)
+{
+    Result<int> ok(7);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 7);
+
+    Result<int> bad(StackscopeError(
+        ErrorCategory::kUsage, "nope"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.valueOr(3), 3);
+    EXPECT_THROW(bad.value(), StackscopeError);
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(Policy, ParseRoundTrips)
+{
+    EXPECT_EQ(validate::parsePolicy("off"), ValidationPolicy::kOff);
+    EXPECT_EQ(validate::parsePolicy("warn"), ValidationPolicy::kWarn);
+    EXPECT_EQ(validate::parsePolicy("strict"), ValidationPolicy::kStrict);
+    EXPECT_FALSE(validate::parsePolicy("paranoid").has_value());
+    EXPECT_FALSE(validate::parsePolicy("").has_value());
+}
+
+// --------------------------------------------------- clean runs validate
+
+TEST(Invariants, CleanReferenceRunPasses)
+{
+    const ValidationReport report = validate::validateResult(cleanResult());
+    EXPECT_TRUE(report.passed()) << report.summary();
+    EXPECT_GT(report.checks_run, 0u);
+}
+
+TEST(Invariants, AllWorkloadsOnAllMachinesPassStrict)
+{
+    // The full seed population x every machine preset: strict validation
+    // (end-of-run + periodic interval checks) must never fire.
+    for (const std::string &machine : sim::allMachineNames()) {
+        for (const std::string &w : trace::allSpecWorkloadNames()) {
+            auto gen = shortWorkload(w.c_str(), 15'000);
+            SimOptions opt;
+            opt.warmup_instrs = 7'500;
+            opt.validation = ValidationPolicy::kStrict;
+            SimResult r;
+            EXPECT_NO_THROW(
+                r = sim::simulate(sim::machineByName(machine), gen, opt))
+                << machine << "/" << w;
+            EXPECT_TRUE(r.validation.passed())
+                << machine << "/" << w << "\n"
+                << r.validation.summary();
+            EXPECT_GT(r.validation.checks_run, 0u);
+        }
+    }
+}
+
+// ------------------------------------------- each invariant must fire
+
+TEST(Invariants, StackSumViolationDetected)
+{
+    SimResult r = cleanResult();
+    cycleStack(r, Stage::kIssue)[CpiComponent::kOther] +=
+        0.1 * static_cast<double>(r.cycles);
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kStackSum)) << report.summary();
+}
+
+TEST(Invariants, NegativeComponentDetected)
+{
+    SimResult r = cleanResult();
+    cycleStack(r, Stage::kCommit)[CpiComponent::kDcache] = -5.0;
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kNonNegative))
+        << report.summary();
+}
+
+TEST(Invariants, NanComponentDetectedWithoutCrashing)
+{
+    SimResult r = cleanResult();
+    cycleStack(r, Stage::kDispatch)[CpiComponent::kBpred] =
+        std::numeric_limits<double>::quiet_NaN();
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kFinite)) << report.summary();
+}
+
+TEST(Invariants, FrontendOrderingViolationDetected)
+{
+    // Teleport frontend mass down to commit while conserving both sums:
+    // only the SIII ordering law can notice.
+    SimResult r = cleanResult();
+    const double delta = 0.3 * static_cast<double>(r.cycles);
+    cycleStack(r, Stage::kCommit)[CpiComponent::kIcache] += delta;
+    cycleStack(r, Stage::kCommit)[CpiComponent::kDepend] -= delta;
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kFrontendOrdering))
+        << report.summary();
+}
+
+TEST(Invariants, BackendOrderingViolationDetected)
+{
+    SimResult r = cleanResult();
+    cycleStack(r, Stage::kDispatch)[CpiComponent::kDcache] +=
+        2.0 * static_cast<double>(r.cycles);
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kBackendOrdering))
+        << report.summary();
+}
+
+TEST(Invariants, BaseInequalityDetected)
+{
+    SimResult r = cleanResult();
+    cycleStack(r, Stage::kDispatch)[CpiComponent::kBase] +=
+        0.2 * static_cast<double>(r.cycles);
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kBaseEquality))
+        << report.summary();
+}
+
+TEST(Invariants, FlopsSumViolationDetected)
+{
+    SimResult r = cleanResult();
+    r.flops_cycles[FlopsComponent::kFrontend] +=
+        0.2 * static_cast<double>(r.cycles);
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kFlopsSum)) << report.summary();
+}
+
+TEST(Invariants, CpiInconsistencyDetected)
+{
+    SimResult r = cleanResult();
+    for (auto &cpi : r.cpi_stacks)
+        cpi = cpi.scaled(1.5);
+    const ValidationReport report = validate::validateResult(r);
+    EXPECT_TRUE(report.contains(Invariant::kCpiConsistency))
+        << report.summary();
+}
+
+// ------------------------------------------------------------- reports
+
+TEST(Report, ToErrorUsesValidationCategory)
+{
+    ValidationReport report;
+    report.add(Invariant::kStackSum, "issue stack leaks");
+    const auto err = report.toError();
+    EXPECT_EQ(err.exitCode(), 3);
+    EXPECT_NE(err.describe().find("stack-sum-conservation"),
+              std::string::npos)
+        << err.describe();
+}
+
+TEST(Report, ToErrorUsesWatchdogCategoryForProgress)
+{
+    ValidationReport report;
+    report.add(Invariant::kProgress, "no commit for 1000 cycles", 4242);
+    const auto err = report.toError();
+    EXPECT_EQ(err.exitCode(), 3);
+    EXPECT_NE(err.describe().find("run-progress"), std::string::npos)
+        << err.describe();
+}
+
+TEST(Report, MergePrefixesNothingButAccumulates)
+{
+    ValidationReport a;
+    a.checks_run = 3;
+    a.add(Invariant::kStackSum, "one");
+    ValidationReport b;
+    b.checks_run = 2;
+    b.add(Invariant::kFinite, "two");
+    a.merge(b);
+    EXPECT_EQ(a.checks_run, 5u);
+    EXPECT_EQ(a.violations.size(), 2u);
+    EXPECT_TRUE(a.contains(Invariant::kFinite));
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(Watchdog, MaxCyclesTripIsNotADeadlock)
+{
+    validate::Watchdog dog({/*max_cycles=*/100, /*no_retire_cycles=*/0});
+    std::uint64_t instrs = 0;
+    Cycle now = 0;
+    while (dog.poll(now, ++instrs))
+        ++now;
+    EXPECT_TRUE(dog.tripped());
+    EXPECT_FALSE(dog.deadlocked());
+    EXPECT_EQ(dog.snapshot().reason, "max-cycles");
+    EXPECT_EQ(dog.snapshot().cycle, 100u);
+}
+
+TEST(Watchdog, NoRetireWindowDetectsDeadlock)
+{
+    validate::Watchdog dog({/*max_cycles=*/0, /*no_retire_cycles=*/50});
+    // Commit something for a while, then wedge.
+    Cycle now = 0;
+    for (; now < 30; ++now)
+        ASSERT_TRUE(dog.poll(now, now + 1));
+    for (; dog.poll(now, 30); ++now)
+        ASSERT_LT(now, 200u) << "watchdog never fired";
+    EXPECT_TRUE(dog.deadlocked());
+    EXPECT_EQ(dog.snapshot().reason, "no-retire");
+    EXPECT_EQ(dog.snapshot().instrs_committed, 30u);
+    EXPECT_GE(dog.snapshot().stalled_for, 50u);
+    EXPECT_NE(dog.snapshot().describe().find("no-retire"),
+              std::string::npos);
+}
+
+TEST(Watchdog, SimulationMaxCyclesStaysSilent)
+{
+    // The historical safety valve truncates without a violation.
+    auto gen = shortWorkload("mcf");
+    SimOptions opt;
+    opt.max_cycles = 5'000;
+    opt.validation = ValidationPolicy::kWarn;
+    const SimResult r = sim::simulate(sim::bdwConfig(), gen, opt);
+    EXPECT_LE(r.cycles, 5'000u);
+    EXPECT_FALSE(r.validation.contains(Invariant::kProgress))
+        << r.validation.summary();
+}
+
+}  // namespace
+}  // namespace stackscope

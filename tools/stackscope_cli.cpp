@@ -12,25 +12,32 @@
  *   compare-spec [options]   oracle / simple / spec-counter stacks
  *
  * Common options:
- *   --workload NAME   workload preset (default mcf)
- *   --kernel NAME     HPC kernel (hpc subcommand; default conv_fwd_0)
- *   --machine NAME    bdw | knl | skx (default bdw)
- *   --instrs N        measured instructions (default 250000)
- *   --warmup N        warmup instructions (default instrs/2)
- *   --cores N         cores sharing an uncore (default 1)
- *   --csv             machine-readable output
+ *   --workload NAME     workload preset (default mcf)
+ *   --kernel NAME       HPC kernel (hpc subcommand; default conv_fwd_0)
+ *   --machine NAME      bdw | knl | skx (default bdw)
+ *   --instrs N          measured instructions (default 250000, must be > 0)
+ *   --warmup N          warmup instructions (default instrs/2)
+ *   --cores N           cores sharing an uncore (default 1, must be > 0)
+ *   --csv               machine-readable output
+ *   --validate MODE     off | warn | strict runtime invariant checking
+ *   --inject-fault F    deterministic fault KIND[:SEED] (see usage)
+ *   --watchdog-cycles N abort after N cycles without a commit (0 = off)
  *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
+ *
+ * Exit codes: 0 success, 1 runtime/internal failure, 2 usage or
+ * configuration error, 3 validation or watchdog failure.
  */
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/csv.hpp"
 #include "analysis/render.hpp"
+#include "common/error.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
@@ -51,46 +58,112 @@ struct CliOptions
     std::string kernel = "conv_fwd_0";
     std::string machine = "bdw";
     std::uint64_t instrs = 250'000;
-    std::uint64_t warmup = ~std::uint64_t{0};  // default: instrs / 2
+    /** Unset means the documented default of instrs / 2. */
+    std::optional<std::uint64_t> warmup{};
     unsigned cores = 1;
     bool csv = false;
     sim::Idealization ideal{};
+    validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
+    std::optional<validate::FaultSpec> fault{};
+    std::optional<Cycle> watchdog_cycles{};
 
-    std::uint64_t
-    warmupInstrs() const
-    {
-        return warmup == ~std::uint64_t{0} ? instrs / 2 : warmup;
-    }
+    std::uint64_t warmupInstrs() const { return warmup.value_or(instrs / 2); }
     std::uint64_t totalInstrs() const { return instrs + warmupInstrs(); }
 };
 
+constexpr const char *kCommands = "list|run|bounds|hpc|compare-spec|help";
+
 int
-usage(const char *argv0)
+usage(std::FILE *to, const char *argv0)
 {
+    std::string faults;
+    for (std::string_view f : validate::allFaultNames()) {
+        if (!faults.empty())
+            faults += "|";
+        faults += f;
+    }
     std::fprintf(
-        stderr,
-        "usage: %s <list|run|bounds|hpc|compare-spec> [options]\n"
+        to,
+        "usage: %s <%s> [options]\n"
         "  --workload NAME  --kernel NAME  --machine bdw|knl|skx\n"
         "  --instrs N  --warmup N  --cores N  --csv\n"
+        "  --validate off|warn|strict  --watchdog-cycles N\n"
+        "  --inject-fault KIND[:SEED] with KIND one of\n"
+        "      %s\n"
         "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n",
-        argv0);
-    return 2;
+        argv0, kCommands, faults.c_str());
+    return to == stdout ? 0 : 2;
 }
 
-bool
+/** Parse a non-negative integer option value strictly. */
+std::uint64_t
+parseCount(const std::string &flag, const std::string &text,
+           std::uint64_t min_value)
+{
+    std::uint64_t out = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "value for " + flag +
+                                  " must be a non-negative integer, got '" +
+                                  text + "'");
+    }
+    if (out < min_value) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              flag + " must be >= " +
+                                  std::to_string(min_value) + ", got " +
+                                  text);
+    }
+    return out;
+}
+
+/**
+ * Parse the command line into @p opt; throws StackscopeError (category
+ * kUsage) on unknown commands or options, missing values, and malformed
+ * numbers. Both "--opt value" and "--opt=value" are accepted.
+ */
+void
 parseArgs(int argc, char **argv, CliOptions &opt)
 {
-    if (argc < 2)
-        return false;
+    if (argc < 2) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              std::string("missing command (expected ") +
+                                  kCommands + ")");
+    }
     opt.command = argv[1];
+    const bool known_command =
+        opt.command == "list" || opt.command == "run" ||
+        opt.command == "bounds" || opt.command == "hpc" ||
+        opt.command == "compare-spec" || opt.command == "help";
+    if (!known_command) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "unknown command '" + opt.command +
+                                  "' (expected " + kCommands + ")");
+    }
+
     for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char * {
+        std::string arg = argv[i];
+        std::optional<std::string> inline_value;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
+        auto value = [&]() -> std::string {
+            if (inline_value)
+                return *inline_value;
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-                std::exit(2);
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "missing value for " + arg);
             }
             return argv[++i];
+        };
+        auto flagOnly = [&]() {
+            if (inline_value) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      arg + " takes no value");
+            }
         };
         if (arg == "--workload") {
             opt.workload = value();
@@ -99,27 +172,58 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         } else if (arg == "--machine") {
             opt.machine = value();
         } else if (arg == "--instrs") {
-            opt.instrs = std::strtoull(value(), nullptr, 10);
+            opt.instrs = parseCount(arg, value(), 1);
         } else if (arg == "--warmup") {
-            opt.warmup = std::strtoull(value(), nullptr, 10);
+            opt.warmup = parseCount(arg, value(), 0);
         } else if (arg == "--cores") {
-            opt.cores = static_cast<unsigned>(std::atoi(value()));
+            opt.cores =
+                static_cast<unsigned>(parseCount(arg, value(), 1));
+        } else if (arg == "--validate") {
+            const std::string mode = value();
+            const auto policy = validate::parsePolicy(mode);
+            if (!policy) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "bad --validate mode '" + mode +
+                                          "' (expected off, warn or "
+                                          "strict)");
+            }
+            opt.validation = *policy;
+        } else if (arg == "--inject-fault") {
+            opt.fault = validate::parseFaultSpec(value()).value();
+        } else if (arg == "--watchdog-cycles") {
+            opt.watchdog_cycles = parseCount(arg, value(), 0);
         } else if (arg == "--csv") {
+            flagOnly();
             opt.csv = true;
         } else if (arg == "--perfect-icache") {
+            flagOnly();
             opt.ideal.perfect_icache = true;
         } else if (arg == "--perfect-dcache") {
+            flagOnly();
             opt.ideal.perfect_dcache = true;
         } else if (arg == "--perfect-bpred") {
+            flagOnly();
             opt.ideal.perfect_bpred = true;
         } else if (arg == "--ideal-alu") {
+            flagOnly();
             opt.ideal.single_cycle_alu = true;
         } else {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            return false;
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "unknown option '" + arg +
+                                      "' (see `stackscope help`)");
         }
     }
-    return true;
+}
+
+/**
+ * Surface a run's validation outcome: violations are printed to stderr
+ * in warn mode (strict throws inside the sim layer before we get here).
+ */
+void
+reportValidation(const validate::ValidationReport &report)
+{
+    if (!report.passed())
+        std::fputs(report.summary().c_str(), stderr);
 }
 
 std::unique_ptr<trace::TraceSource>
@@ -136,6 +240,12 @@ simOptions(const CliOptions &opt)
 {
     sim::SimOptions so;
     so.warmup_instrs = opt.warmupInstrs();
+    so.validation = opt.validation;
+    so.fault = opt.fault;
+    // Fault injection without an explicit watchdog still gets deadlock
+    // protection: a hung-trace fault would otherwise spin forever.
+    so.watchdog_cycles =
+        opt.watchdog_cycles.value_or(opt.fault ? 200'000 : 0);
     return so;
 }
 
@@ -170,6 +280,7 @@ cmdRun(const CliOptions &opt)
     if (opt.cores > 1) {
         const sim::MulticoreResult r = sim::simulateMulticore(
             machine, *trace, opt.cores, simOptions(opt));
+        reportValidation(r.validation);
         if (opt.csv) {
             std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
             for (Stage s :
@@ -196,6 +307,7 @@ cmdRun(const CliOptions &opt)
     }
 
     const sim::SimResult r = sim::simulate(machine, *trace, simOptions(opt));
+    reportValidation(r.validation);
     if (opt.csv) {
         std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
         for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
@@ -233,6 +345,7 @@ cmdBounds(const CliOptions &opt)
     const sim::SimOptions so = simOptions(opt);
 
     const sim::SimResult real = sim::simulate(machine, *trace, so);
+    reportValidation(real.validation);
     const analysis::MultiStageStacks ms{real.cpiStack(Stage::kDispatch),
                                         real.cpiStack(Stage::kIssue),
                                         real.cpiStack(Stage::kCommit)};
@@ -286,9 +399,9 @@ cmdHpc(const CliOptions &opt)
             bench = &bm;
     }
     if (bench == nullptr) {
-        std::fprintf(stderr, "unknown kernel '%s' (see `stackscope list`)\n",
-                     opt.kernel.c_str());
-        return 1;
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "unknown kernel '" + opt.kernel +
+                                  "' (see `stackscope list`)");
     }
     const trace::HpcTarget target{
         machine.core.flops_vec_lanes,
@@ -298,6 +411,7 @@ cmdHpc(const CliOptions &opt)
 
     const sim::MulticoreResult r = sim::simulateMulticore(
         machine, *trace, std::max(1u, opt.cores), simOptions(opt));
+    reportValidation(r.validation);
 
     if (opt.csv) {
         std::printf("%s\n", analysis::flopsStackCsvHeader("stack").c_str());
@@ -342,6 +456,7 @@ cmdCompareSpec(const CliOptions &opt)
         sim::SimOptions so = simOptions(opt);
         so.spec_mode = m.mode;
         const sim::SimResult r = sim::simulate(machine, *trace, so);
+        reportValidation(r.validation);
         dispatch_stacks.push_back(r.cpiStack(Stage::kDispatch));
         labels.push_back(m.label);
     }
@@ -360,9 +475,10 @@ int
 main(int argc, char **argv)
 {
     CliOptions opt;
-    if (!parseArgs(argc, argv, opt))
-        return usage(argv[0]);
     try {
+        parseArgs(argc, argv, opt);
+        if (opt.command == "help")
+            return usage(stdout, argv[0]);
         if (opt.command == "list")
             return cmdList();
         if (opt.command == "run")
@@ -371,11 +487,18 @@ main(int argc, char **argv)
             return cmdBounds(opt);
         if (opt.command == "hpc")
             return cmdHpc(opt);
-        if (opt.command == "compare-spec")
-            return cmdCompareSpec(opt);
+        return cmdCompareSpec(opt);
+    } catch (const StackscopeError &e) {
+        std::fprintf(stderr, "%s\n", e.describe().c_str());
+        if (e.category() == ErrorCategory::kUsage)
+            usage(stderr, argv[0]);
+        return e.exitCode();
+    } catch (const std::out_of_range &e) {
+        // Unknown workload / machine names from the registries.
+        std::fprintf(stderr, "usage error: %s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return usage(argv[0]);
 }
