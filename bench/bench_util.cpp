@@ -23,6 +23,14 @@ benchRun(std::uint64_t dflt_measured)
     return {measured + measured / 2, measured / 2};
 }
 
+unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("STACKSCOPE_BENCH_THREADS"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return 0;
+}
+
 void
 banner(const std::string &experiment_id, const std::string &claim)
 {

@@ -36,6 +36,13 @@ struct RunLengths
  */
 RunLengths benchRun(std::uint64_t dflt_measured = 250'000);
 
+/**
+ * Batch-runner worker threads for the experiment drivers. Default 0
+ * (= all hardware threads); override with STACKSCOPE_BENCH_THREADS, e.g.
+ * 1 to force the serial schedule when comparing outputs or timing.
+ */
+unsigned benchThreads();
+
 /** Print the experiment banner with the paper reference. */
 void banner(const std::string &experiment_id, const std::string &claim);
 

@@ -20,6 +20,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/boxplot.hpp"
 #include "bench_util.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
 #include "trace/synthetic_generator.hpp"
@@ -60,6 +61,7 @@ main()
     const bench::RunLengths run = bench::benchRun();
     sim::SimOptions options;
     options.warmup_instrs = run.warmup;
+    runner::BatchRunner batch(bench::benchThreads());
 
     for (const char *machine_name : {"bdw", "knl"}) {
         const sim::MachineConfig machine = sim::machineByName(machine_name);
@@ -70,37 +72,67 @@ main()
             errors;
         int filtered_zeros = 0;
 
-        for (const trace::Workload &w : trace::allSpecWorkloads()) {
+        const std::vector<trace::Workload> &workloads =
+            trace::allSpecWorkloads();
+        auto makeTrace = [&](const trace::Workload &w) {
             trace::SyntheticParams params = w.params;
             params.num_instrs = run.total;
-            trace::SyntheticGenerator gen(params);
+            return trace::SyntheticGenerator(params);
+        };
 
-            const sim::SimResult real = sim::simulate(machine, gen, options);
-            const analysis::MultiStageStacks ms{
-                real.cpiStack(Stage::kDispatch),
-                real.cpiStack(Stage::kIssue),
-                real.cpiStack(Stage::kCommit)};
+        // Phase 1: every workload's real configuration, one batch.
+        std::vector<runner::SimJob> real_jobs;
+        for (const trace::Workload &w : workloads) {
+            real_jobs.push_back(
+                runner::makeJob(w.name, machine, makeTrace(w), options));
+        }
+        const runner::BatchResult reals = batch.run(std::move(real_jobs));
 
+        // Phase 2: one idealized run per (workload, knob) pair whose
+        // component is at least 10% of CPI in some stack (§V-A); the
+        // below-threshold 'zeros' are filtered as in the paper.
+        struct Pair
+        {
+            std::size_t workload;
+            const Knob *knob;
+        };
+        std::vector<Pair> pairs;
+        std::vector<runner::SimJob> ideal_jobs;
+        std::vector<analysis::MultiStageStacks> stacks;
+        stacks.reserve(workloads.size());
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            const sim::SimResult &real = reals.outcomes[wi].single;
+            stacks.push_back(analysis::multiStageOf(real));
             for (const Knob &k : kKnobs) {
-                // Filter out 'zeros': keep only workloads where the
-                // component is at least 10% of CPI in some stack (§V-A).
                 const analysis::ComponentBounds b =
-                    analysis::componentBounds(ms, k.comp);
+                    analysis::componentBounds(stacks[wi], k.comp);
                 if (b.hi < 0.10 * real.cpi) {
                     ++filtered_zeros;
                     continue;
                 }
-                const double actual =
-                    sim::cpiReduction(machine, gen, k.ideal, options);
-                errors[k.name]["dispatch"].push_back(
-                    analysis::singleStackError(ms.dispatch, k.comp, actual));
-                errors[k.name]["issue"].push_back(
-                    analysis::singleStackError(ms.issue, k.comp, actual));
-                errors[k.name]["commit"].push_back(
-                    analysis::singleStackError(ms.commit, k.comp, actual));
-                errors[k.name]["multi"].push_back(
-                    analysis::multiStageError(ms, k.comp, actual));
+                pairs.push_back({wi, &k});
+                ideal_jobs.push_back(runner::makeJob(
+                    workloads[wi].name + "/" + k.name,
+                    sim::applyIdealization(machine, k.ideal),
+                    makeTrace(workloads[wi]), options));
             }
+        }
+        const runner::BatchResult ideals = batch.run(std::move(ideal_jobs));
+
+        for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+            const Knob &k = *pairs[pi].knob;
+            const analysis::MultiStageStacks &ms = stacks[pairs[pi].workload];
+            const double actual =
+                reals.outcomes[pairs[pi].workload].single.cpi -
+                ideals.outcomes[pi].single.cpi;
+            errors[k.name]["dispatch"].push_back(
+                analysis::singleStackError(ms.dispatch, k.comp, actual));
+            errors[k.name]["issue"].push_back(
+                analysis::singleStackError(ms.issue, k.comp, actual));
+            errors[k.name]["commit"].push_back(
+                analysis::singleStackError(ms.commit, k.comp, actual));
+            errors[k.name]["multi"].push_back(
+                analysis::multiStageError(ms, k.comp, actual));
         }
 
         std::printf("(filtered %d near-zero component/workload pairs, as in "

@@ -20,6 +20,7 @@
 #include "analysis/render.hpp"
 #include "bench_util.hpp"
 #include "core/ooo_core.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
 #include "trace/synthetic_generator.hpp"
@@ -41,7 +42,7 @@ struct Case
 };
 
 void
-runCase(const Case &c, std::uint64_t instrs)
+runCase(const Case &c, std::uint64_t instrs, runner::BatchRunner &batch)
 {
     std::printf("--- Fig. 3(%s): %s on %s ---\n%s\n\n", c.fig, c.workload,
                 c.machine, c.story);
@@ -55,18 +56,26 @@ runCase(const Case &c, std::uint64_t instrs)
 
     sim::SimOptions options;
     options.warmup_instrs = run.warmup;
-    const sim::SimResult real = sim::simulate(machine, gen, options);
+
+    // The real run and every idealized variant of this case, one batch.
+    std::vector<runner::SimJob> jobs;
+    jobs.push_back(runner::makeJob("real", machine, gen, options));
+    for (const sim::Idealization &ideal : c.ideals) {
+        jobs.push_back(runner::makeJob(
+            ideal.label(), sim::applyIdealization(machine, ideal), gen,
+            options));
+    }
+    const runner::BatchResult results = batch.run(std::move(jobs));
+
+    const sim::SimResult &real = results.outcomes.front().single;
     std::printf("%s\n",
                 analysis::renderMultiStage(real, c.workload).c_str());
 
-    const analysis::MultiStageStacks ms{real.cpiStack(Stage::kDispatch),
-                                        real.cpiStack(Stage::kIssue),
-                                        real.cpiStack(Stage::kCommit)};
+    const analysis::MultiStageStacks ms = analysis::multiStageOf(real);
 
-    for (const sim::Idealization &ideal : c.ideals) {
-        const sim::SimResult after =
-            sim::simulate(sim::applyIdealization(machine, ideal), gen,
-                          options);
+    for (std::size_t i = 0; i < c.ideals.size(); ++i) {
+        const sim::Idealization &ideal = c.ideals[i];
+        const sim::SimResult &after = results.outcomes[i + 1].single;
         const double delta = real.cpi - after.cpi;
         std::printf("  %-26s CPI %.3f -> %.3f (reduction %.3f)\n",
                     ideal.label().c_str(), real.cpi, after.cpi, delta);
@@ -103,6 +112,7 @@ main()
                   "(unified-L2 coupling, MSHR contention)");
 
     const std::uint64_t instrs = bench::benchInstrs();  // measured window
+    runner::BatchRunner batch(bench::benchThreads());
 
     const Case cases[] = {
         {"a", "mcf", "bdw",
@@ -131,7 +141,7 @@ main()
     };
 
     for (const Case &c : cases)
-        runCase(c, instrs);
+        runCase(c, instrs, batch);
 
     // Extra diagnostics for the bwaves MSHR story.
     {

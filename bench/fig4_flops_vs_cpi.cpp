@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
 #include "trace/hpc_kernels.hpp"
@@ -41,6 +42,7 @@ main()
     const bench::RunLengths run = bench::benchRun(150'000);
     sim::SimOptions options;
     options.warmup_instrs = run.warmup;
+    runner::BatchRunner batch(bench::benchThreads());
 
     const struct
     {
@@ -58,16 +60,24 @@ main()
         std::map<std::string, GroupedStack> group_diff;
         std::map<std::string, int> group_count;
 
-        for (const trace::HpcBenchmark &bm : trace::deepBenchSuite()) {
+        // The whole DeepBench suite for this target runs as one batch.
+        const std::vector<trace::HpcBenchmark> &suite =
+            trace::deepBenchSuite();
+        std::vector<runner::SimJob> jobs;
+        for (const trace::HpcBenchmark &bm : suite) {
             auto tr = bm.make(target, run.total);
-            const sim::SimResult r = sim::simulate(machine, *tr, options);
+            jobs.push_back(runner::makeJob(bm.name, machine, *tr, options));
+        }
+        const runner::BatchResult results = batch.run(std::move(jobs));
 
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const sim::SimResult &r = results.outcomes[i].single;
             const GroupedStack cpi = bench::groupCpi(
                 r.cpiStack(stacks::Stage::kIssue).normalized());
             const GroupedStack flops =
                 bench::groupFlops(r.flops_cycles.normalized());
-            group_diff[bm.group] += flops - cpi;
-            ++group_count[bm.group];
+            group_diff[suite[i].group] += flops - cpi;
+            ++group_count[suite[i].group];
         }
 
         std::printf("--- %s ---\n", machine.name.c_str());

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace stackscope::analysis {
+
+using stacks::Stage;
 
 ComponentBounds
 componentBounds(const MultiStageStacks &ms, stacks::CpiComponent c)
@@ -32,6 +35,60 @@ multiStageError(const MultiStageStacks &ms, stacks::CpiComponent c,
     const double err_lo = b.lo - actual_reduction;
     const double err_hi = b.hi - actual_reduction;
     return std::abs(err_lo) < std::abs(err_hi) ? err_lo : err_hi;
+}
+
+MultiStageStacks
+multiStageOf(const sim::SimResult &r)
+{
+    return {r.cpiStack(Stage::kDispatch), r.cpiStack(Stage::kIssue),
+            r.cpiStack(Stage::kCommit)};
+}
+
+std::vector<IdealizationKnob>
+standardKnobs()
+{
+    using stacks::CpiComponent;
+    return {
+        {"Icache", CpiComponent::kIcache, {.perfect_icache = true}},
+        {"Dcache", CpiComponent::kDcache, {.perfect_dcache = true}},
+        {"bpred", CpiComponent::kBpred, {.perfect_bpred = true}},
+        {"ALU", CpiComponent::kAluLat, {.single_cycle_alu = true}},
+    };
+}
+
+IdealizationStudy
+runIdealizationStudy(const sim::MachineConfig &machine,
+                     const trace::TraceSource &trace,
+                     std::span<const IdealizationKnob> knobs,
+                     const sim::SimOptions &options,
+                     runner::BatchRunner &batch)
+{
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(knobs.size() + 1);
+    jobs.push_back(runner::makeJob("real", machine, trace, options));
+    for (const IdealizationKnob &k : knobs) {
+        jobs.push_back(runner::makeJob(
+            k.label, sim::applyIdealization(machine, k.ideal), trace,
+            options));
+    }
+    runner::BatchResult results = batch.run(std::move(jobs));
+
+    IdealizationStudy study;
+    study.real = std::move(results.outcomes.front().single);
+    study.stacks = multiStageOf(study.real);
+    study.validation = std::move(results.validation);
+    study.entries.reserve(knobs.size());
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+        IdealizationStudy::Entry e;
+        e.knob = knobs[i];
+        e.idealized = std::move(results.outcomes[i + 1].single);
+        e.actual_reduction = study.real.cpi - e.idealized.cpi;
+        e.bounds = componentBounds(study.stacks, knobs[i].comp);
+        e.multi_error =
+            multiStageError(study.stacks, knobs[i].comp, e.actual_reduction);
+        study.entries.push_back(std::move(e));
+    }
+    return study;
 }
 
 }  // namespace stackscope::analysis

@@ -8,7 +8,12 @@
 #define STACKSCOPE_ANALYSIS_BOUNDS_HPP
 
 #include <array>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "runner/batch_runner.hpp"
+#include "sim/simulation.hpp"
 #include "stacks/stack.hpp"
 
 namespace stackscope::analysis {
@@ -62,6 +67,60 @@ double singleStackError(const stacks::CpiStack &stack,
  */
 double multiStageError(const MultiStageStacks &ms, stacks::CpiComponent c,
                        double actual_reduction);
+
+/** The three per-stage CPI stacks of a completed run. */
+MultiStageStacks multiStageOf(const sim::SimResult &r);
+
+/** One idealization experiment: a knob and the component it targets. */
+struct IdealizationKnob
+{
+    std::string label;
+    stacks::CpiComponent comp;
+    sim::Idealization ideal;
+};
+
+/**
+ * The four structure idealizations of the paper's validation study
+ * (§IV): perfect I$, perfect D$, perfect bpred, 1-cycle ALU.
+ */
+std::vector<IdealizationKnob> standardKnobs();
+
+/**
+ * Everything the Table I / Fig. 2 methodology measures for one
+ * (machine, workload) point: the real run plus one idealized run per
+ * knob, with the actual CPI reduction, the multi-stage bounds of the
+ * targeted component and the §V-A error metric.
+ */
+struct IdealizationStudy
+{
+    sim::SimResult real;
+    MultiStageStacks stacks;
+
+    struct Entry
+    {
+        IdealizationKnob knob;
+        sim::SimResult idealized;
+        /** real.cpi − idealized.cpi (positive = improvement). */
+        double actual_reduction = 0.0;
+        ComponentBounds bounds;
+        double multi_error = 0.0;
+    };
+    std::vector<Entry> entries;
+
+    /** Merged validation reports of the real and all idealized runs. */
+    validate::ValidationReport validation;
+};
+
+/**
+ * Run the real configuration and every idealization pair of @p knobs as
+ * one concurrent batch on @p batch. Results are bit-identical to the
+ * serial sequence simulate(real), simulate(knob 0), ... — each job owns
+ * its core and a private clone of @p trace.
+ */
+IdealizationStudy runIdealizationStudy(
+    const sim::MachineConfig &machine, const trace::TraceSource &trace,
+    std::span<const IdealizationKnob> knobs,
+    const sim::SimOptions &options, runner::BatchRunner &batch);
 
 }  // namespace stackscope::analysis
 

@@ -25,7 +25,20 @@ stddev(std::span<const double> xs)
     double acc = 0.0;
     for (double x : xs)
         acc += (x - m) * (x - m);
-    return std::sqrt(acc / static_cast<double>(xs.size()));
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+percentileSorted(std::span<const double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 double
@@ -35,12 +48,7 @@ percentile(std::span<const double> xs, double q)
         return 0.0;
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
-    q = std::clamp(q, 0.0, 1.0);
-    const double rank = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(rank));
-    const auto hi = static_cast<std::size_t>(std::ceil(rank));
-    const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    return percentileSorted(sorted, q);
 }
 
 FiveNumberSummary
@@ -54,9 +62,9 @@ fiveNumberSummary(std::span<const double> xs)
     s.count = sorted.size();
     s.min = sorted.front();
     s.max = sorted.back();
-    s.q1 = percentile(sorted, 0.25);
-    s.median = percentile(sorted, 0.50);
-    s.q3 = percentile(sorted, 0.75);
+    s.q1 = percentileSorted(sorted, 0.25);
+    s.median = percentileSorted(sorted, 0.50);
+    s.q3 = percentileSorted(sorted, 0.75);
     return s;
 }
 

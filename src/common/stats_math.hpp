@@ -16,15 +16,28 @@ namespace stackscope {
 /** Arithmetic mean; returns 0 for an empty input. */
 double mean(std::span<const double> xs);
 
-/** Population standard deviation; returns 0 for fewer than two samples. */
+/**
+ * Sample standard deviation (n−1 divisor, Bessel's correction); returns 0
+ * for fewer than two samples. The error populations of the Fig. 2 study
+ * are samples of a larger workload space, so the unbiased estimator is
+ * the right one.
+ */
 double stddev(std::span<const double> xs);
 
 /**
  * Linear-interpolated percentile of an *unsorted* sample, q in [0, 1].
  * Uses the common "linear interpolation between closest ranks" definition
- * (numpy default). Returns 0 for an empty input.
+ * (numpy default). Returns 0 for an empty input. Copies and sorts the
+ * input; callers holding already-sorted data should use
+ * percentileSorted() instead.
  */
 double percentile(std::span<const double> xs, double q);
+
+/**
+ * percentile() on data the caller guarantees is already sorted
+ * ascending — no copy, no re-sort.
+ */
+double percentileSorted(std::span<const double> sorted, double q);
 
 /**
  * Five-number summary of a sample, as used in a box-and-whisker plot:

@@ -1,0 +1,99 @@
+#include "runner/batch_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace stackscope::runner {
+
+SimJob
+makeJob(std::string label, sim::MachineConfig machine,
+        const trace::TraceSource &trace, sim::SimOptions options,
+        unsigned cores)
+{
+    SimJob job;
+    job.label = std::move(label);
+    job.machine = std::move(machine);
+    job.trace = trace.clone();
+    job.options = options;
+    job.cores = cores;
+    return job;
+}
+
+BatchResult
+BatchRunner::run(std::vector<SimJob> jobs)
+{
+    struct Slot
+    {
+        JobOutcome outcome;
+        std::exception_ptr error;
+        bool ran = false;
+    };
+    std::vector<Slot> slots(jobs.size());
+    std::atomic<bool> cancel{false};
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool_.submit([&jobs, &slots, &cancel, i] {
+            if (cancel.load(std::memory_order_acquire))
+                return;
+            const SimJob &job = jobs[i];
+            Slot &slot = slots[i];
+            slot.outcome.label = job.label;
+            try {
+                if (job.cores > 1) {
+                    slot.outcome.multi = sim::simulateMulticore(
+                        job.machine, *job.trace, job.cores, job.options);
+                } else {
+                    slot.outcome.single =
+                        sim::simulate(job.machine, *job.trace, job.options);
+                }
+                slot.ran = true;
+            } catch (...) {
+                slot.error = std::current_exception();
+                cancel.store(true, std::memory_order_release);
+            }
+        });
+    }
+    pool_.waitIdle();
+
+    // Rethrow the lowest-indexed failure with the job identity attached.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].error)
+            continue;
+        try {
+            std::rethrow_exception(slots[i].error);
+        } catch (const StackscopeError &e) {
+            StackscopeError out = e;
+            throw out.withContext("job", jobs[i].label)
+                .withContext("job_index", std::to_string(i));
+        } catch (const std::exception &e) {
+            throw StackscopeError(ErrorCategory::kInternal, e.what())
+                .withContext("job", jobs[i].label)
+                .withContext("job_index", std::to_string(i));
+        }
+    }
+
+    BatchResult out;
+    out.outcomes.reserve(slots.size());
+    if (!jobs.empty())
+        out.validation.policy = jobs.front().options.validation;
+    for (Slot &slot : slots) {
+        if (slot.ran) {
+            const validate::ValidationReport &rep =
+                slot.outcome.validation();
+            for (const validate::Violation &v : rep.violations) {
+                out.validation.add(v.invariant,
+                                   "job " + slot.outcome.label + ": " +
+                                       v.detail,
+                                   v.cycle);
+            }
+            out.validation.checks_run += rep.checks_run;
+        }
+        out.outcomes.push_back(std::move(slot.outcome));
+    }
+    return out;
+}
+
+}  // namespace stackscope::runner

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Batch-simulation engine: execute any set of (machine, trace, options)
+ * simulation points concurrently and deterministically.
+ *
+ * Every job owns a private clone of its trace source and constructs its
+ * own core inside sim::simulate() / sim::simulateMulticore(), so no state
+ * is shared between jobs and the results are bit-identical to running the
+ * same points serially, regardless of thread count or scheduling order.
+ * This is the parallel layer the paper's host simulator (Sniper) and
+ * gem5-style batch harnesses provide around their own cores: the
+ * simulations themselves stay single-threaded and reproducible, the
+ * *batch* saturates the machine.
+ */
+
+#ifndef STACKSCOPE_RUNNER_BATCH_RUNNER_HPP
+#define STACKSCOPE_RUNNER_BATCH_RUNNER_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+#include "sim/multicore.hpp"
+#include "sim/simulation.hpp"
+
+namespace stackscope::runner {
+
+/** One simulation point: a machine, a trace, options and a core count. */
+struct SimJob
+{
+    /** Identifies the job in merged reports and error context. */
+    std::string label;
+    sim::MachineConfig machine;
+    /** Owned clone; the job's run clones it again, so a job is reusable. */
+    std::unique_ptr<trace::TraceSource> trace;
+    sim::SimOptions options{};
+    /** 1 = sim::simulate(); >1 = sim::simulateMulticore(). */
+    unsigned cores = 1;
+};
+
+/** Build a SimJob, cloning @p trace (the argument is not consumed). */
+SimJob makeJob(std::string label, sim::MachineConfig machine,
+               const trace::TraceSource &trace,
+               sim::SimOptions options = {}, unsigned cores = 1);
+
+/** Result of one job, in the shape its core count produced. */
+struct JobOutcome
+{
+    std::string label;
+    /** Valid when the job ran with cores == 1. */
+    sim::SimResult single{};
+    /** Set when the job ran with cores > 1. */
+    std::optional<sim::MulticoreResult> multi{};
+
+    const validate::ValidationReport &
+    validation() const
+    {
+        return multi ? multi->validation : single.validation;
+    }
+};
+
+/** All outcomes of one batch, in submission order. */
+struct BatchResult
+{
+    std::vector<JobOutcome> outcomes;
+    /**
+     * Per-job reports merged into one, each violation detail prefixed
+     * with the job label; per-job reports stay in the outcomes.
+     */
+    validate::ValidationReport validation{};
+};
+
+/**
+ * Executes batches of SimJobs on a work-stealing thread pool.
+ *
+ * Determinism: outcomes are indexed by submission order and every result
+ * is bit-identical to calling simulate()/simulateMulticore() serially
+ * with the same arguments.
+ *
+ * Failure: when any job throws (e.g. a strict-policy validation failure),
+ * the batch is cancelled — queued jobs are skipped, in-flight jobs finish
+ * — and the error of the lowest-indexed failed job is rethrown with
+ * "job"/"job_index" context attached. Which jobs were already skipped
+ * when the failure hit is scheduling-dependent; the no-failure results
+ * are not.
+ */
+class BatchRunner
+{
+  public:
+    /** @param threads worker count; 0 = all hardware threads. */
+    explicit BatchRunner(unsigned threads = 0) : pool_(threads) {}
+
+    unsigned threads() const { return pool_.threads(); }
+
+    /** Run every job; blocks until the batch completes or fails. */
+    BatchResult run(std::vector<SimJob> jobs);
+
+  private:
+    ThreadPool pool_;
+};
+
+}  // namespace stackscope::runner
+
+#endif  // STACKSCOPE_RUNNER_BATCH_RUNNER_HPP

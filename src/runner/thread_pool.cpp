@@ -1,0 +1,152 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stackscope::runner {
+
+namespace {
+
+/**
+ * Identifies the pool (and worker slot) the current thread belongs to, so
+ * nested submit() calls go to the caller's own deque. Plain globals are
+ * fine: a thread belongs to at most one pool for its whole lifetime.
+ */
+thread_local const ThreadPool *tls_pool = nullptr;
+thread_local unsigned tls_worker = 0;
+
+}  // namespace
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? hardwareThreads() : threads;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stopping_.store(true, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::push(unsigned index, Task task)
+{
+    {
+        Worker &w = *workers_[index];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.deque.push_back(std::move(task));
+    }
+    // Publish under sleep_mutex_ so a worker that just found its queues
+    // empty re-checks before sleeping (no lost wakeup).
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (tls_pool == this) {
+        push(tls_worker, std::move(task));
+        return;
+    }
+    const std::size_t slot =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    push(static_cast<unsigned>(slot), std::move(task));
+}
+
+bool
+ThreadPool::tryPop(unsigned index, Task &out)
+{
+    {
+        Worker &own = *workers_[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.deque.empty()) {
+            out = std::move(own.deque.back());
+            own.deque.pop_back();
+            return true;
+        }
+    }
+    // Steal oldest-first from the other workers, starting just past us so
+    // thieves spread over victims instead of all hammering worker 0.
+    const unsigned n = threads();
+    for (unsigned k = 1; k < n; ++k) {
+        Worker &victim = *workers_[(index + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            out = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::haveWork()
+{
+    for (const auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        if (!w->deque.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    idle_cv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tls_pool = this;
+    tls_worker = index;
+    for (;;) {
+        Task task;
+        if (tryPop(index, task)) {
+            task();
+            task = nullptr;  // release captures before signalling idle
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(sleep_mutex_);
+                idle_cv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        if (stopping_.load(std::memory_order_acquire) && !haveWork())
+            return;
+        work_cv_.wait(lock, [this] {
+            return stopping_.load(std::memory_order_acquire) || haveWork();
+        });
+        if (stopping_.load(std::memory_order_acquire) && !haveWork())
+            return;
+    }
+}
+
+}  // namespace stackscope::runner

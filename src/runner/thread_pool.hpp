@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Work-stealing thread pool for the batch-simulation engine.
+ *
+ * Every figure of the paper is assembled from dozens of *independent*
+ * simulations (idealization pairs, speculation modes, workload x machine
+ * grids). Those jobs are embarrassingly parallel but wildly uneven in
+ * length — an idealized run can finish in half the cycles of its real
+ * counterpart — so a static partition would leave workers idle. Each
+ * worker therefore owns a deque: it pushes and pops its own work LIFO
+ * (cache-warm) and steals FIFO from the front of a random-start victim
+ * scan when it runs dry, which balances the long tail automatically.
+ */
+
+#ifndef STACKSCOPE_RUNNER_THREAD_POOL_HPP
+#define STACKSCOPE_RUNNER_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stackscope::runner {
+
+/**
+ * Fixed-size pool of worker threads with per-worker work-stealing deques.
+ *
+ * submit() never blocks; waitIdle() blocks until every task submitted so
+ * far has finished. The destructor drains all remaining tasks and joins.
+ * Tasks must not throw — wrap fallible work and capture the exception
+ * (BatchRunner does exactly that).
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p task. Calls from a worker thread of this pool push onto
+     * that worker's own deque (depth-first, cache-warm); external calls
+     * are distributed round-robin.
+     */
+    void submit(Task task);
+
+    /** Block until all tasks submitted so far have completed. */
+    void waitIdle();
+
+    /** std::thread::hardware_concurrency(), clamped to at least 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> deque;
+    };
+
+    void workerLoop(unsigned index);
+    /** Own deque back first, then steal from the other workers' fronts. */
+    bool tryPop(unsigned index, Task &out);
+    /** Any queue non-empty? (slow path, used under sleep_mutex_). */
+    bool haveWork();
+    void push(unsigned index, Task task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards the sleep/wake protocol, not the deques. */
+    std::mutex sleep_mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+
+    /** Tasks submitted but not yet finished. */
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<bool> stopping_{false};
+};
+
+}  // namespace stackscope::runner
+
+#endif  // STACKSCOPE_RUNNER_THREAD_POOL_HPP

@@ -165,7 +165,17 @@ simulateMulticore(const MachineConfig &machine,
 
         validate::ValidationReport &rep = reports[i];
         rep.policy = options.validation;
-        if (watchdogs[i].deadlocked()) {
+        if (!warmed[i] && watchdogs[i].tripped()) {
+            // Mirrors simulate(): a watchdog stop before the warmup window
+            // closed means resetMeasurement() never ran, so this core's
+            // stacks are warmup-polluted — never a silent truncation.
+            rep.add(validate::Invariant::kProgress,
+                    "stopped during warmup (" +
+                        watchdogs[i].snapshot().describe() +
+                        "): measurement never started, stacks include "
+                        "warmup",
+                    r.cycles);
+        } else if (watchdogs[i].deadlocked()) {
             rep.add(validate::Invariant::kProgress,
                     watchdogs[i].snapshot().describe(), r.cycles);
         }

@@ -70,6 +70,7 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     // Fast-forward (§IV): warm structures, then restart measurement. The
     // watchdog also guards this phase — a hung trace must not spin here.
     const std::uint64_t warmup = options.warmup_instrs.value_or(0);
+    bool warmup_truncated = false;
     if (warmup > 0) {
         while (!core.done() &&
                core.stats().instrs_committed < warmup &&
@@ -77,8 +78,20 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
                              core.stats().instrs_committed)) {
             core.cycle();
         }
-        if (!watchdog.tripped())
+        if (watchdog.tripped()) {
+            // resetMeasurement() never ran: the reported stacks include
+            // the warmup phase. Even a plain max-cycles stop must not be
+            // a silent truncation here.
+            warmup_truncated = true;
+            report.add(validate::Invariant::kProgress,
+                       "stopped during warmup (" +
+                           watchdog.snapshot().describe() +
+                           "): measurement never started, stacks include "
+                           "warmup",
+                       core.cycles());
+        } else {
             core.resetMeasurement();
+        }
     }
 
     while (!core.done() && !watchdog.tripped()) {
@@ -114,8 +127,9 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
         validate::applyToResult(*options.fault, r);
 
     // A no-retire watchdog trip is a detected deadlock and recorded even
-    // with validation off; a max-cycles stop stays a silent truncation.
-    if (watchdog.deadlocked()) {
+    // with validation off; a max-cycles stop after warmup stays a silent
+    // truncation (a trip *during* warmup was already recorded above).
+    if (watchdog.deadlocked() && !warmup_truncated) {
         report.add(validate::Invariant::kProgress,
                    watchdog.snapshot().describe(), core.cycles());
     }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace stackscope {
@@ -19,10 +21,19 @@ TEST(StatsMath, MeanBasics)
 
 TEST(StatsMath, StddevBasics)
 {
+    // Sum of squared deviations is 32 over 8 samples; the sample
+    // (Bessel-corrected) standard deviation divides by n-1 = 7.
     const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
-    EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
     EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
     EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsMath, StddevTwoSamples)
+{
+    // n = 2: sample stddev is |a-b| / sqrt(2).
+    const std::vector<double> xs = {1.0, 3.0};
+    EXPECT_NEAR(stddev(xs), 2.0 / std::sqrt(2.0), 1e-12);
 }
 
 TEST(StatsMath, PercentileInterpolates)
@@ -44,6 +55,21 @@ TEST(StatsMath, PercentileClampsQ)
 TEST(StatsMath, PercentileEmpty)
 {
     EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(StatsMath, PercentileSortedMatchesPercentile)
+{
+    std::vector<double> xs;
+    unsigned state = 99;
+    for (int i = 0; i < 64; ++i) {
+        state = state * 1664525u + 1013904223u;
+        xs.push_back(static_cast<double>(state % 997) / 7.0);
+    }
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(percentileSorted(sorted, q), percentile(xs, q));
 }
 
 TEST(StatsMath, FiveNumberSummary)

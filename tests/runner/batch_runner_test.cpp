@@ -1,0 +1,210 @@
+/**
+ * Determinism and failure-semantics tests for the batch-simulation
+ * engine: BatchRunner results must be bit-identical to serial
+ * sim::simulate() / sim::simulateMulticore() calls, for every thread
+ * count, and strict-policy failures must cancel the batch and rethrow
+ * with job context.
+ */
+
+#include "runner/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+#include "validate/fault_injection.hpp"
+
+namespace stackscope::runner {
+namespace {
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 50'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+/** Every double of two single-core results, compared exactly. */
+void
+expectBitIdentical(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+    for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
+        a.cpi_stacks[s].forEach([&](stacks::CpiComponent c, double v) {
+            EXPECT_DOUBLE_EQ(v, b.cpi_stacks[s][c]);
+        });
+        a.cycle_stacks[s].forEach([&](stacks::CpiComponent c, double v) {
+            EXPECT_DOUBLE_EQ(v, b.cycle_stacks[s][c]);
+        });
+    }
+    a.flops_cycles.forEach([&](stacks::FlopsComponent c, double v) {
+        EXPECT_DOUBLE_EQ(v, b.flops_cycles[c]);
+    });
+    // Validation reports: same policy, same checks, same violations.
+    EXPECT_EQ(a.validation.policy, b.validation.policy);
+    EXPECT_EQ(a.validation.checks_run, b.validation.checks_run);
+    ASSERT_EQ(a.validation.violations.size(), b.validation.violations.size());
+    for (std::size_t i = 0; i < a.validation.violations.size(); ++i) {
+        EXPECT_EQ(a.validation.violations[i].invariant,
+                  b.validation.violations[i].invariant);
+        EXPECT_EQ(a.validation.violations[i].detail,
+                  b.validation.violations[i].detail);
+        EXPECT_EQ(a.validation.violations[i].cycle,
+                  b.validation.violations[i].cycle);
+    }
+}
+
+std::vector<SimJob>
+mixedBatch(const sim::SimOptions &options)
+{
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("mcf/bdw", sim::bdwConfig(),
+                           shortWorkload("mcf"), options));
+    jobs.push_back(makeJob("gcc/knl", sim::knlConfig(),
+                           shortWorkload("gcc"), options));
+    jobs.push_back(makeJob("bwaves/skx", sim::skxConfig(),
+                           shortWorkload("bwaves"), options));
+    jobs.push_back(makeJob("exchange2/bdw", sim::bdwConfig(),
+                           shortWorkload("exchange2"), options));
+    return jobs;
+}
+
+TEST(BatchRunner, MatchesSerialSimulateForEveryThreadCount)
+{
+    sim::SimOptions options;
+    options.warmup_instrs = 10'000;
+    options.validation = validate::ValidationPolicy::kWarn;
+
+    // The serial reference: plain simulate() calls, no pool involved.
+    std::vector<sim::SimResult> reference;
+    for (const SimJob &job : mixedBatch(options))
+        reference.push_back(sim::simulate(job.machine, *job.trace,
+                                          job.options));
+
+    for (unsigned threads :
+         {1u, 2u, ThreadPool::hardwareThreads()}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        BatchRunner runner(threads);
+        const BatchResult batch = runner.run(mixedBatch(options));
+        ASSERT_EQ(batch.outcomes.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            SCOPED_TRACE("job=" + batch.outcomes[i].label);
+            expectBitIdentical(batch.outcomes[i].single, reference[i]);
+        }
+    }
+}
+
+TEST(BatchRunner, MatchesSerialMulticore)
+{
+    sim::SimOptions options;
+    options.validation = validate::ValidationPolicy::kWarn;
+    const auto gen = shortWorkload("mcf", 20'000);
+    const sim::MulticoreResult reference =
+        sim::simulateMulticore(sim::bdwConfig(), gen, 2, options);
+
+    for (unsigned threads : {1u, 2u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        BatchRunner runner(threads);
+        std::vector<SimJob> jobs;
+        jobs.push_back(
+            makeJob("mcf/bdw/x2", sim::bdwConfig(), gen, options, 2));
+        const BatchResult batch = runner.run(std::move(jobs));
+        ASSERT_EQ(batch.outcomes.size(), 1u);
+        ASSERT_TRUE(batch.outcomes[0].multi.has_value());
+        const sim::MulticoreResult &m = *batch.outcomes[0].multi;
+        ASSERT_EQ(m.per_core.size(), reference.per_core.size());
+        EXPECT_DOUBLE_EQ(m.avg_cpi, reference.avg_cpi);
+        for (std::size_t c = 0; c < reference.per_core.size(); ++c)
+            expectBitIdentical(m.per_core[c], reference.per_core[c]);
+    }
+}
+
+TEST(BatchRunner, MergedReportCarriesJobLabels)
+{
+    // A watchdog truncation during warmup in one job must surface,
+    // labelled, in the batch-level merged report while the other job
+    // stays clean.
+    sim::SimOptions clean;
+    clean.validation = validate::ValidationPolicy::kWarn;
+    sim::SimOptions truncated = clean;
+    truncated.warmup_instrs = 40'000;
+    truncated.max_cycles = 2'000;
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("clean", sim::bdwConfig(),
+                           shortWorkload("gcc"), clean));
+    jobs.push_back(makeJob("cut", sim::bdwConfig(),
+                           shortWorkload("mcf"), truncated));
+    BatchRunner runner(2);
+    const BatchResult batch = runner.run(std::move(jobs));
+
+    EXPECT_TRUE(batch.outcomes[0].validation().passed());
+    EXPECT_FALSE(batch.outcomes[1].validation().passed());
+    EXPECT_FALSE(batch.validation.passed());
+    bool labelled = false;
+    for (const validate::Violation &v : batch.validation.violations)
+        if (v.detail.find("job cut:") != std::string::npos)
+            labelled = true;
+    EXPECT_TRUE(labelled);
+}
+
+TEST(BatchRunner, StrictFailureCancelsAndCarriesJobContext)
+{
+    // Inject a deterministic fault into one strict-policy job; the batch
+    // must rethrow that job's error with its label attached.
+    sim::SimOptions good;
+    good.validation = validate::ValidationPolicy::kStrict;
+    sim::SimOptions bad = good;
+    bad.fault = validate::FaultSpec{validate::FaultKind::kStackLeak, 7};
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("healthy", sim::bdwConfig(),
+                           shortWorkload("gcc"), good));
+    jobs.push_back(makeJob("faulty", sim::bdwConfig(),
+                           shortWorkload("mcf"), bad));
+
+    BatchRunner runner(2);
+    try {
+        (void)runner.run(std::move(jobs));
+        FAIL() << "strict-policy fault did not propagate";
+    } catch (const StackscopeError &e) {
+        bool has_label = false;
+        for (const auto &[k, v] : e.context())
+            if (k == "job" && v == "faulty")
+                has_label = true;
+        EXPECT_TRUE(has_label) << e.describe();
+    }
+}
+
+TEST(BatchRunner, EmptyBatchIsFine)
+{
+    BatchRunner runner(2);
+    const BatchResult batch = runner.run({});
+    EXPECT_TRUE(batch.outcomes.empty());
+    EXPECT_TRUE(batch.validation.passed());
+}
+
+TEST(BatchRunner, JobsAreReusableAfterMakeJob)
+{
+    // makeJob clones the trace; running the same job list twice must give
+    // identical results (the run clones again internally).
+    sim::SimOptions options;
+    BatchRunner runner(2);
+    const BatchResult a = runner.run(mixedBatch(options));
+    const BatchResult b = runner.run(mixedBatch(options));
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+        expectBitIdentical(a.outcomes[i].single, b.outcomes[i].single);
+}
+
+}  // namespace
+}  // namespace stackscope::runner

@@ -1,0 +1,105 @@
+/** Tests for the work-stealing thread pool under the batch runner. */
+
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace stackscope::runner {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillDrains)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), ThreadPool::hardwareThreads());
+    EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit(
+                [&] { count.fetch_add(1, std::memory_order_relaxed); });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), (round + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();  // must not hang
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerIsExecuted)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&] {
+            // A job spawning follow-up work from inside the pool must not
+            // deadlock and must be covered by the same waitIdle().
+            pool.submit(
+                [&] { count.fetch_add(1, std::memory_order_relaxed); });
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit(
+                [&] { count.fetch_add(1, std::memory_order_relaxed); });
+        // No waitIdle(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, StressManySmallTasks)
+{
+    ThreadPool pool(ThreadPool::hardwareThreads());
+    std::atomic<std::size_t> sum{0};
+    constexpr std::size_t kTasks = 5000;
+    for (std::size_t i = 0; i < kTasks; ++i)
+        pool.submit([&sum, i] {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    pool.waitIdle();
+    EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace stackscope::runner

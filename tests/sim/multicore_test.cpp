@@ -86,6 +86,26 @@ TEST(Multicore, IpcStackSumsToMaxIpc)
     EXPECT_NEAR(r.ipcStack(4).sum(), 4.0, 0.05);
 }
 
+TEST(Multicore, WarmupTruncationIsReportedPerCore)
+{
+    // Same law as the single-core driver: a watchdog stop inside the
+    // warmup window must surface as a progress violation on every core
+    // that never started measuring.
+    const auto gen = shortWorkload("gcc", 1'000'000);
+    SimOptions opt;
+    opt.warmup_instrs = 500'000;
+    opt.max_cycles = 5'000;
+    const MulticoreResult r = simulateMulticore(bdwConfig(), gen, 2, opt);
+    EXPECT_FALSE(r.validation.passed());
+    for (const SimResult &c : r.per_core) {
+        EXPECT_TRUE(
+            c.validation.contains(validate::Invariant::kProgress));
+        ASSERT_FALSE(c.validation.violations.empty());
+        EXPECT_NE(c.validation.violations[0].detail.find("warmup"),
+                  std::string::npos);
+    }
+}
+
 TEST(Multicore, SharedUncoreCreatesContention)
 {
     // Memory-bound threads sharing an uncore must be slower than a single

@@ -92,6 +92,46 @@ TEST(Simulation, MaxCyclesCapsRun)
     EXPECT_LT(r.instrs, 1'000'000u);
 }
 
+TEST(Simulation, WarmupTruncationIsReported)
+{
+    // The cycle cap fires while still inside the warmup window, so
+    // resetMeasurement() never runs and the stacks are warmup-polluted:
+    // the report must say so instead of silently truncating.
+    const auto gen = shortWorkload("gcc", 1'000'000);
+    SimOptions opt;
+    opt.warmup_instrs = 500'000;
+    opt.max_cycles = 5'000;
+    const SimResult r = simulate(bdwConfig(), gen, opt);
+    EXPECT_FALSE(r.validation.passed());
+    EXPECT_TRUE(r.validation.contains(validate::Invariant::kProgress));
+    ASSERT_FALSE(r.validation.violations.empty());
+    EXPECT_NE(r.validation.violations[0].detail.find("warmup"),
+              std::string::npos);
+}
+
+TEST(Simulation, WarmupTruncationStrictThrows)
+{
+    const auto gen = shortWorkload("gcc", 1'000'000);
+    SimOptions opt;
+    opt.warmup_instrs = 500'000;
+    opt.max_cycles = 5'000;
+    opt.validation = validate::ValidationPolicy::kStrict;
+    EXPECT_THROW((void)simulate(bdwConfig(), gen, opt), StackscopeError);
+}
+
+TEST(Simulation, PostWarmupTruncationStaysSilent)
+{
+    // A max-cycles stop after the warmup window closed keeps the
+    // historical silent-truncation behaviour.
+    const auto gen = shortWorkload("gcc", 1'000'000);
+    SimOptions opt;
+    opt.warmup_instrs = 1'000;
+    opt.max_cycles = 100'000;
+    const SimResult r = simulate(bdwConfig(), gen, opt);
+    EXPECT_LT(r.instrs, 1'000'000u);
+    EXPECT_TRUE(r.validation.passed());
+}
+
 TEST(Simulation, AccountingOffSkipsStacks)
 {
     const auto gen = shortWorkload("exchange2", 20'000);

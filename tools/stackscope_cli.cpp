@@ -10,6 +10,7 @@
  *   bounds  [options]        multi-stage bounds vs measured idealizations
  *   hpc     [options]        FLOPS stack analysis of a DeepBench kernel
  *   compare-spec [options]   oracle / simple / spec-counter stacks
+ *   sweep   [options]        workload x machine x cores grid, CSV output
  *
  * Common options:
  *   --workload NAME     workload preset (default mcf)
@@ -17,7 +18,12 @@
  *   --machine NAME      bdw | knl | skx (default bdw)
  *   --instrs N          measured instructions (default 250000, must be > 0)
  *   --warmup N          warmup instructions (default instrs/2)
- *   --cores N           cores sharing an uncore (default 1, must be > 0)
+ *   --cores N[,N...]    cores sharing an uncore (default 1, must be > 0;
+ *                       a comma list spans the grid's cores axis in sweep)
+ *   --threads N         batch-simulation worker threads (0 = all hardware
+ *                       threads; bounds, compare-spec and sweep)
+ *   --workloads A,B,..  sweep workload axis (default mcf,gcc,bwaves)
+ *   --machines A,B,..   sweep machine axis (default bdw,knl,skx)
  *   --csv               machine-readable output
  *   --validate MODE     off | warn | strict runtime invariant checking
  *   --inject-fault F    deterministic fault KIND[:SEED] (see usage)
@@ -38,6 +44,7 @@
 #include "analysis/csv.hpp"
 #include "analysis/render.hpp"
 #include "common/error.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
@@ -61,6 +68,13 @@ struct CliOptions
     /** Unset means the documented default of instrs / 2. */
     std::optional<std::uint64_t> warmup{};
     unsigned cores = 1;
+    /** The sweep grid's cores axis; non-sweep commands require size 1. */
+    std::vector<unsigned> cores_list = {1};
+    /** Batch-runner worker threads; 0 = all hardware threads. */
+    unsigned threads = 0;
+    /** Sweep axes. */
+    std::vector<std::string> workloads = {"mcf", "gcc", "bwaves"};
+    std::vector<std::string> machines = {"bdw", "knl", "skx"};
     bool csv = false;
     sim::Idealization ideal{};
     validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
@@ -71,7 +85,34 @@ struct CliOptions
     std::uint64_t totalInstrs() const { return instrs + warmupInstrs(); }
 };
 
-constexpr const char *kCommands = "list|run|bounds|hpc|compare-spec|help";
+constexpr const char *kCommands =
+    "list|run|bounds|hpc|compare-spec|sweep|help";
+
+/** Split "a,b,c" into its non-empty elements. */
+std::vector<std::string>
+splitList(const std::string &flag, const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.empty()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "value for " + flag +
+                                  " must be a non-empty comma list, got '" +
+                                  text + "'");
+    }
+    return out;
+}
 
 int
 usage(std::FILE *to, const char *argv0)
@@ -86,7 +127,9 @@ usage(std::FILE *to, const char *argv0)
         to,
         "usage: %s <%s> [options]\n"
         "  --workload NAME  --kernel NAME  --machine bdw|knl|skx\n"
-        "  --instrs N  --warmup N  --cores N  --csv\n"
+        "  --instrs N  --warmup N  --cores N[,N...]  --csv\n"
+        "  --threads N (batch workers; 0 = all hardware threads)\n"
+        "  --workloads A,B,...  --machines A,B,...  (sweep grid axes)\n"
         "  --validate off|warn|strict  --watchdog-cycles N\n"
         "  --inject-fault KIND[:SEED] with KIND one of\n"
         "      %s\n"
@@ -135,7 +178,8 @@ parseArgs(int argc, char **argv, CliOptions &opt)
     const bool known_command =
         opt.command == "list" || opt.command == "run" ||
         opt.command == "bounds" || opt.command == "hpc" ||
-        opt.command == "compare-spec" || opt.command == "help";
+        opt.command == "compare-spec" || opt.command == "sweep" ||
+        opt.command == "help";
     if (!known_command) {
         throw StackscopeError(ErrorCategory::kUsage,
                               "unknown command '" + opt.command +
@@ -176,8 +220,26 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         } else if (arg == "--warmup") {
             opt.warmup = parseCount(arg, value(), 0);
         } else if (arg == "--cores") {
-            opt.cores =
-                static_cast<unsigned>(parseCount(arg, value(), 1));
+            // A comma list spans the sweep grid's cores axis; every other
+            // command takes exactly one value.
+            opt.cores_list.clear();
+            for (const std::string &c : splitList(arg, value())) {
+                opt.cores_list.push_back(
+                    static_cast<unsigned>(parseCount(arg, c, 1)));
+            }
+            if (opt.command != "sweep" && opt.cores_list.size() != 1) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "--cores accepts a comma list only "
+                                      "with the sweep command");
+            }
+            opt.cores = opt.cores_list.front();
+        } else if (arg == "--threads") {
+            opt.threads =
+                static_cast<unsigned>(parseCount(arg, value(), 0));
+        } else if (arg == "--workloads") {
+            opt.workloads = splitList(arg, value());
+        } else if (arg == "--machines") {
+            opt.machines = splitList(arg, value());
         } else if (arg == "--validate") {
             const std::string mode = value();
             const auto policy = validate::parsePolicy(mode);
@@ -344,45 +406,89 @@ cmdBounds(const CliOptions &opt)
     auto trace = makeWorkloadTrace(opt);
     const sim::SimOptions so = simOptions(opt);
 
-    const sim::SimResult real = sim::simulate(machine, *trace, so);
-    reportValidation(real.validation);
-    const analysis::MultiStageStacks ms{real.cpiStack(Stage::kDispatch),
-                                        real.cpiStack(Stage::kIssue),
-                                        real.cpiStack(Stage::kCommit)};
-
-    struct Knob
-    {
-        const char *label;
-        CpiComponent comp;
-        sim::Idealization ideal;
-    };
-    const Knob knobs[] = {
-        {"Icache", CpiComponent::kIcache, {.perfect_icache = true}},
-        {"Dcache", CpiComponent::kDcache, {.perfect_dcache = true}},
-        {"bpred", CpiComponent::kBpred, {.perfect_bpred = true}},
-        {"ALU", CpiComponent::kAluLat, {.single_cycle_alu = true}},
-    };
+    // The real run and all four idealization pairs execute as one batch.
+    runner::BatchRunner batch(opt.threads);
+    const std::vector<analysis::IdealizationKnob> knobs =
+        analysis::standardKnobs();
+    const analysis::IdealizationStudy study =
+        analysis::runIdealizationStudy(machine, *trace, knobs, so, batch);
+    reportValidation(study.validation);
 
     if (opt.csv) {
         std::printf("component,lo,hi,actual,error\n");
     } else {
         std::printf("%s on %s: CPI %.3f\n  %-8s %9s %9s %9s %9s\n",
-                    opt.workload.c_str(), machine.name.c_str(), real.cpi,
-                    "comp", "lo", "hi", "actual", "error");
+                    opt.workload.c_str(), machine.name.c_str(),
+                    study.real.cpi, "comp", "lo", "hi", "actual", "error");
     }
-    for (const Knob &k : knobs) {
-        const double actual =
-            sim::cpiReduction(machine, *trace, k.ideal, so);
-        const analysis::ComponentBounds b =
-            analysis::componentBounds(ms, k.comp);
-        const double err = analysis::multiStageError(ms, k.comp, actual);
+    for (const analysis::IdealizationStudy::Entry &e : study.entries) {
         if (opt.csv) {
-            std::printf("%s,%.6g,%.6g,%.6g,%.6g\n", k.label, b.lo, b.hi,
-                        actual, err);
+            std::printf("%s,%.6g,%.6g,%.6g,%.6g\n", e.knob.label.c_str(),
+                        e.bounds.lo, e.bounds.hi, e.actual_reduction,
+                        e.multi_error);
         } else {
-            std::printf("  %-8s %9.3f %9.3f %9.3f %9.3f%s\n", k.label, b.lo,
-                        b.hi, actual, err,
-                        err == 0.0 ? "  (within bounds)" : "");
+            std::printf("  %-8s %9.3f %9.3f %9.3f %9.3f%s\n",
+                        e.knob.label.c_str(), e.bounds.lo, e.bounds.hi,
+                        e.actual_reduction, e.multi_error,
+                        e.multi_error == 0.0 ? "  (within bounds)" : "");
+        }
+    }
+    return 0;
+}
+
+int
+cmdSweep(const CliOptions &opt)
+{
+    const sim::SimOptions so = simOptions(opt);
+
+    // Cartesian workload x machine x cores grid, one SimJob per point.
+    struct Point
+    {
+        std::string workload;
+        std::string machine;
+        unsigned cores;
+    };
+    std::vector<Point> points;
+    std::vector<runner::SimJob> jobs;
+    for (const std::string &w : opt.workloads) {
+        trace::SyntheticParams params = trace::findWorkload(w).params;
+        params.num_instrs = opt.totalInstrs();
+        const trace::SyntheticGenerator gen(params);
+        for (const std::string &m : opt.machines) {
+            const sim::MachineConfig machine = sim::machineByName(m);
+            for (unsigned c : opt.cores_list) {
+                points.push_back({w, m, c});
+                jobs.push_back(runner::makeJob(
+                    w + "/" + m + "/x" + std::to_string(c), machine, gen,
+                    so, c));
+            }
+        }
+    }
+
+    runner::BatchRunner batch(opt.threads);
+    const runner::BatchResult results = batch.run(std::move(jobs));
+    reportValidation(results.validation);
+
+    // One row per grid point and stage; multi-core points report the
+    // component-wise average stacks and per-core cycle/instr counts of
+    // core 0 (threads are homogeneous).
+    std::printf("workload,machine,cores,instrs,cycles,cpi,%s\n",
+                analysis::cpiStackCsvHeader("stage").c_str());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const runner::JobOutcome &o = results.outcomes[i];
+        const sim::SimResult &rep =
+            o.multi ? o.multi->per_core.front() : o.single;
+        const double cpi = o.multi ? o.multi->avg_cpi : o.single.cpi;
+        for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+            const stacks::CpiStack &stack =
+                o.multi ? o.multi->cpiStack(s) : o.single.cpiStack(s);
+            std::printf(
+                "%s,%s,%u,%llu,%llu,%.6g,%s\n", p.workload.c_str(),
+                p.machine.c_str(), p.cores,
+                static_cast<unsigned long long>(rep.instrs),
+                static_cast<unsigned long long>(rep.cycles), cpi,
+                analysis::toCsvRow(std::string(toString(s)), stack).c_str());
         }
     }
     return 0;
@@ -450,15 +556,22 @@ cmdCompareSpec(const CliOptions &opt)
         {"spec-counters", stacks::SpeculationMode::kSpecCounters},
     };
 
-    std::vector<stacks::CpiStack> dispatch_stacks;
+    // One job per wrong-path handling strategy, run as a single batch.
+    std::vector<runner::SimJob> jobs;
     std::vector<std::string> labels;
     for (const auto &m : modes) {
         sim::SimOptions so = simOptions(opt);
         so.spec_mode = m.mode;
-        const sim::SimResult r = sim::simulate(machine, *trace, so);
-        reportValidation(r.validation);
-        dispatch_stacks.push_back(r.cpiStack(Stage::kDispatch));
+        jobs.push_back(runner::makeJob(m.label, machine, *trace, so));
         labels.push_back(m.label);
+    }
+    runner::BatchRunner batch(opt.threads);
+    const runner::BatchResult results = batch.run(std::move(jobs));
+
+    std::vector<stacks::CpiStack> dispatch_stacks;
+    for (const runner::JobOutcome &o : results.outcomes) {
+        reportValidation(o.single.validation);
+        dispatch_stacks.push_back(o.single.cpiStack(Stage::kDispatch));
     }
     std::printf("%s on %s: dispatch CPI stack per wrong-path handling "
                 "strategy (§III-B)\n",
@@ -487,6 +600,8 @@ main(int argc, char **argv)
             return cmdBounds(opt);
         if (opt.command == "hpc")
             return cmdHpc(opt);
+        if (opt.command == "sweep")
+            return cmdSweep(opt);
         return cmdCompareSpec(opt);
     } catch (const StackscopeError &e) {
         std::fprintf(stderr, "%s\n", e.describe().c_str());
