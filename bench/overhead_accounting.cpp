@@ -13,6 +13,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ooo_core.hpp"
+#include "obs/interval.hpp"
+#include "obs/trace_events.hpp"
 #include "sim/presets.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "trace/workload_library.hpp"
@@ -70,6 +72,42 @@ BM_AccountingSpecCounters(benchmark::State &state)
 }
 
 void
+BM_AccountingWithObservability(benchmark::State &state)
+{
+    // Full observability on top of accounting: interval snapshots every
+    // 1000 cycles plus per-cycle pipeline event tracing. The delta vs
+    // BM_AccountingOn is the observability overhead quoted in
+    // docs/observability.md.
+    const trace::SyntheticParams wp = workloadParams();
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        core::CoreParams params = sim::bdwConfig().core;
+        params.accounting_enabled = true;
+        params.spec_mode = stacks::SpeculationMode::kOracle;
+        core::OooCore core(params,
+                           std::make_unique<trace::SyntheticGenerator>(wp));
+        obs::IntervalAccountant iacct(1000);
+        obs::PipelineTracer tracer;
+        while (!core.done()) {
+            core.cycle();
+            tracer.observe(core.cycles() - 1, core.cycleState(),
+                           core.stats().squashed_uops);
+            if (iacct.due(core.cycles()))
+                iacct.snapshot(core);
+        }
+        iacct.finish(core);
+        tracer.finish(core.cycles());
+        benchmark::DoNotOptimize(iacct.take().samples.size());
+        benchmark::DoNotOptimize(tracer.take().events.size());
+        instrs += core.stats().instrs_committed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1000);
+}
+
+void
 BM_AccountantTickOnly(benchmark::State &state)
 {
     // Isolate the marginal cost of one accountant tick.
@@ -88,6 +126,7 @@ BM_AccountantTickOnly(benchmark::State &state)
 BENCHMARK(BM_AccountingOff)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AccountingOn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AccountingSpecCounters)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AccountingWithObservability)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AccountantTickOnly);
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "analysis/render.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 namespace stackscope::analysis {
 
@@ -107,6 +110,118 @@ renderMultiStage(const sim::SimResult &result, const std::string &workload)
          result.cpiStack(stacks::Stage::kCommit)},
         {"dispatch", "issue", "commit"}, "  CPI stacks:");
     return out.str();
+}
+
+namespace {
+
+/** Glyph ramp for heatmap cells; index = round-down of share * 9. */
+constexpr std::string_view kHeatRamp = " .:-=+*#%@";
+
+char
+heatGlyph(double share)
+{
+    if (!(share > 0.0))
+        return kHeatRamp[0];
+    auto idx = static_cast<std::size_t>(1.0 + share * 8.999);
+    if (idx >= kHeatRamp.size())
+        idx = kHeatRamp.size() - 1;
+    return kHeatRamp[idx];
+}
+
+/**
+ * Generic heatmap over any stack type: @p pick extracts the stack of one
+ * sample. Buckets merge ceil(n/max_cols) adjacent windows per column.
+ */
+template <typename E, typename Pick>
+std::string
+renderHeatmap(const obs::IntervalSeries &series, const std::string &heading,
+              std::size_t max_cols, Pick &&pick)
+{
+    constexpr std::size_t kComponents = stacks::StackT<E>::kSize;
+    std::ostringstream out;
+    if (!heading.empty())
+        out << heading << "\n";
+    if (series.samples.empty()) {
+        out << "  (no interval samples)\n";
+        return out.str();
+    }
+    if (max_cols == 0)
+        max_cols = 1;
+    const std::size_t n = series.samples.size();
+    const std::size_t per_col = (n + max_cols - 1) / max_cols;
+    const std::size_t cols = (n + per_col - 1) / per_col;
+
+    // Bucketize: per-column component cycles and total cycles.
+    std::vector<std::array<double, kComponents>> bucket(cols);
+    std::vector<double> total(cols, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t col = i / per_col;
+        pick(series.samples[i]).forEach([&](E c, double v) {
+            bucket[col][static_cast<std::size_t>(c)] += v;
+            total[col] += v;
+        });
+    }
+
+    bool any_rows = false;
+    for (std::size_t ci = 0; ci < kComponents; ++ci) {
+        double mass = 0.0;
+        for (std::size_t col = 0; col < cols; ++col)
+            mass += bucket[col][ci];
+        if (std::abs(mass) < kRenderEps)
+            continue;
+        any_rows = true;
+        char label[32];
+        std::snprintf(label, sizeof(label), "  %-10s|",
+                      std::string(stacks::componentName(static_cast<E>(ci)))
+                          .c_str());
+        out << label;
+        for (std::size_t col = 0; col < cols; ++col) {
+            const double share =
+                total[col] <= 0.0 ? 0.0 : bucket[col][ci] / total[col];
+            out << heatGlyph(share);
+        }
+        out << "|\n";
+    }
+    if (!any_rows)
+        out << "  (all components ~ zero)\n";
+
+    char buf[160];
+    const Cycle span_start = series.samples.front().start;
+    const Cycle span_end = series.samples.back().end;
+    std::snprintf(buf, sizeof(buf),
+                  "  cycles %llu..%llu, %zu windows of ~%llu cycles, "
+                  "%zu per column; scale \"%s\" = 0..100%% of column "
+                  "cycles\n",
+                  static_cast<unsigned long long>(span_start),
+                  static_cast<unsigned long long>(span_end), n,
+                  static_cast<unsigned long long>(series.window), per_col,
+                  std::string(kHeatRamp).c_str());
+    out << buf;
+    return out.str();
+}
+
+}  // namespace
+
+std::string
+renderIntervalHeatmap(const obs::IntervalSeries &series, stacks::Stage stage,
+                      const std::string &heading, std::size_t max_cols)
+{
+    return renderHeatmap<stacks::CpiComponent>(
+        series, heading, max_cols,
+        [stage](const obs::IntervalSample &s) -> const stacks::CpiStack & {
+            return s.cycleStack(stage);
+        });
+}
+
+std::string
+renderFlopsIntervalHeatmap(const obs::IntervalSeries &series,
+                           const std::string &heading, std::size_t max_cols)
+{
+    return renderHeatmap<stacks::FlopsComponent>(
+        series, heading, max_cols,
+        [](const obs::IntervalSample &s) -> const stacks::FlopsStack & {
+            return s.flops_cycles;
+        });
 }
 
 std::string

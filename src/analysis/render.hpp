@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/interval.hpp"
 #include "sim/simulation.hpp"
 #include "stacks/stack.hpp"
 
@@ -38,6 +39,23 @@ std::string renderMultiStage(const sim::SimResult &result,
 
 /** Human-friendly flops/s formatting ("1.73 TFLOPS"). */
 std::string formatFlops(double flops);
+
+/**
+ * ASCII heatmap of an interval time-series for one stage: one row per
+ * CPI component (rows with no mass anywhere are skipped), one column per
+ * time bucket (windows are merged left-to-right so at most @p max_cols
+ * columns appear). Cell glyphs encode the component's share of the
+ * bucket's cycles on the ramp " .:-=+*#%@" (space = 0, '@' ~ 100%).
+ */
+std::string renderIntervalHeatmap(const obs::IntervalSeries &series,
+                                  stacks::Stage stage,
+                                  const std::string &heading,
+                                  std::size_t max_cols = 80);
+
+/** Same heatmap for the FLOPS stack components. */
+std::string renderFlopsIntervalHeatmap(const obs::IntervalSeries &series,
+                                       const std::string &heading,
+                                       std::size_t max_cols = 80);
 
 }  // namespace stackscope::analysis
 

@@ -159,6 +159,8 @@ class OooCore
     }
     const stacks::CpiAccountant &accountant(stacks::Stage stage) const;
     const stacks::FlopsAccountant &flopsAccountant() const { return flops_; }
+    /** The observation record of the most recently executed cycle. */
+    const stacks::CycleState &cycleState() const { return cs_; }
     const uarch::CacheHierarchy &caches() const { return mem_; }
     const uarch::BranchPredictor &branchPredictor() const { return bp_; }
     /** @} */

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Observability configuration shared by the simulation drivers.
+ *
+ * Kept free of dependencies so sim::SimOptions can embed it by value; the
+ * machinery it switches on lives in obs/interval.hpp (interval stack
+ * time-series) and obs/trace_events.hpp (pipeline event tracing).
+ */
+
+#ifndef STACKSCOPE_OBS_OBS_OPTIONS_HPP
+#define STACKSCOPE_OBS_OBS_OPTIONS_HPP
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace stackscope::obs {
+
+/** Per-run observability switches (everything off by default). */
+struct ObsOptions
+{
+    /**
+     * Snapshot the CPI and FLOPS stacks every this many measured cycles,
+     * producing SimResult::intervals. 0 disables interval accounting.
+     * Incompatible with SpeculationMode::kSpecCounters, whose stacks are
+     * undefined before finalize() (kConfig error).
+     */
+    Cycle interval_cycles = 0;
+
+    /**
+     * Record pipeline events (stage activity/stall spans, flushes,
+     * watchdog and validation events) into SimResult::events.
+     */
+    bool trace_events = false;
+
+    /**
+     * Ring-buffer capacity of the event tracer; when full, the oldest
+     * events are overwritten and counted as dropped.
+     */
+    std::size_t trace_capacity = 1 << 16;
+
+    bool enabled() const { return interval_cycles != 0 || trace_events; }
+};
+
+}  // namespace stackscope::obs
+
+#endif  // STACKSCOPE_OBS_OBS_OPTIONS_HPP

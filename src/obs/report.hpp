@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine-readable run reports: one versioned JSON document per CLI
+ * invocation, carrying everything a run produced — configuration, the
+ * three CPI stacks and the FLOPS stack, the interval time-series, the
+ * validation report and summary statistics.
+ *
+ * The schema is a documented contract (docs/formats.md, schema
+ * "stackscope-report" version 1): external tooling may parse it, the
+ * tests round-trip it, and CI validates a freshly generated report
+ * against the documented schema. Bump kReportSchemaVersion on any
+ * incompatible change and update docs/formats.md in the same commit.
+ *
+ * Reports are deterministic: no timestamps, hostnames or thread counts
+ * appear in the output, so the same jobs produce byte-identical reports
+ * regardless of BatchRunner parallelism.
+ */
+
+#ifndef STACKSCOPE_OBS_REPORT_HPP
+#define STACKSCOPE_OBS_REPORT_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/batch_runner.hpp"
+#include "sim/multicore.hpp"
+#include "sim/simulation.hpp"
+
+namespace stackscope::obs {
+
+inline constexpr std::string_view kReportSchemaName = "stackscope-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/**
+ * Accumulates job results and serializes them as one report document.
+ * Add jobs in a deterministic order (submission order, not completion
+ * order) — the report preserves insertion order.
+ */
+class ReportBuilder
+{
+  public:
+    /** @param command the CLI subcommand (or caller tag) producing this. */
+    explicit ReportBuilder(std::string command)
+        : command_(std::move(command))
+    {
+    }
+
+    /** Add a single-core run. */
+    void add(std::string label, const sim::SimOptions &options,
+             const sim::SimResult &result);
+
+    /** Add a multi-core run (per-core results plus the aggregate). */
+    void add(std::string label, const sim::SimOptions &options,
+             const sim::MulticoreResult &result);
+
+    /** Add a batch outcome in whichever shape its core count produced. */
+    void add(const runner::JobOutcome &outcome,
+             const sim::SimOptions &options, unsigned cores);
+
+    bool empty() const { return jobs_.empty(); }
+    std::size_t jobCount() const { return jobs_.size(); }
+
+    /** Serialize the full report (schema v1) as a JSON document. */
+    std::string json() const;
+
+  private:
+    struct Job
+    {
+        std::string label;
+        unsigned cores = 1;
+        sim::SimOptions options{};
+        /** Valid when cores == 1. */
+        sim::SimResult single{};
+        /** Set when cores > 1. */
+        std::optional<sim::MulticoreResult> multi{};
+    };
+
+    std::string command_;
+    std::vector<Job> jobs_;
+};
+
+/**
+ * Write @p content to @p path atomically enough for CLI use (truncate +
+ * write + flush). Throws StackscopeError(kUsage) when the file cannot be
+ * created or written.
+ */
+void writeTextFile(const std::string &path, std::string_view content);
+
+}  // namespace stackscope::obs
+
+#endif  // STACKSCOPE_OBS_REPORT_HPP

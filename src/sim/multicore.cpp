@@ -1,6 +1,7 @@
 #include "sim/multicore.hpp"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -94,6 +95,16 @@ simulateMulticore(const MachineConfig &machine,
                                                         &uncore));
     }
 
+    checkObsOptions(options);
+    std::vector<std::optional<obs::IntervalAccountant>> iaccts(num_cores);
+    std::vector<std::optional<obs::PipelineTracer>> tracers(num_cores);
+    for (unsigned i = 0; i < num_cores; ++i) {
+        if (options.obs.interval_cycles != 0)
+            iaccts[i].emplace(options.obs.interval_cycles);
+        if (options.obs.trace_events)
+            tracers[i].emplace(options.obs.trace_capacity);
+    }
+
     const bool checking =
         options.validation != ValidationPolicy::kOff && options.accounting;
     const std::uint64_t warmup = options.warmup_instrs.value_or(0);
@@ -125,6 +136,15 @@ simulateMulticore(const MachineConfig &machine,
                 c->stats().instrs_committed >= warmup) {
                 c->resetMeasurement();
                 warmed[i] = true;
+            }
+            // Observability covers the measured window only; cycles() > 0
+            // also skips the reset cycle itself.
+            if (warmed[i] && c->cycles() > 0) {
+                if (tracers[i])
+                    tracers[i]->observe(c->cycles() - 1, c->cycleState(),
+                                        c->stats().squashed_uops);
+                if (iaccts[i] && iaccts[i]->due(c->cycles()))
+                    iaccts[i]->snapshot(*c);
             }
             if (checking && warmed[i] && intervals[i].due(c->cycles()))
                 intervals[i].check(*c, reports[i]);
@@ -182,6 +202,21 @@ simulateMulticore(const MachineConfig &machine,
         if (checking)
             rep.merge(validate::validateResult(r));
         r.validation = std::move(rep);
+
+        if (iaccts[i]) {
+            iaccts[i]->finish(*c);
+            r.intervals = iaccts[i]->take();
+        }
+        if (tracers[i]) {
+            for (const validate::Violation &v : r.validation.violations)
+                tracers[i]->note(obs::TraceEventKind::kValidation, v.cycle,
+                                 1);
+            if (watchdogs[i].tripped())
+                tracers[i]->note(obs::TraceEventKind::kWatchdog,
+                                 c->cycles());
+            tracers[i]->finish(c->cycles());
+            r.events = tracers[i]->take();
+        }
 
         for (const validate::Violation &v : r.validation.violations) {
             out.validation.add(v.invariant,

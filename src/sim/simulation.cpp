@@ -1,7 +1,9 @@
 #include "sim/simulation.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "common/error.hpp"
 #include "core/ooo_core.hpp"
 #include "validate/watchdog.hpp"
 
@@ -10,6 +12,26 @@ namespace stackscope::sim {
 using stacks::Stage;
 using validate::FaultTarget;
 using validate::ValidationPolicy;
+
+void
+checkObsOptions(const SimOptions &options)
+{
+    if (options.obs.interval_cycles == 0)
+        return;
+    if (!options.accounting) {
+        throw StackscopeError(ErrorCategory::kConfig,
+                              "interval stack snapshots require accounting "
+                              "to be enabled");
+    }
+    if (options.spec_mode == stacks::SpeculationMode::kSpecCounters) {
+        throw StackscopeError(
+            ErrorCategory::kConfig,
+            "interval stack snapshots are incompatible with "
+            "spec-counters accounting (stacks are undefined before "
+            "finalize)")
+            .withContext("spec_mode", "spec-counters");
+    }
+}
 
 stacks::FlopsStack
 SimResult::flopsStack() const
@@ -59,6 +81,14 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
 
     core::OooCore core(params, std::move(src));
 
+    checkObsOptions(options);
+    std::optional<obs::IntervalAccountant> iacct;
+    if (options.obs.interval_cycles != 0)
+        iacct.emplace(options.obs.interval_cycles);
+    std::optional<obs::PipelineTracer> tracer;
+    if (options.obs.trace_events)
+        tracer.emplace(options.obs.trace_capacity);
+
     validate::Watchdog watchdog(
         {options.max_cycles, options.watchdog_cycles});
     const bool checking =
@@ -99,6 +129,11 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
                            core.stats().instrs_committed))
             break;
         core.cycle();
+        if (tracer)
+            tracer->observe(core.cycles() - 1, core.cycleState(),
+                            core.stats().squashed_uops);
+        if (iacct && iacct->due(core.cycles()))
+            iacct->snapshot(core);
         if (checking && interval.due(core.cycles()))
             interval.check(core, report);
     }
@@ -136,6 +171,19 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     if (checking)
         report.merge(validate::validateResult(r));
     r.validation = std::move(report);
+
+    if (iacct) {
+        iacct->finish(core);
+        r.intervals = iacct->take();
+    }
+    if (tracer) {
+        for (const validate::Violation &v : r.validation.violations)
+            tracer->note(obs::TraceEventKind::kValidation, v.cycle, 1);
+        if (watchdog.tripped())
+            tracer->note(obs::TraceEventKind::kWatchdog, core.cycles());
+        tracer->finish(core.cycles());
+        r.events = tracer->take();
+    }
 
     if (options.validation == ValidationPolicy::kStrict &&
         !r.validation.passed()) {

@@ -12,6 +12,9 @@
 #include <optional>
 #include <string>
 
+#include "obs/interval.hpp"
+#include "obs/obs_options.hpp"
+#include "obs/trace_events.hpp"
 #include "sim/core_config.hpp"
 #include "stacks/stack.hpp"
 #include "trace/trace_source.hpp"
@@ -50,6 +53,12 @@ struct SimOptions
     Cycle watchdog_cycles = 0;
     /** Deterministic fault to inject, for validating the validators. */
     std::optional<validate::FaultSpec> fault{};
+    /**
+     * Observability: interval stack snapshots and pipeline event tracing
+     * (docs/observability.md). Intervals require accounting and a spec
+     * mode other than kSpecCounters (kConfig error otherwise).
+     */
+    obs::ObsOptions obs{};
 };
 
 /** Everything a single-core run produces. */
@@ -76,6 +85,18 @@ struct SimResult
      * when SimOptions::validation was kOff and no watchdog fired).
      */
     validate::ValidationReport validation{};
+
+    /**
+     * Interval stack time-series (enabled() false unless
+     * SimOptions::obs.interval_cycles was set).
+     */
+    obs::IntervalSeries intervals{};
+
+    /**
+     * Pipeline event log (enabled false unless SimOptions::obs.trace_events
+     * was set).
+     */
+    obs::EventLog events{};
 
     double ipc() const { return cpi == 0.0 ? 0.0 : 1.0 / cpi; }
 
@@ -104,6 +125,15 @@ struct SimResult
 SimResult simulate(const MachineConfig &machine,
                    const trace::TraceSource &trace,
                    const SimOptions &options = {});
+
+/**
+ * Throw StackscopeError(kConfig) when @p options combines observability
+ * switches with a run mode they cannot work under (interval snapshots
+ * with accounting off, or with SpeculationMode::kSpecCounters whose
+ * stacks are undefined before finalize()). Called by both simulation
+ * drivers; exposed so front-ends can fail fast before building jobs.
+ */
+void checkObsOptions(const SimOptions &options);
 
 /**
  * Convenience: CPI delta of idealizing @p ideal relative to the

@@ -1,0 +1,185 @@
+/**
+ * Tests for the interval stack time-series: conservation against the
+ * whole-run aggregates, window bookkeeping, and the configuration rules.
+ */
+
+#include "obs/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/multicore.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope::obs {
+namespace {
+
+using stacks::Stage;
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 60'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+sim::SimOptions
+intervalOptions(Cycle window)
+{
+    sim::SimOptions so;
+    so.obs.interval_cycles = window;
+    return so;
+}
+
+/** The acceptance criterion: cycle-weighted window sums equal the
+ *  whole-run stack within 1e-9 (relative to the run's cycle count). */
+void
+expectConservation(const sim::SimResult &r)
+{
+    ASSERT_TRUE(r.intervals.enabled());
+    ASSERT_FALSE(r.intervals.samples.empty());
+    const double tol = 1e-9 * std::max<double>(1.0, r.cycles);
+    for (std::size_t s = 0; s < stacks::kNumStages; ++s) {
+        const auto stage = static_cast<Stage>(s);
+        const stacks::CpiStack summed =
+            r.intervals.summedCycleStack(stage);
+        r.cycle_stacks[s].forEach([&](stacks::CpiComponent c, double v) {
+            EXPECT_NEAR(summed[c], v, tol)
+                << "stage " << toString(stage) << " component "
+                << componentName(c);
+        });
+    }
+    const stacks::FlopsStack fsummed = r.intervals.summedFlopsCycles();
+    r.flops_cycles.forEach([&](stacks::FlopsComponent c, double v) {
+        EXPECT_NEAR(fsummed[c], v, tol)
+            << "flops component " << componentName(c);
+    });
+}
+
+TEST(IntervalAccountant, RejectsZeroWindow)
+{
+    try {
+        IntervalAccountant acct(0);
+        FAIL() << "expected kConfig";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+    }
+}
+
+TEST(IntervalSeries, WindowsTileTheRun)
+{
+    const auto gen = shortWorkload("gcc");
+    const sim::SimResult r =
+        sim::simulate(sim::bdwConfig(), gen, intervalOptions(512));
+
+    const IntervalSeries &iv = r.intervals;
+    EXPECT_EQ(iv.window, 512u);
+    ASSERT_FALSE(iv.samples.empty());
+    EXPECT_EQ(iv.samples.front().start, 0u);
+    EXPECT_EQ(iv.samples.back().end, r.cycles);
+    std::uint64_t instrs = 0;
+    for (std::size_t i = 0; i < iv.samples.size(); ++i) {
+        const IntervalSample &s = iv.samples[i];
+        EXPECT_LT(s.start, s.end);
+        if (i > 0) {
+            EXPECT_EQ(s.start, iv.samples[i - 1].end);
+        }
+        if (i + 1 < iv.samples.size()) {
+            EXPECT_EQ(s.cycles(), 512u);
+        }
+        instrs += s.instrs;
+    }
+    EXPECT_EQ(instrs, r.instrs);
+}
+
+TEST(IntervalSeries, WindowStacksConserveCycles)
+{
+    const auto gen = shortWorkload("mcf");
+    const sim::SimResult r =
+        sim::simulate(sim::bdwConfig(), gen, intervalOptions(1000));
+    // Each window's stage stacks must individually sum to the window's
+    // cycle count (the stack law of Table II applied per window).
+    for (const IntervalSample &s : r.intervals.samples) {
+        for (std::size_t st = 0; st < stacks::kNumStages; ++st) {
+            EXPECT_NEAR(s.cycle_stacks[st].sum(),
+                        static_cast<double>(s.cycles()),
+                        1e-6 * std::max<double>(1.0, s.cycles()));
+        }
+    }
+}
+
+TEST(IntervalSeries, SumsToAggregateOracle)
+{
+    const auto gen = shortWorkload("bwaves");
+    expectConservation(
+        sim::simulate(sim::bdwConfig(), gen, intervalOptions(700)));
+}
+
+TEST(IntervalSeries, SumsToAggregateSimpleMode)
+{
+    // kSimple redistributes base mass into bpred at finalize(); the
+    // residual must be folded into the series, not lost.
+    const auto gen = shortWorkload("gcc");
+    sim::SimOptions so = intervalOptions(1000);
+    so.spec_mode = stacks::SpeculationMode::kSimple;
+    expectConservation(sim::simulate(sim::bdwConfig(), gen, so));
+}
+
+TEST(IntervalSeries, SumsToAggregateWithWarmup)
+{
+    const auto gen = shortWorkload("mcf", 90'000);
+    sim::SimOptions so = intervalOptions(800);
+    so.warmup_instrs = 30'000;
+    expectConservation(sim::simulate(sim::bdwConfig(), gen, so));
+}
+
+TEST(IntervalSeries, SpecCountersModeIsRejected)
+{
+    const auto gen = shortWorkload("gcc", 10'000);
+    sim::SimOptions so = intervalOptions(1000);
+    so.spec_mode = stacks::SpeculationMode::kSpecCounters;
+    try {
+        (void)sim::simulate(sim::bdwConfig(), gen, so);
+        FAIL() << "expected kConfig";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+    }
+}
+
+TEST(IntervalSeries, AccountingOffIsRejected)
+{
+    const auto gen = shortWorkload("gcc", 10'000);
+    sim::SimOptions so = intervalOptions(1000);
+    so.accounting = false;
+    try {
+        (void)sim::simulate(sim::bdwConfig(), gen, so);
+        FAIL() << "expected kConfig";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+    }
+}
+
+TEST(IntervalSeries, DisabledByDefault)
+{
+    const auto gen = shortWorkload("gcc", 10'000);
+    const sim::SimResult r = sim::simulate(sim::bdwConfig(), gen);
+    EXPECT_FALSE(r.intervals.enabled());
+    EXPECT_TRUE(r.intervals.samples.empty());
+}
+
+TEST(IntervalSeries, MulticorePerCoreConservation)
+{
+    const auto gen = shortWorkload("bwaves", 40'000);
+    const sim::MulticoreResult mc = sim::simulateMulticore(
+        sim::bdwConfig(), gen, 2, intervalOptions(900));
+    ASSERT_EQ(mc.per_core.size(), 2u);
+    for (const sim::SimResult &r : mc.per_core)
+        expectConservation(r);
+}
+
+}  // namespace
+}  // namespace stackscope::obs

@@ -1,0 +1,157 @@
+/**
+ * Tests for the machine-readable run report: schema shape, JSON
+ * well-formedness, and determinism across batch thread counts.
+ */
+
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "json_checker.hpp"
+#include "runner/batch_runner.hpp"
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope::obs {
+namespace {
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 20'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+TEST(ReportBuilder, SingleRunSchemaShape)
+{
+    const auto gen = shortWorkload("gcc");
+    sim::SimOptions so;
+    so.obs.interval_cycles = 1000;
+    const sim::SimResult r = sim::simulate(sim::bdwConfig(), gen, so);
+
+    ReportBuilder report("test");
+    report.add("gcc/BDW", so, r);
+    const std::string json = report.json();
+
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+    // The documented contract of docs/formats.md, v1.
+    EXPECT_NE(json.find("\"schema\":\"stackscope-report\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    for (const char *key :
+         {"\"command\"", "\"jobs\"", "\"label\"", "\"cores\"",
+          "\"options\"", "\"results\"", "\"machine\"", "\"cycles\"",
+          "\"instrs\"", "\"cpi\"", "\"ipc\"", "\"stats\"",
+          "\"cpi_stacks\"", "\"cycle_stacks\"", "\"flops_cycles\"",
+          "\"validation\"", "\"intervals\"", "\"trace\"", "\"aggregate\"",
+          "\"dispatch\"", "\"issue\"", "\"commit\"", "\"window\"",
+          "\"samples\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    // Single-core job: no aggregate, no trace.
+    EXPECT_NE(json.find("\"aggregate\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"trace\":null"), std::string::npos);
+}
+
+TEST(ReportBuilder, MulticoreJobCarriesAggregateAndPerCoreResults)
+{
+    const auto gen = shortWorkload("bwaves");
+    sim::SimOptions so;
+    const sim::MulticoreResult mc =
+        sim::simulateMulticore(sim::bdwConfig(), gen, 2, so);
+
+    ReportBuilder report("test");
+    report.add("bwaves/BDW/x2", so, mc);
+    const std::string json = report.json();
+
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+    EXPECT_NE(json.find("\"cores\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"avg_cpi\""), std::string::npos);
+    EXPECT_NE(json.find("\"socket_peak_flops\""), std::string::npos);
+    EXPECT_NE(json.find("\"core\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"core\":1"), std::string::npos);
+}
+
+TEST(ReportBuilder, DeterministicAcrossBatchThreadCounts)
+{
+    // The report must be byte-identical no matter how many workers ran
+    // the batch: no timestamps, no thread counts, no completion order.
+    const auto gen_a = shortWorkload("gcc");
+    const auto gen_b = shortWorkload("mcf");
+    sim::SimOptions so;
+    so.obs.interval_cycles = 500;
+
+    auto runWith = [&](unsigned threads) {
+        std::vector<runner::SimJob> jobs;
+        jobs.push_back(
+            runner::makeJob("gcc/BDW", sim::bdwConfig(), gen_a, so));
+        jobs.push_back(
+            runner::makeJob("mcf/BDW", sim::bdwConfig(), gen_b, so));
+        jobs.push_back(
+            runner::makeJob("gcc/BDW/x2", sim::bdwConfig(), gen_a, so, 2));
+        runner::BatchRunner batch(threads);
+        const runner::BatchResult results = batch.run(std::move(jobs));
+        ReportBuilder report("determinism");
+        report.add(results.outcomes[0], so, 1);
+        report.add(results.outcomes[1], so, 1);
+        report.add(results.outcomes[2], so, 2);
+        return report.json();
+    };
+
+    const std::string serial = runWith(1);
+    const std::string parallel = runWith(4);
+    EXPECT_EQ(serial, parallel);
+    testutil::JsonChecker checker(serial);
+    EXPECT_TRUE(checker.valid());
+}
+
+TEST(ReportBuilder, ValidationViolationsAppearInReport)
+{
+    const auto gen = shortWorkload("gcc", 10'000);
+    sim::SimOptions so;
+    so.validation = validate::ValidationPolicy::kWarn;
+    so.fault = validate::parseFaultSpec("stack-leak").value();
+    so.watchdog_cycles = 200'000;
+    const sim::SimResult r = sim::simulate(sim::bdwConfig(), gen, so);
+    ASSERT_FALSE(r.validation.passed());
+
+    ReportBuilder report("test");
+    report.add("faulty", so, r);
+    const std::string json = report.json();
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+    EXPECT_NE(json.find("\"passed\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"invariant\""), std::string::npos);
+}
+
+TEST(WriteTextFile, RoundTripsContent)
+{
+    const std::string path =
+        testing::TempDir() + "stackscope_report_test.json";
+    writeTextFile(path, "{\"ok\":true}");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), "{\"ok\":true}");
+}
+
+TEST(WriteTextFile, UnwritablePathIsUsageError)
+{
+    try {
+        writeTextFile("/nonexistent-dir/sub/report.json", "x");
+        FAIL() << "expected kUsage";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::obs

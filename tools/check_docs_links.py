@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans every tracked *.md file for inline links and validates that
+relative targets exist on disk (anchors are checked against the target
+file's headings). External http(s) links are not fetched. Exits non-zero
+listing every broken link, so CI fails when docs drift from the tree.
+
+Stdlib only; run from the repository root:  python3 tools/check_docs_links.py
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def heading_anchor(text):
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", "third_party"}
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            content = f.read()
+        cache[path] = {heading_anchor(h) for h in HEADING_RE.findall(content)}
+    return cache[path]
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    for target in LINK_RE.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part))
+        else:
+            resolved = md_path  # pure in-page anchor
+        if not os.path.exists(resolved):
+            errors.append(f"{os.path.relpath(md_path, root)}: "
+                          f"broken link target '{target}'")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if heading_anchor(anchor) not in anchors_of(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}: "
+                              f"missing anchor '#{anchor}' in '{path_part}'")
+    return errors
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+    checked = 0
+    for md in sorted(markdown_files(root)):
+        errors.extend(check_file(md, root))
+        checked += 1
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} files:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"OK: all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
  *   hpc     [options]        FLOPS stack analysis of a DeepBench kernel
  *   compare-spec [options]   oracle / simple / spec-counter stacks
  *   sweep   [options]        workload x machine x cores grid, CSV output
+ *   phases  [options]        interval stack time-series heatmaps
  *
  * Common options:
  *   --workload NAME     workload preset (default mcf)
@@ -28,6 +29,12 @@
  *   --validate MODE     off | warn | strict runtime invariant checking
  *   --inject-fault F    deterministic fault KIND[:SEED] (see usage)
  *   --watchdog-cycles N abort after N cycles without a commit (0 = off)
+ *   --intervals N       snapshot stacks every N measured cycles
+ *                       (phases defaults to 1000; 0 disables)
+ *   --trace-out FILE    write a Chrome trace-event JSON pipeline trace
+ *                       (run, hpc and phases)
+ *   --report-out FILE   write the machine-readable JSON run report
+ *                       (schema in docs/formats.md)
  *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
  *
  * Exit codes: 0 success, 1 runtime/internal failure, 2 usage or
@@ -44,6 +51,8 @@
 #include "analysis/csv.hpp"
 #include "analysis/render.hpp"
 #include "common/error.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_events.hpp"
 #include "runner/batch_runner.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
@@ -80,13 +89,17 @@ struct CliOptions
     validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
     std::optional<validate::FaultSpec> fault{};
     std::optional<Cycle> watchdog_cycles{};
+    /** Unset means command default: 1000 for phases, off elsewhere. */
+    std::optional<Cycle> intervals{};
+    std::string trace_out;
+    std::string report_out;
 
     std::uint64_t warmupInstrs() const { return warmup.value_or(instrs / 2); }
     std::uint64_t totalInstrs() const { return instrs + warmupInstrs(); }
 };
 
 constexpr const char *kCommands =
-    "list|run|bounds|hpc|compare-spec|sweep|help";
+    "list|run|bounds|hpc|compare-spec|sweep|phases|help";
 
 /** Split "a,b,c" into its non-empty elements. */
 std::vector<std::string>
@@ -131,6 +144,7 @@ usage(std::FILE *to, const char *argv0)
         "  --threads N (batch workers; 0 = all hardware threads)\n"
         "  --workloads A,B,...  --machines A,B,...  (sweep grid axes)\n"
         "  --validate off|warn|strict  --watchdog-cycles N\n"
+        "  --intervals N  --trace-out FILE  --report-out FILE\n"
         "  --inject-fault KIND[:SEED] with KIND one of\n"
         "      %s\n"
         "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n",
@@ -179,7 +193,7 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         opt.command == "list" || opt.command == "run" ||
         opt.command == "bounds" || opt.command == "hpc" ||
         opt.command == "compare-spec" || opt.command == "sweep" ||
-        opt.command == "help";
+        opt.command == "phases" || opt.command == "help";
     if (!known_command) {
         throw StackscopeError(ErrorCategory::kUsage,
                               "unknown command '" + opt.command +
@@ -254,6 +268,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.fault = validate::parseFaultSpec(value()).value();
         } else if (arg == "--watchdog-cycles") {
             opt.watchdog_cycles = parseCount(arg, value(), 0);
+        } else if (arg == "--intervals") {
+            opt.intervals = parseCount(arg, value(), 0);
+        } else if (arg == "--trace-out") {
+            opt.trace_out = value();
+        } else if (arg == "--report-out") {
+            opt.report_out = value();
         } else if (arg == "--csv") {
             flagOnly();
             opt.csv = true;
@@ -274,6 +294,15 @@ parseArgs(int argc, char **argv, CliOptions &opt)
                                   "unknown option '" + arg +
                                       "' (see `stackscope help`)");
         }
+    }
+
+    // Batch commands run many jobs; a single trace file would be
+    // ambiguous, so pipeline tracing is limited to one-run commands.
+    if (!opt.trace_out.empty() && opt.command != "run" &&
+        opt.command != "hpc" && opt.command != "phases") {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "--trace-out is only supported by the run, "
+                              "hpc and phases commands");
     }
 }
 
@@ -308,7 +337,36 @@ simOptions(const CliOptions &opt)
     // protection: a hung-trace fault would otherwise spin forever.
     so.watchdog_cycles =
         opt.watchdog_cycles.value_or(opt.fault ? 200'000 : 0);
+    // Observability: phases snapshots stacks every 1000 cycles unless
+    // overridden; everywhere else intervals are opt-in.
+    so.obs.interval_cycles =
+        opt.intervals.value_or(opt.command == "phases" ? 1000 : 0);
+    so.obs.trace_events = !opt.trace_out.empty();
     return so;
+}
+
+void
+maybeWriteReport(const CliOptions &opt, const obs::ReportBuilder &report)
+{
+    if (!opt.report_out.empty())
+        obs::writeTextFile(opt.report_out, report.json());
+}
+
+void
+maybeWriteTrace(const CliOptions &opt, std::vector<obs::EventLog> logs)
+{
+    if (!opt.trace_out.empty())
+        obs::writeTextFile(opt.trace_out, obs::chromeTraceJson(logs));
+}
+
+std::vector<obs::EventLog>
+eventLogs(const sim::MulticoreResult &r)
+{
+    std::vector<obs::EventLog> logs;
+    logs.reserve(r.per_core.size());
+    for (const sim::SimResult &c : r.per_core)
+        logs.push_back(c.events);
+    return logs;
 }
 
 int
@@ -338,11 +396,18 @@ cmdRun(const CliOptions &opt)
     const sim::MachineConfig machine =
         sim::applyIdealization(sim::machineByName(opt.machine), opt.ideal);
     auto trace = makeWorkloadTrace(opt);
+    const sim::SimOptions so = simOptions(opt);
+    obs::ReportBuilder report("run");
 
     if (opt.cores > 1) {
-        const sim::MulticoreResult r = sim::simulateMulticore(
-            machine, *trace, opt.cores, simOptions(opt));
+        const sim::MulticoreResult r =
+            sim::simulateMulticore(machine, *trace, opt.cores, so);
         reportValidation(r.validation);
+        report.add(opt.workload + "/" + machine.name + "/x" +
+                       std::to_string(opt.cores),
+                   so, r);
+        maybeWriteReport(opt, report);
+        maybeWriteTrace(opt, eventLogs(r));
         if (opt.csv) {
             std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
             for (Stage s :
@@ -368,8 +433,11 @@ cmdRun(const CliOptions &opt)
         return 0;
     }
 
-    const sim::SimResult r = sim::simulate(machine, *trace, simOptions(opt));
+    const sim::SimResult r = sim::simulate(machine, *trace, so);
     reportValidation(r.validation);
+    report.add(opt.workload + "/" + machine.name, so, r);
+    maybeWriteReport(opt, report);
+    maybeWriteTrace(opt, {r.events});
     if (opt.csv) {
         std::printf("%s\n", analysis::cpiStackCsvHeader("stage").c_str());
         for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
@@ -413,6 +481,13 @@ cmdBounds(const CliOptions &opt)
     const analysis::IdealizationStudy study =
         analysis::runIdealizationStudy(machine, *trace, knobs, so, batch);
     reportValidation(study.validation);
+
+    obs::ReportBuilder report("bounds");
+    report.add(opt.workload + "/" + machine.name + "/real", so, study.real);
+    for (const analysis::IdealizationStudy::Entry &e : study.entries)
+        report.add(opt.workload + "/" + machine.name + "/" + e.knob.label,
+                   so, e.idealized);
+    maybeWriteReport(opt, report);
 
     if (opt.csv) {
         std::printf("component,lo,hi,actual,error\n");
@@ -469,6 +544,11 @@ cmdSweep(const CliOptions &opt)
     const runner::BatchResult results = batch.run(std::move(jobs));
     reportValidation(results.validation);
 
+    obs::ReportBuilder report("sweep");
+    for (std::size_t i = 0; i < results.outcomes.size(); ++i)
+        report.add(results.outcomes[i], so, points[i].cores);
+    maybeWriteReport(opt, report);
+
     // One row per grid point and stage; multi-core points report the
     // component-wise average stacks and per-core cycle/instr counts of
     // core 0 (threads are homogeneous).
@@ -514,10 +594,18 @@ cmdHpc(const CliOptions &opt)
         opt.machine == "knl" ? trace::SgemmCodegen::kKnlJit
                              : trace::SgemmCodegen::kSkxBroadcast};
     auto trace = bench->make(target, opt.totalInstrs());
+    const sim::SimOptions so = simOptions(opt);
 
     const sim::MulticoreResult r = sim::simulateMulticore(
-        machine, *trace, std::max(1u, opt.cores), simOptions(opt));
+        machine, *trace, std::max(1u, opt.cores), so);
     reportValidation(r.validation);
+
+    obs::ReportBuilder report("hpc");
+    report.add(bench->name + "/" + machine.name + "/x" +
+                   std::to_string(std::max(1u, opt.cores)),
+               so, r);
+    maybeWriteReport(opt, report);
+    maybeWriteTrace(opt, eventLogs(r));
 
     if (opt.csv) {
         std::printf("%s\n", analysis::flopsStackCsvHeader("stack").c_str());
@@ -568,17 +656,106 @@ cmdCompareSpec(const CliOptions &opt)
     runner::BatchRunner batch(opt.threads);
     const runner::BatchResult results = batch.run(std::move(jobs));
 
+    obs::ReportBuilder report("compare-spec");
     std::vector<stacks::CpiStack> dispatch_stacks;
-    for (const runner::JobOutcome &o : results.outcomes) {
+    for (std::size_t i = 0; i < results.outcomes.size(); ++i) {
+        const runner::JobOutcome &o = results.outcomes[i];
         reportValidation(o.single.validation);
         dispatch_stacks.push_back(o.single.cpiStack(Stage::kDispatch));
+        sim::SimOptions so = simOptions(opt);
+        so.spec_mode = modes[i].mode;
+        report.add(o, so, 1);
     }
+    maybeWriteReport(opt, report);
     std::printf("%s on %s: dispatch CPI stack per wrong-path handling "
                 "strategy (§III-B)\n",
                 opt.workload.c_str(), machine.name.c_str());
     std::printf("%s",
                 analysis::renderCpiStacks(dispatch_stacks, labels, "")
                     .c_str());
+    return 0;
+}
+
+/**
+ * Resolve the phases workload name: a workload-library preset first,
+ * then an HPC kernel by exact name, then by name/group prefix (so
+ * `--workload conv` picks the first conv_* DeepBench kernel).
+ */
+std::unique_ptr<trace::TraceSource>
+makePhasesTrace(const CliOptions &opt, const sim::MachineConfig &machine,
+                std::string &label)
+{
+    try {
+        trace::SyntheticParams params =
+            trace::findWorkload(opt.workload).params;
+        params.num_instrs = opt.totalInstrs();
+        label = opt.workload;
+        return std::make_unique<trace::SyntheticGenerator>(params);
+    } catch (const std::out_of_range &) {
+        // Not a workload preset; fall through to the HPC kernel suite.
+    }
+    const trace::HpcBenchmark *pick = nullptr;
+    for (const trace::HpcBenchmark &bm : trace::deepBenchSuite()) {
+        if (bm.name == opt.workload) {
+            pick = &bm;
+            break;
+        }
+        if (pick == nullptr && (bm.name.rfind(opt.workload, 0) == 0 ||
+                                bm.group.rfind(opt.workload, 0) == 0))
+            pick = &bm;
+    }
+    if (pick == nullptr) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "unknown workload or kernel '" + opt.workload +
+                                  "' (see `stackscope list`)");
+    }
+    label = pick->name;
+    const trace::HpcTarget target{
+        machine.core.flops_vec_lanes,
+        opt.machine == "knl" ? trace::SgemmCodegen::kKnlJit
+                             : trace::SgemmCodegen::kSkxBroadcast};
+    return pick->make(target, opt.totalInstrs());
+}
+
+int
+cmdPhases(const CliOptions &opt)
+{
+    const sim::MachineConfig machine =
+        sim::applyIdealization(sim::machineByName(opt.machine), opt.ideal);
+    std::string label;
+    auto trace = makePhasesTrace(opt, machine, label);
+    const sim::SimOptions so = simOptions(opt);
+    if (so.obs.interval_cycles == 0) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "phases needs --intervals >= 1");
+    }
+
+    const sim::SimResult r = sim::simulate(machine, *trace, so);
+    reportValidation(r.validation);
+
+    std::printf("%s on %s: %llu instrs, %llu cycles, CPI %.3f (IPC %.2f), "
+                "%zu windows of %llu cycles\n",
+                label.c_str(), machine.name.c_str(),
+                static_cast<unsigned long long>(r.instrs),
+                static_cast<unsigned long long>(r.cycles), r.cpi, r.ipc(),
+                r.intervals.samples.size(),
+                static_cast<unsigned long long>(r.intervals.window));
+    for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+        std::printf("\n%s",
+                    analysis::renderIntervalHeatmap(
+                        r.intervals, s,
+                        std::string(toString(s)) + " CPI stack over time:")
+                        .c_str());
+    }
+    std::printf("\n%s",
+                analysis::renderFlopsIntervalHeatmap(
+                    r.intervals, "FLOPS stack over time:")
+                    .c_str());
+
+    obs::ReportBuilder report("phases");
+    report.add(label + "/" + machine.name, so, r);
+    maybeWriteReport(opt, report);
+    maybeWriteTrace(opt, {r.events});
     return 0;
 }
 
@@ -602,6 +779,8 @@ main(int argc, char **argv)
             return cmdHpc(opt);
         if (opt.command == "sweep")
             return cmdSweep(opt);
+        if (opt.command == "phases")
+            return cmdPhases(opt);
         return cmdCompareSpec(opt);
     } catch (const StackscopeError &e) {
         std::fprintf(stderr, "%s\n", e.describe().c_str());

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a stackscope run report against the docs/formats.md contract.
+
+Checks, for report schema v1:
+  * the schema/version envelope and required keys at every level;
+  * every stage stack uses exactly the documented component names, and
+    every FLOPS stack the documented FLOPS component names;
+  * the stack law: each result's cycle stacks sum to its cycle count;
+  * interval conservation: when intervals are present, windows tile
+    [0, cycles) contiguously and the cycle-weighted window stacks sum to
+    the whole-run stack within 1e-9 * cycles.
+
+Stdlib only:  python3 tools/validate_report.py report.json
+"""
+
+import json
+import sys
+
+CPI_COMPONENTS = ["Base", "Icache", "Bpred", "Dcache", "ALU lat", "Depend",
+                  "Microcode", "Other", "Unsched"]
+FLOPS_COMPONENTS = ["Base", "Non-FMA", "Mask", "Frontend", "Non-VFP",
+                    "Memory", "Depend", "Unsched"]
+STAGES = ["dispatch", "issue", "commit"]
+RESULT_KEYS = {"core", "machine", "cycles", "instrs", "cpi", "ipc",
+               "freq_hz", "core_peak_flops", "achieved_flops", "stats",
+               "cpi_stacks", "cycle_stacks", "flops_cycles", "validation",
+               "intervals", "trace"}
+
+
+class Failure(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise Failure(message)
+
+
+def check_stack(stack, components, where):
+    require(isinstance(stack, dict), f"{where}: not an object")
+    require(sorted(stack) == sorted(components),
+            f"{where}: components {sorted(stack)} != documented "
+            f"{sorted(components)}")
+    for name, v in stack.items():
+        require(isinstance(v, (int, float)),
+                f"{where}[{name}]: non-numeric value {v!r}")
+
+
+def check_staged_stacks(stacks, components, where):
+    require(sorted(stacks) == sorted(STAGES),
+            f"{where}: stages {sorted(stacks)} != {sorted(STAGES)}")
+    for stage in STAGES:
+        check_stack(stacks[stage], components, f"{where}.{stage}")
+
+
+def check_intervals(iv, result, where):
+    require(iv["window"] >= 1, f"{where}: window < 1")
+    samples = iv["samples"]
+    require(samples, f"{where}: empty samples")
+    tol = 1e-9 * max(1.0, result["cycles"])
+    summed = {s: dict.fromkeys(CPI_COMPONENTS, 0.0) for s in STAGES}
+    fsummed = dict.fromkeys(FLOPS_COMPONENTS, 0.0)
+    prev_end = 0
+    instrs = 0
+    for i, s in enumerate(samples):
+        w = f"{where}.samples[{i}]"
+        require(s["start"] == prev_end, f"{w}: gap (start {s['start']}, "
+                f"previous end {prev_end})")
+        require(s["end"] > s["start"], f"{w}: empty window")
+        prev_end = s["end"]
+        instrs += s["instrs"]
+        check_staged_stacks(s["cycle_stacks"], CPI_COMPONENTS,
+                            f"{w}.cycle_stacks")
+        check_stack(s["flops_cycles"], FLOPS_COMPONENTS, f"{w}.flops_cycles")
+        for stage in STAGES:
+            for c, v in s["cycle_stacks"][stage].items():
+                summed[stage][c] += v
+        for c, v in s["flops_cycles"].items():
+            fsummed[c] += v
+    require(prev_end == result["cycles"],
+            f"{where}: windows end at {prev_end}, run has "
+            f"{result['cycles']} cycles")
+    require(instrs == result["instrs"],
+            f"{where}: window instrs sum {instrs} != {result['instrs']}")
+    for stage in STAGES:
+        for c in CPI_COMPONENTS:
+            whole = result["cycle_stacks"][stage][c]
+            require(abs(summed[stage][c] - whole) <= tol,
+                    f"{where}: {stage}/{c} summed {summed[stage][c]} != "
+                    f"whole-run {whole} (tol {tol})")
+    for c in FLOPS_COMPONENTS:
+        whole = result["flops_cycles"][c]
+        require(abs(fsummed[c] - whole) <= tol,
+                f"{where}: flops/{c} summed {fsummed[c]} != {whole}")
+
+
+def check_result(result, where):
+    require(RESULT_KEYS <= set(result),
+            f"{where}: missing keys {sorted(RESULT_KEYS - set(result))}")
+    check_staged_stacks(result["cpi_stacks"], CPI_COMPONENTS,
+                        f"{where}.cpi_stacks")
+    check_staged_stacks(result["cycle_stacks"], CPI_COMPONENTS,
+                        f"{where}.cycle_stacks")
+    check_stack(result["flops_cycles"], FLOPS_COMPONENTS,
+                f"{where}.flops_cycles")
+    # The stack law (paper Table II): each stage's cycle stack sums to
+    # the run's cycle count.
+    tol = 1e-6 * max(1.0, result["cycles"])
+    for stage in STAGES:
+        total = sum(result["cycle_stacks"][stage].values())
+        require(abs(total - result["cycles"]) <= tol,
+                f"{where}.cycle_stacks.{stage}: sums to {total}, run has "
+                f"{result['cycles']} cycles")
+    val = result["validation"]
+    for key in ("policy", "checks_run", "passed", "violations"):
+        require(key in val, f"{where}.validation: missing '{key}'")
+    if result["intervals"] is not None:
+        check_intervals(result["intervals"], result, f"{where}.intervals")
+    if result["trace"] is not None:
+        for key in ("captured", "emitted", "dropped", "end_cycle"):
+            require(key in result["trace"], f"{where}.trace: missing '{key}'")
+
+
+def check_report(doc):
+    require(doc.get("schema") == "stackscope-report",
+            f"schema is {doc.get('schema')!r}, expected 'stackscope-report'")
+    require(doc.get("version") == 1,
+            f"version is {doc.get('version')!r}, this checker knows v1")
+    require(isinstance(doc.get("command"), str), "missing 'command'")
+    jobs = doc.get("jobs")
+    require(isinstance(jobs, list) and jobs, "missing or empty 'jobs'")
+    results = 0
+    for j, job in enumerate(jobs):
+        where = f"jobs[{j}]"
+        for key in ("label", "cores", "options", "results", "aggregate"):
+            require(key in job, f"{where}: missing '{key}'")
+        require(len(job["results"]) == job["cores"],
+                f"{where}: {len(job['results'])} results for "
+                f"{job['cores']} cores")
+        for r, result in enumerate(job["results"]):
+            check_result(result, f"{where}.results[{r}]")
+            results += 1
+        if job["cores"] > 1:
+            require(job["aggregate"] is not None,
+                    f"{where}: multicore job lacks aggregate")
+    return len(jobs), results
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} report.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+    try:
+        jobs, results = check_report(doc)
+    except Failure as e:
+        print(f"FAIL: {e}")
+        return 1
+    print(f"OK: {sys.argv[1]} is a valid v1 report "
+          f"({jobs} job(s), {results} result(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
