@@ -61,7 +61,8 @@ runIdealizationStudy(const sim::MachineConfig &machine,
                      const trace::TraceSource &trace,
                      std::span<const IdealizationKnob> knobs,
                      const sim::SimOptions &options,
-                     runner::BatchRunner &batch)
+                     runner::BatchRunner &batch,
+                     runner::ProgressObserver *progress)
 {
     std::vector<runner::SimJob> jobs;
     jobs.reserve(knobs.size() + 1);
@@ -71,7 +72,7 @@ runIdealizationStudy(const sim::MachineConfig &machine,
             k.label, sim::applyIdealization(machine, k.ideal), trace,
             options));
     }
-    runner::BatchResult results = batch.run(std::move(jobs));
+    runner::BatchResult results = batch.run(std::move(jobs), progress);
 
     IdealizationStudy study;
     study.real = std::move(results.outcomes.front().single);

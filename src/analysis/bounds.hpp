@@ -115,12 +115,14 @@ struct IdealizationStudy
  * Run the real configuration and every idealization pair of @p knobs as
  * one concurrent batch on @p batch. Results are bit-identical to the
  * serial sequence simulate(real), simulate(knob 0), ... — each job owns
- * its core and a private clone of @p trace.
+ * its core and a private clone of @p trace. @p progress, when non-null,
+ * observes job completions (e.g. runner::Heartbeat).
  */
 IdealizationStudy runIdealizationStudy(
     const sim::MachineConfig &machine, const trace::TraceSource &trace,
     std::span<const IdealizationKnob> knobs,
-    const sim::SimOptions &options, runner::BatchRunner &batch);
+    const sim::SimOptions &options, runner::BatchRunner &batch,
+    runner::ProgressObserver *progress = nullptr);
 
 }  // namespace stackscope::analysis
 

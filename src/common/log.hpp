@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Structured, levelled logging for every stackscope subsystem.
+ *
+ * Diagnostics used to be ad-hoc stderr writes scattered through the CLI;
+ * a library embedded in services needs one funnel with levels, stable
+ * structure and machine-readable output. This logger provides
+ *
+ *  - five levels (trace/debug/info/warn/error) with a process-wide
+ *    threshold, controlled by the STACKSCOPE_LOG environment variable;
+ *  - structured key=value fields attached to every record;
+ *  - a thread-safe sink: human-readable lines on stderr by default, or
+ *    JSON-lines when STACKSCOPE_LOG_JSON=1 (one object per record, for
+ *    log shippers);
+ *  - a replaceable writer so tests can capture records.
+ *
+ * Disabled-level calls cost one relaxed atomic load — cheap enough to
+ * leave debug statements in hot-ish paths (the <2% telemetry budget of
+ * bench/overhead_accounting covers them).
+ */
+
+#ifndef STACKSCOPE_COMMON_LOG_HPP
+#define STACKSCOPE_COMMON_LOG_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stackscope::log {
+
+enum class Level
+{
+    kTrace,
+    kDebug,
+    kInfo,
+    kWarn,
+    kError,
+    kOff,
+};
+
+std::string_view toString(Level level);
+
+/** Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-sensitive). */
+std::optional<Level> parseLevel(std::string_view text);
+
+/** One structured key/value field of a log record. */
+struct Field
+{
+    std::string_view key;
+    std::string value;
+
+    Field(std::string_view k, std::string v) : key(k), value(std::move(v)) {}
+    Field(std::string_view k, std::string_view v) : key(k), value(v) {}
+    Field(std::string_view k, const char *v) : key(k), value(v) {}
+    Field(std::string_view k, std::uint64_t v)
+        : key(k), value(std::to_string(v))
+    {
+    }
+    Field(std::string_view k, std::int64_t v)
+        : key(k), value(std::to_string(v))
+    {
+    }
+    Field(std::string_view k, unsigned v) : key(k), value(std::to_string(v))
+    {
+    }
+    Field(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+    Field(std::string_view k, double v) : key(k), value(std::to_string(v)) {}
+};
+
+namespace detail {
+
+/** Current threshold as int; negative = not yet configured from env. */
+inline std::atomic<int> g_threshold{-1};
+
+/** Configure from the environment, then answer enabled(@p level). */
+bool enabledSlow(Level level);
+
+}  // namespace detail
+
+/**
+ * True when records at @p level pass the current threshold. Inline: a
+ * disabled call in a hot loop costs one relaxed load and a compare.
+ */
+inline bool
+enabled(Level level)
+{
+    const int t = detail::g_threshold.load(std::memory_order_relaxed);
+    if (t < 0) [[unlikely]]
+        return detail::enabledSlow(level);
+    return static_cast<int>(level) >= t;
+}
+
+Level threshold();
+void setThreshold(Level level);
+
+/** Emit JSON-lines records instead of human-readable text. */
+void setJsonOutput(bool json);
+bool jsonOutput();
+
+/**
+ * Re-read STACKSCOPE_LOG (level, default warn) and STACKSCOPE_LOG_JSON
+ * ("1" switches to JSON-lines). Called lazily on first use; front-ends
+ * may call it explicitly after mutating the environment.
+ */
+void configureFromEnv();
+
+/**
+ * Replace the sink for tests (nullptr restores stderr). The writer
+ * receives one fully formatted record, without a trailing newline, and
+ * is called under the logger's mutex.
+ */
+void setWriterForTest(std::function<void(const std::string &)> writer);
+
+/**
+ * Emit one record. @p module names the subsystem ("runner", "sim",
+ * "validate", "cli", ...); @p fields attach structured context.
+ */
+void message(Level level, std::string_view module, std::string_view text,
+             std::initializer_list<Field> fields = {});
+
+// The wrappers check enabled() before calling message(): a disabled
+// record never crosses a TU boundary. (Field construction still happens
+// at the call site before the check; callers formatting expensive values
+// should guard with enabled() themselves.)
+
+inline void
+trace(std::string_view module, std::string_view text,
+      std::initializer_list<Field> fields = {})
+{
+    if (enabled(Level::kTrace))
+        message(Level::kTrace, module, text, fields);
+}
+
+inline void
+debug(std::string_view module, std::string_view text,
+      std::initializer_list<Field> fields = {})
+{
+    if (enabled(Level::kDebug))
+        message(Level::kDebug, module, text, fields);
+}
+
+inline void
+info(std::string_view module, std::string_view text,
+     std::initializer_list<Field> fields = {})
+{
+    if (enabled(Level::kInfo))
+        message(Level::kInfo, module, text, fields);
+}
+
+inline void
+warn(std::string_view module, std::string_view text,
+     std::initializer_list<Field> fields = {})
+{
+    if (enabled(Level::kWarn))
+        message(Level::kWarn, module, text, fields);
+}
+
+inline void
+error(std::string_view module, std::string_view text,
+      std::initializer_list<Field> fields = {})
+{
+    if (enabled(Level::kError))
+        message(Level::kError, module, text, fields);
+}
+
+}  // namespace stackscope::log
+
+#endif  // STACKSCOPE_COMMON_LOG_HPP

@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <fstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
@@ -190,7 +191,38 @@ writeAggregate(JsonWriter &w, const sim::MulticoreResult &m)
     w.endObject();
 }
 
+void
+writeHostMetrics(JsonWriter &w, const MetricsSnapshot &snap)
+{
+    w.beginObject().key("counters").beginObject();
+    for (const CounterValue &c : snap.counters)
+        w.key(c.name).value(c.value);
+    w.endObject().key("gauges").beginObject();
+    for (const GaugeValue &g : snap.gauges)
+        w.key(g.name).value(g.value);
+    w.endObject().key("histograms").beginObject();
+    for (const HistogramValue &h : snap.histograms) {
+        w.key(h.name).beginObject().key("bounds").beginArray();
+        for (const double b : h.bounds)
+            w.value(b);
+        w.endArray().key("counts").beginArray();
+        for (const std::uint64_t c : h.counts)
+            w.value(c);
+        w.endArray()
+            .key("total").value(h.total)
+            .key("sum").value(h.sum)
+            .endObject();
+    }
+    w.endObject().endObject();
+}
+
 }  // namespace
+
+void
+ReportBuilder::setHostMetrics(MetricsSnapshot snapshot)
+{
+    host_metrics_ = std::move(snapshot);
+}
 
 void
 ReportBuilder::add(std::string label, const sim::SimOptions &options,
@@ -259,7 +291,13 @@ ReportBuilder::json() const
             w.null();
         w.endObject();
     }
-    w.endArray().endObject();
+    w.endArray();
+    w.key("host_metrics");
+    if (host_metrics_)
+        writeHostMetrics(w, *host_metrics_);
+    else
+        w.null();
+    w.endObject();
     return w.str();
 }
 

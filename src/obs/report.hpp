@@ -6,14 +6,19 @@
  * validation report and summary statistics.
  *
  * The schema is a documented contract (docs/formats.md, schema
- * "stackscope-report" version 1): external tooling may parse it, the
+ * "stackscope-report" version 2): external tooling may parse it, the
  * tests round-trip it, and CI validates a freshly generated report
  * against the documented schema. Bump kReportSchemaVersion on any
  * incompatible change and update docs/formats.md in the same commit.
  *
  * Reports are deterministic: no timestamps, hostnames or thread counts
  * appear in the output, so the same jobs produce byte-identical reports
- * regardless of BatchRunner parallelism.
+ * regardless of BatchRunner parallelism. The one exception is the
+ * opt-in "host_metrics" section (v2): host-side telemetry is a
+ * measurement of this run on this machine and varies by construction, so
+ * it is emitted only when a front-end calls setHostMetrics(), and
+ * diff-report compares it only informationally unless asked to watch a
+ * metric.
  */
 
 #ifndef STACKSCOPE_OBS_REPORT_HPP
@@ -24,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runner/batch_runner.hpp"
 #include "sim/multicore.hpp"
 #include "sim/simulation.hpp"
@@ -31,7 +37,7 @@
 namespace stackscope::obs {
 
 inline constexpr std::string_view kReportSchemaName = "stackscope-report";
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /**
  * Accumulates job results and serializes them as one report document.
@@ -62,7 +68,15 @@ class ReportBuilder
     bool empty() const { return jobs_.empty(); }
     std::size_t jobCount() const { return jobs_.size(); }
 
-    /** Serialize the full report (schema v1) as a JSON document. */
+    /**
+     * Attach a host-telemetry snapshot; the report then carries a
+     * "host_metrics" section (null otherwise). Opt-in because host
+     * metrics are inherently non-deterministic — library users that rely
+     * on byte-identical reports simply never call this.
+     */
+    void setHostMetrics(MetricsSnapshot snapshot);
+
+    /** Serialize the full report (schema v2) as a JSON document. */
     std::string json() const;
 
   private:
@@ -79,6 +93,7 @@ class ReportBuilder
 
     std::string command_;
     std::vector<Job> jobs_;
+    std::optional<MetricsSnapshot> host_metrics_{};
 };
 
 /**

@@ -1,0 +1,336 @@
+#include "obs/report_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace stackscope::obs {
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string &what)
+{
+    throw StackscopeError(ErrorCategory::kUsage, what);
+}
+
+std::string
+fmt(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+checkSchema(const JsonValue &doc, const char *which)
+{
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != "stackscope-report") {
+        usage(std::string(which) + " is not a stackscope report");
+    }
+    const JsonValue *version = doc.find("version");
+    const int v =
+        version != nullptr ? static_cast<int>(version->numberOr(0)) : 0;
+    if (v != 1 && v != 2) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "unsupported report schema version")
+            .withContext("report", which)
+            .withContext("version", std::to_string(v));
+    }
+}
+
+/** Jobs by label, document order preserved. */
+std::vector<std::pair<std::string, const JsonValue *>>
+jobsOf(const JsonValue &doc, const char *which)
+{
+    const JsonValue &jobs = doc.at("jobs");
+    if (!jobs.isArray())
+        usage(std::string(which) + ": \"jobs\" is not an array");
+    std::vector<std::pair<std::string, const JsonValue *>> out;
+    out.reserve(jobs.array.size());
+    for (const JsonValue &job : jobs.array) {
+        const JsonValue &label = job.at("label");
+        if (!label.isString())
+            usage(std::string(which) + ": job label is not a string");
+        for (const auto &[seen, unused] : out) {
+            (void)unused;
+            if (seen == label.string) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "duplicate job label in report")
+                    .withContext("report", which)
+                    .withContext("label", label.string);
+            }
+        }
+        out.emplace_back(label.string, &job);
+    }
+    return out;
+}
+
+struct Comparer
+{
+    const DiffTolerance &tol;
+    ReportDiff &out;
+
+    void
+    value(const std::string &job, std::string path, double a, double b)
+    {
+        ++out.values_compared;
+        if (!tol.exceeded(a, b))
+            return;
+        DiffEntry e;
+        e.job = job;
+        e.path = std::move(path);
+        e.a = a;
+        e.b = b;
+        e.delta = b - a;
+        e.regression = true;
+        out.regressions.push_back(std::move(e));
+    }
+
+    /** Flat object of numbers (one stack). */
+    void
+    numberObject(const std::string &job, const std::string &path,
+                 const JsonValue &a, const JsonValue &b)
+    {
+        if (!a.isObject() || !b.isObject() ||
+            a.object.size() != b.object.size()) {
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "reports are structurally incomparable")
+                .withContext("job", job)
+                .withContext("path", path);
+        }
+        for (const auto &[key, va] : a.object) {
+            const JsonValue *vb = b.find(key);
+            if (vb == nullptr || !va.isNumber() || !vb->isNumber()) {
+                throw StackscopeError(
+                    ErrorCategory::kUsage,
+                    "reports are structurally incomparable")
+                    .withContext("job", job)
+                    .withContext("path", path + "." + key);
+            }
+            value(job, path + "." + key, va.number, vb->number);
+        }
+    }
+
+    /** Object of stacks (stage -> component -> number). */
+    void
+    stackObject(const std::string &job, const std::string &path,
+                const JsonValue &a, const JsonValue &b)
+    {
+        if (!a.isObject() || !b.isObject() ||
+            a.object.size() != b.object.size()) {
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "reports are structurally incomparable")
+                .withContext("job", job)
+                .withContext("path", path);
+        }
+        for (const auto &[stage, sa] : a.object) {
+            const JsonValue *sb = b.find(stage);
+            if (sb == nullptr) {
+                throw StackscopeError(
+                    ErrorCategory::kUsage,
+                    "reports are structurally incomparable")
+                    .withContext("job", job)
+                    .withContext("path", path + "." + stage);
+            }
+            numberObject(job, path + "." + stage, sa, *sb);
+        }
+    }
+};
+
+/** FLOPS cycle stack scaled to fractions of total cycles. */
+JsonValue
+flopsFraction(const JsonValue &result)
+{
+    const double cycles = result.at("cycles").numberOr(0.0);
+    const JsonValue &raw = result.at("flops_cycles");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    for (const auto &[key, v] : raw.object) {
+        JsonValue scaled;
+        scaled.kind = JsonValue::Kind::kNumber;
+        scaled.number = cycles > 0.0 ? v.numberOr(0.0) / cycles : 0.0;
+        out.object.emplace_back(key, std::move(scaled));
+    }
+    return out;
+}
+
+void
+compareJob(const std::string &label, const JsonValue &ja,
+           const JsonValue &jb, Comparer &cmp)
+{
+    const JsonValue *agg_a = ja.find("aggregate");
+    const JsonValue *agg_b = jb.find("aggregate");
+    const bool multi_a = agg_a != nullptr && agg_a->isObject();
+    const bool multi_b = agg_b != nullptr && agg_b->isObject();
+    if (multi_a != multi_b) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "reports are structurally incomparable "
+                              "(single-core vs multi-core job)")
+            .withContext("job", label);
+    }
+    if (multi_a) {
+        cmp.value(label, "avg_cpi", agg_a->at("avg_cpi").numberOr(0.0),
+                  agg_b->at("avg_cpi").numberOr(0.0));
+        cmp.stackObject(label, "cpi_stacks", agg_a->at("avg_cpi_stacks"),
+                        agg_b->at("avg_cpi_stacks"));
+        cmp.numberObject(label, "flops_fraction",
+                         agg_a->at("avg_flops_fraction"),
+                         agg_b->at("avg_flops_fraction"));
+        return;
+    }
+    const JsonValue &results_a = ja.at("results");
+    const JsonValue &results_b = jb.at("results");
+    if (!results_a.isArray() || !results_b.isArray() ||
+        results_a.array.empty() || results_b.array.empty()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "report job has no results")
+            .withContext("job", label);
+    }
+    const JsonValue &ra = results_a.array.front();
+    const JsonValue &rb = results_b.array.front();
+    cmp.value(label, "cpi", ra.at("cpi").numberOr(0.0),
+              rb.at("cpi").numberOr(0.0));
+    cmp.stackObject(label, "cpi_stacks", ra.at("cpi_stacks"),
+                    rb.at("cpi_stacks"));
+    cmp.numberObject(label, "flops_fraction", flopsFraction(ra),
+                     flopsFraction(rb));
+}
+
+/**
+ * Flatten a host_metrics section to name -> value. Histograms contribute
+ * "<name>.total" and "<name>.sum" so they can be watched too.
+ */
+std::map<std::string, double>
+flattenHostMetrics(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    const JsonValue *hm = doc.find("host_metrics");
+    if (hm == nullptr || !hm->isObject())
+        return out;
+    if (const JsonValue *counters = hm->find("counters")) {
+        for (const auto &[name, v] : counters->object)
+            out[name] = v.numberOr(0.0);
+    }
+    if (const JsonValue *gauges = hm->find("gauges")) {
+        for (const auto &[name, v] : gauges->object)
+            out[name] = v.numberOr(0.0);
+    }
+    if (const JsonValue *hists = hm->find("histograms")) {
+        for (const auto &[name, v] : hists->object) {
+            if (const JsonValue *total = v.find("total"))
+                out[name + ".total"] = total->numberOr(0.0);
+            if (const JsonValue *sum = v.find("sum"))
+                out[name + ".sum"] = sum->numberOr(0.0);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+ReportDiff
+diffReports(const JsonValue &a, const JsonValue &b, const DiffTolerance &tol,
+            const std::vector<WatchSpec> &watches)
+{
+    checkSchema(a, "baseline report");
+    checkSchema(b, "candidate report");
+
+    const auto jobs_a = jobsOf(a, "baseline report");
+    const auto jobs_b = jobsOf(b, "candidate report");
+    if (jobs_a.size() != jobs_b.size()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "reports have different job counts")
+            .withContext("baseline", std::to_string(jobs_a.size()))
+            .withContext("candidate", std::to_string(jobs_b.size()));
+    }
+
+    ReportDiff diff;
+    Comparer cmp{tol, diff};
+    for (const auto &[label, ja] : jobs_a) {
+        const auto it = std::find_if(
+            jobs_b.begin(), jobs_b.end(),
+            [&label = label](const auto &p) { return p.first == label; });
+        if (it == jobs_b.end()) {
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "job missing from candidate report")
+                .withContext("job", label);
+        }
+        compareJob(label, *ja, *it->second, cmp);
+        ++diff.jobs_compared;
+    }
+
+    const auto host_a = flattenHostMetrics(a);
+    const auto host_b = flattenHostMetrics(b);
+    for (const auto &[name, va] : host_a) {
+        const auto it = host_b.find(name);
+        if (it == host_b.end())
+            continue;
+        MetricDelta m;
+        m.name = name;
+        m.a = va;
+        m.b = it->second;
+        m.delta = m.b - m.a;
+        diff.host_metrics.push_back(std::move(m));
+    }
+    for (const WatchSpec &watch : watches) {
+        const auto found = std::find_if(
+            diff.host_metrics.begin(), diff.host_metrics.end(),
+            [&watch](const MetricDelta &m) {
+                return m.name == watch.metric;
+            });
+        if (found == diff.host_metrics.end()) {
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "watched host metric is not present in "
+                                  "both reports")
+                .withContext("metric", watch.metric);
+        }
+        found->watched = true;
+        found->regression = watch.tol.exceeded(found->a, found->b);
+    }
+    return diff;
+}
+
+std::string
+renderDiff(const ReportDiff &diff)
+{
+    std::string out;
+    if (!diff.regressions.empty()) {
+        out += "stack regressions (" +
+               std::to_string(diff.regressions.size()) + "):\n";
+        for (const DiffEntry &e : diff.regressions) {
+            out += "  " + e.job + ": " + e.path + "  a=" + fmt(e.a) +
+                   " b=" + fmt(e.b) + " delta=" + fmt(e.delta) + "\n";
+        }
+    }
+    bool any_watched = false;
+    for (const MetricDelta &m : diff.host_metrics) {
+        if (!m.watched)
+            continue;
+        if (!any_watched) {
+            out += "watched host metrics:\n";
+            any_watched = true;
+        }
+        out += "  " + m.name + "  a=" + fmt(m.a) + " b=" + fmt(m.b) +
+               " delta=" + fmt(m.delta) +
+               (m.regression ? "  REGRESSION" : "  ok") + "\n";
+    }
+    std::size_t informational = 0;
+    for (const MetricDelta &m : diff.host_metrics) {
+        if (!m.watched)
+            ++informational;
+    }
+    out += "compared " + std::to_string(diff.values_compared) +
+           " stack values across " + std::to_string(diff.jobs_compared) +
+           " jobs; " + std::to_string(informational) +
+           " host metrics informational\n";
+    out += diff.regression() ? "result: REGRESSION\n" : "result: OK\n";
+    return out;
+}
+
+}  // namespace stackscope::obs

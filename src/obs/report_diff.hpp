@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Report diffing: turn two run reports into a regression verdict.
+ *
+ * `stackscope diff-report a.json b.json` compares every CPI-stack
+ * component, the FLOPS fraction and the headline CPI of each job between
+ * a baseline report (a) and a candidate report (b). A component regresses
+ * when |b - a| > max(tol_abs, tol_rel * |a|) — the absolute floor keeps
+ * near-zero components from tripping on rounding noise, the relative arm
+ * scales with component size.
+ *
+ * Host metrics ("host_metrics", schema v2) are compared informationally:
+ * they measure the host, not the simulated machine, so run-to-run
+ * variation is expected and must not fail a determinism gate. A metric
+ * only participates in the verdict when explicitly watched (--watch),
+ * with its own tolerances.
+ *
+ * Structural differences — different job label sets, or stacks with
+ * different component sets — are a usage error (the reports are not
+ * comparable), not a regression.
+ */
+
+#ifndef STACKSCOPE_OBS_REPORT_DIFF_HPP
+#define STACKSCOPE_OBS_REPORT_DIFF_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+
+namespace stackscope::obs {
+
+/** |b - a| > max(abs, rel * |a|) flags a regression. */
+struct DiffTolerance
+{
+    double abs = 1e-6;
+    double rel = 0.01;
+
+    bool
+    exceeded(double a, double b) const
+    {
+        const double delta = b > a ? b - a : a - b;
+        const double mag = a < 0 ? -a : a;
+        const double allowed = rel * mag > abs ? rel * mag : abs;
+        return delta > allowed;
+    }
+};
+
+/** One host metric promoted from informational to gating. */
+struct WatchSpec
+{
+    std::string metric;
+    DiffTolerance tol{};
+};
+
+/** One compared stack value (component, CPI, or FLOPS fraction). */
+struct DiffEntry
+{
+    std::string job;
+    /** Dotted path, e.g. "cpi_stacks.commit.base-cpi". */
+    std::string path;
+    double a = 0.0;
+    double b = 0.0;
+    double delta = 0.0;
+    bool regression = false;
+};
+
+/** One compared host metric (counter or gauge). */
+struct MetricDelta
+{
+    std::string name;
+    double a = 0.0;
+    double b = 0.0;
+    double delta = 0.0;
+    bool watched = false;
+    bool regression = false;
+};
+
+/** Full outcome of one report comparison. */
+struct ReportDiff
+{
+    /** Stack-level comparisons that exceeded tolerance. */
+    std::vector<DiffEntry> regressions;
+    /** Host metrics present in both reports (watched ones flagged). */
+    std::vector<MetricDelta> host_metrics;
+    /** Stack values compared (regressed or not). */
+    std::size_t values_compared = 0;
+    std::size_t jobs_compared = 0;
+
+    bool
+    regression() const
+    {
+        if (!regressions.empty())
+            return true;
+        for (const MetricDelta &m : host_metrics) {
+            if (m.regression)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Compare parsed report documents @p a (baseline) and @p b (candidate).
+ * Accepts schema versions 1 and 2. Throws StackscopeError(kUsage) when
+ * either document is not a stackscope report or the two are structurally
+ * incomparable.
+ */
+ReportDiff diffReports(const JsonValue &a, const JsonValue &b,
+                       const DiffTolerance &tol,
+                       const std::vector<WatchSpec> &watches = {});
+
+/** Human-readable summary (regressions first, then watched metrics). */
+std::string renderDiff(const ReportDiff &diff);
+
+}  // namespace stackscope::obs
+
+#endif  // STACKSCOPE_OBS_REPORT_DIFF_HPP

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace stackscope::obs {
 
@@ -203,6 +204,12 @@ PipelineTracer::finish(Cycle end_cycle)
 EventLog
 PipelineTracer::take()
 {
+    // The ring drops oldest-first when full; surface that in the global
+    // registry so a truncated trace can never pass for a complete one.
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.counter("obs.trace_events_emitted_total").inc(emitted_);
+    reg.counter("obs.trace_events_dropped_total").inc(dropped_);
+
     EventLog log;
     log.enabled = true;
     log.emitted = emitted_;
@@ -325,10 +332,18 @@ chromeTraceJson(const std::vector<EventLog> &cores)
         for (const TraceEvent &e : cores[core].events)
             writeEvent(w, pid, e);
     }
+    std::uint64_t total_emitted = 0;
+    std::uint64_t total_dropped = 0;
+    for (const EventLog &log : cores) {
+        total_emitted += log.emitted;
+        total_dropped += log.dropped;
+    }
     w.endArray()
         .key("displayTimeUnit").value("ns")
         .key("otherData").beginObject()
         .key("timebase").value("1 simulated cycle = 1 trace microsecond")
+        .key("events_emitted").value(total_emitted)
+        .key("events_dropped").value(total_dropped)
         .endObject()
         .endObject();
     return w.str();

@@ -5,8 +5,32 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace stackscope::runner {
+
+namespace {
+
+/** Cycles and instructions one finished job contributed. */
+void
+jobWork(const JobOutcome &outcome, std::uint64_t &cycles,
+        std::uint64_t &instrs)
+{
+    cycles = 0;
+    instrs = 0;
+    if (outcome.multi) {
+        for (const sim::SimResult &core : outcome.multi->per_core) {
+            cycles += core.cycles;
+            instrs += core.instrs;
+        }
+    } else {
+        cycles = outcome.single.cycles;
+        instrs = outcome.single.instrs;
+    }
+}
+
+}  // namespace
 
 SimJob
 makeJob(std::string label, sim::MachineConfig machine,
@@ -23,8 +47,14 @@ makeJob(std::string label, sim::MachineConfig machine,
 }
 
 BatchResult
-BatchRunner::run(std::vector<SimJob> jobs)
+BatchRunner::run(std::vector<SimJob> jobs, ProgressObserver *progress)
 {
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("runner.batches_total").inc();
+    reg.counter("runner.batch_jobs_total").inc(jobs.size());
+    log::debug("runner", "batch started",
+               {{"jobs", jobs.size()}, {"threads", pool_.threads()}});
+
     struct Slot
     {
         JobOutcome outcome;
@@ -33,9 +63,11 @@ BatchRunner::run(std::vector<SimJob> jobs)
     };
     std::vector<Slot> slots(jobs.size());
     std::atomic<bool> cancel{false};
+    std::atomic<std::size_t> done{0};
+    const std::size_t total = jobs.size();
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        pool_.submit([&jobs, &slots, &cancel, i] {
+        pool_.submit([&jobs, &slots, &cancel, &done, total, progress, i] {
             if (cancel.load(std::memory_order_acquire))
                 return;
             const SimJob &job = jobs[i];
@@ -53,10 +85,22 @@ BatchRunner::run(std::vector<SimJob> jobs)
             } catch (...) {
                 slot.error = std::current_exception();
                 cancel.store(true, std::memory_order_release);
+                log::error("runner", "job failed, cancelling batch",
+                           {{"job", job.label}, {"job_index", i}});
+            }
+            if (progress != nullptr) {
+                std::uint64_t cycles = 0;
+                std::uint64_t instrs = 0;
+                if (slot.ran)
+                    jobWork(slot.outcome, cycles, instrs);
+                progress->onJobDone(
+                    done.fetch_add(1, std::memory_order_acq_rel) + 1,
+                    total, cycles, instrs);
             }
         });
     }
     pool_.waitIdle();
+    log::debug("runner", "batch finished", {{"jobs", jobs.size()}});
 
     // Rethrow the lowest-indexed failure with the job identity attached.
     for (std::size_t i = 0; i < slots.size(); ++i) {

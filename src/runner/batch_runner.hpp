@@ -73,6 +73,27 @@ struct BatchResult
 };
 
 /**
+ * Observes batch progress as jobs complete. onJobDone() is called from
+ * worker threads (once per finished job, successful or not) and must be
+ * thread-safe; it must not throw. Heartbeat implements this to print live
+ * progress lines.
+ */
+class ProgressObserver
+{
+  public:
+    virtual ~ProgressObserver() = default;
+
+    /**
+     * @param jobs_done   jobs finished so far, including this one.
+     * @param jobs_total  jobs in the batch.
+     * @param cycles      simulated cycles this job contributed.
+     * @param instrs      instructions this job committed.
+     */
+    virtual void onJobDone(std::size_t jobs_done, std::size_t jobs_total,
+                           std::uint64_t cycles, std::uint64_t instrs) = 0;
+};
+
+/**
  * Executes batches of SimJobs on a work-stealing thread pool.
  *
  * Determinism: outcomes are indexed by submission order and every result
@@ -95,7 +116,11 @@ class BatchRunner
     unsigned threads() const { return pool_.threads(); }
 
     /** Run every job; blocks until the batch completes or fails. */
-    BatchResult run(std::vector<SimJob> jobs);
+    BatchResult run(std::vector<SimJob> jobs,
+                    ProgressObserver *progress = nullptr);
+
+    /** Scheduling statistics of the underlying pool. */
+    ThreadPool::Stats poolStats() const { return pool_.stats(); }
 
   private:
     ThreadPool pool_;

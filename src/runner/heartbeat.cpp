@@ -1,0 +1,149 @@
+#include "runner/heartbeat.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace stackscope::runner {
+
+namespace {
+
+bool
+stderrIsTty()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return isatty(fileno(stderr)) == 1;
+#else
+    return false;
+#endif
+}
+
+/** "mm:ss" (or "hh:mm:ss" past an hour). */
+std::string
+formatDuration(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+    char buf[32];
+    if (total >= 3600) {
+        std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                      static_cast<unsigned long long>(total / 3600),
+                      static_cast<unsigned long long>(total / 60 % 60),
+                      static_cast<unsigned long long>(total % 60));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%02llu:%02llu",
+                      static_cast<unsigned long long>(total / 60),
+                      static_cast<unsigned long long>(total % 60));
+    }
+    return buf;
+}
+
+}  // namespace
+
+bool
+Heartbeat::enabledFromEnv()
+{
+    if (const char *env = std::getenv("STACKSCOPE_PROGRESS"))
+        return env[0] == '1';
+    return stderrIsTty();
+}
+
+Heartbeat::Heartbeat(std::string tag)
+    : tag_(std::move(tag)),
+      enabled_(enabledFromEnv()),
+      tty_(stderrIsTty()),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_)
+{
+}
+
+Heartbeat::~Heartbeat()
+{
+    finish();
+}
+
+void
+Heartbeat::onJobDone(std::size_t jobs_done, std::size_t jobs_total,
+                     std::uint64_t cycles, std::uint64_t instrs)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    cycles_done_ += cycles;
+    instrs_done_ += instrs;
+    if (finished_)
+        return;
+    // Overwriting a TTY line is cheap; spamming a log file is not.
+    const auto min_gap =
+        tty_ ? std::chrono::milliseconds(250) : std::chrono::milliseconds(2000);
+    const auto now = std::chrono::steady_clock::now();
+    const bool last = jobs_done >= jobs_total;
+    if (!last && now - last_print_ < min_gap)
+        return;
+    last_print_ = now;
+    printLine(jobs_done, jobs_total, last);
+    if (last)
+        finished_ = true;
+}
+
+void
+Heartbeat::finish()
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) {
+        finished_ = true;
+        return;
+    }
+    finished_ = true;
+    if (line_open_) {
+        std::fputc('\n', stderr);
+        line_open_ = false;
+    }
+}
+
+void
+Heartbeat::printLine(std::size_t jobs_done, std::size_t jobs_total,
+                     bool final_line)
+{
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(cycles_done_) / elapsed : 0.0;
+
+    std::string line = "[" + tag_ + "] " + std::to_string(jobs_done) + "/" +
+                       std::to_string(jobs_total) + " jobs";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %.3g cycles/s", rate);
+    line += buf;
+    if (final_line) {
+        line += "  done in " + formatDuration(elapsed);
+    } else if (jobs_done > 0) {
+        const double eta = elapsed *
+                           static_cast<double>(jobs_total - jobs_done) /
+                           static_cast<double>(jobs_done);
+        line += "  ETA " + formatDuration(eta);
+    }
+
+    if (tty_) {
+        std::fprintf(stderr, "\r\033[2K%s", line.c_str());
+        line_open_ = true;
+        if (final_line) {
+            std::fputc('\n', stderr);
+            line_open_ = false;
+        }
+        std::fflush(stderr);
+    } else {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
+}
+
+}  // namespace stackscope::runner

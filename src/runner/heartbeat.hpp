@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Live progress heartbeat for long batch runs.
+ *
+ * A 48-point sweep can run for minutes with nothing on the terminal; the
+ * heartbeat prints a short stderr line as jobs complete — completed/total,
+ * aggregate simulated cycles per second, and an ETA extrapolated from the
+ * jobs finished so far. On a TTY the line overwrites itself with '\r'; in
+ * a pipe it degrades to plain lines (throttled harder) so logs stay
+ * readable. STACKSCOPE_PROGRESS=0/1 overrides the isatty(stderr) default,
+ * which keeps CI output clean without any flag plumbing.
+ */
+
+#ifndef STACKSCOPE_RUNNER_HEARTBEAT_HPP
+#define STACKSCOPE_RUNNER_HEARTBEAT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "runner/batch_runner.hpp"
+
+namespace stackscope::runner {
+
+/**
+ * ProgressObserver that prints heartbeat lines to stderr. Safe to pass to
+ * BatchRunner::run() unconditionally: when disabled (not a TTY and not
+ * forced on) every callback is a no-op.
+ */
+class Heartbeat : public ProgressObserver
+{
+  public:
+    /** @param tag short prefix identifying the command ("sweep", ...). */
+    explicit Heartbeat(std::string tag);
+
+    /** Terminates a pending overwrite line (as if finish() was called). */
+    ~Heartbeat() override;
+
+    Heartbeat(const Heartbeat &) = delete;
+    Heartbeat &operator=(const Heartbeat &) = delete;
+
+    /** True when lines will actually be printed. */
+    bool enabled() const { return enabled_; }
+
+    void onJobDone(std::size_t jobs_done, std::size_t jobs_total,
+                   std::uint64_t cycles, std::uint64_t instrs) override;
+
+    /** Print the final line and a newline; further callbacks are no-ops. */
+    void finish();
+
+    /** STACKSCOPE_PROGRESS override, else isatty(stderr). */
+    static bool enabledFromEnv();
+
+  private:
+    void printLine(std::size_t jobs_done, std::size_t jobs_total,
+                   bool final_line);
+
+    const std::string tag_;
+    const bool enabled_;
+    const bool tty_;
+    const std::chrono::steady_clock::time_point start_;
+
+    std::mutex mutex_;
+    std::chrono::steady_clock::time_point last_print_;
+    std::uint64_t cycles_done_ = 0;
+    std::uint64_t instrs_done_ = 0;
+    bool line_open_ = false;
+    bool finished_ = false;
+};
+
+}  // namespace stackscope::runner
+
+#endif  // STACKSCOPE_RUNNER_HEARTBEAT_HPP

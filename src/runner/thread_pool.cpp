@@ -1,6 +1,7 @@
 #include "runner/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace stackscope::runner {
@@ -25,6 +26,16 @@ ThreadPool::hardwareThreads()
 
 ThreadPool::ThreadPool(unsigned threads)
 {
+    // Same names every instance: the global registry deduplicates, so
+    // successive pools (one per sweep, per test, ...) extend one series.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    m_submitted_ = reg.counter("runner.tasks_submitted_total");
+    m_completed_ = reg.counter("runner.tasks_completed_total");
+    m_own_pops_ = reg.counter("runner.own_pops_total");
+    m_steals_ = reg.counter("runner.steals_total");
+    m_idle_micros_ = reg.counter("runner.worker_idle_micros_total");
+    m_queue_depth_ = reg.gauge("runner.queue_depth");
+
     const unsigned n = threads == 0 ? hardwareThreads() : threads;
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
@@ -64,7 +75,11 @@ ThreadPool::push(unsigned index, Task task)
 void
 ThreadPool::submit(Task task)
 {
-    pending_.fetch_add(1, std::memory_order_acq_rel);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    m_submitted_.inc();
+    const std::size_t depth =
+        pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    m_queue_depth_.set(static_cast<double>(depth));
     if (tls_pool == this) {
         push(tls_worker, std::move(task));
         return;
@@ -84,6 +99,8 @@ ThreadPool::tryPop(unsigned index, Task &out)
         if (!own.deque.empty()) {
             out = std::move(own.deque.back());
             own.deque.pop_back();
+            own_pops_.fetch_add(1, std::memory_order_relaxed);
+            m_own_pops_.inc();
             return true;
         }
     }
@@ -96,6 +113,8 @@ ThreadPool::tryPop(unsigned index, Task &out)
         if (!victim.deque.empty()) {
             out = std::move(victim.deque.front());
             victim.deque.pop_front();
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            m_steals_.inc();
             return true;
         }
     }
@@ -111,6 +130,18 @@ ThreadPool::haveWork()
             return true;
     }
     return false;
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.own_pops = own_pops_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.idle_micros = idle_micros_.load(std::memory_order_relaxed);
+    return s;
 }
 
 void
@@ -132,18 +163,31 @@ ThreadPool::workerLoop(unsigned index)
         if (tryPop(index, task)) {
             task();
             task = nullptr;  // release captures before signalling idle
-            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            m_completed_.inc();
+            const std::size_t left =
+                pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+            m_queue_depth_.set(static_cast<double>(left));
+            if (left == 0) {
                 std::lock_guard<std::mutex> lock(sleep_mutex_);
                 idle_cv_.notify_all();
             }
             continue;
         }
+        const auto idle_start = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         if (stopping_.load(std::memory_order_acquire) && !haveWork())
             return;
         work_cv_.wait(lock, [this] {
             return stopping_.load(std::memory_order_acquire) || haveWork();
         });
+        const auto idle_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - idle_start)
+                .count();
+        idle_micros_.fetch_add(static_cast<std::uint64_t>(idle_us),
+                               std::memory_order_relaxed);
+        m_idle_micros_.inc(static_cast<std::uint64_t>(idle_us));
         if (stopping_.load(std::memory_order_acquire) && !haveWork())
             return;
     }

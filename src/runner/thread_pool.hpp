@@ -18,12 +18,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace stackscope::runner {
 
@@ -39,6 +42,21 @@ class ThreadPool
 {
   public:
     using Task = std::function<void()>;
+
+    /**
+     * Point-in-time scheduling statistics. When the pool is idle,
+     * own_pops + steals == completed == submitted, and every task was
+     * popped exactly once (tests/runner asserts this).
+     */
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t own_pops = 0;
+        std::uint64_t steals = 0;
+        /** Total wall time workers spent asleep waiting for work. */
+        std::uint64_t idle_micros = 0;
+    };
 
     /** @param threads worker count; 0 means hardwareThreads(). */
     explicit ThreadPool(unsigned threads = 0);
@@ -61,6 +79,9 @@ class ThreadPool
 
     /** Block until all tasks submitted so far have completed. */
     void waitIdle();
+
+    /** Scheduling counters for this pool instance. */
+    Stats stats() const;
 
     /** std::thread::hardware_concurrency(), clamped to at least 1. */
     static unsigned hardwareThreads();
@@ -91,6 +112,21 @@ class ThreadPool
     std::atomic<std::size_t> pending_{0};
     std::atomic<std::size_t> next_queue_{0};
     std::atomic<bool> stopping_{false};
+
+    /** Per-instance scheduling counters (see Stats). */
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> own_pops_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> idle_micros_{0};
+
+    /** Process-wide series in MetricsRegistry::global(). */
+    obs::Counter m_submitted_;
+    obs::Counter m_completed_;
+    obs::Counter m_own_pops_;
+    obs::Counter m_steals_;
+    obs::Counter m_idle_micros_;
+    obs::Gauge m_queue_depth_;
 };
 
 }  // namespace stackscope::runner

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "core/ooo_core.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sim_metrics.hpp"
 #include "validate/watchdog.hpp"
 
 namespace stackscope::sim {
@@ -116,6 +119,10 @@ simulateMulticore(const MachineConfig &machine,
         validate::IntervalValidator(options.validation_interval));
     std::vector<validate::ValidationReport> reports(num_cores);
 
+    detail::SimMetrics &metrics = detail::simMetrics();
+    metrics.runs.inc();
+    const auto run_start = std::chrono::steady_clock::now();
+
     // Lockstep simulation so uncore contention is interleaved fairly.
     // Each core restarts measurement once it passes the warmup window; a
     // core whose watchdog trips is parked while the others finish.
@@ -151,6 +158,12 @@ simulateMulticore(const MachineConfig &machine,
         }
     }
 
+    // The lockstep loop interleaves warmup and measurement across cores,
+    // so the whole loop counts as the measure phase.
+    const std::uint64_t measure_us = detail::microsSince(run_start);
+    metrics.measure_micros.inc(measure_us);
+
+    const auto report_start = std::chrono::steady_clock::now();
     MulticoreResult out;
     out.validation.policy = options.validation;
     out.socket_peak_flops = machine.socketPeakFlops();
@@ -198,6 +211,14 @@ simulateMulticore(const MachineConfig &machine,
         } else if (watchdogs[i].deadlocked()) {
             rep.add(validate::Invariant::kProgress,
                     watchdogs[i].snapshot().describe(), r.cycles);
+        }
+        if (watchdogs[i].deadlocked()) {
+            metrics.watchdog_fires.inc();
+            log::warn("sim", "watchdog fired",
+                      {{"machine", machine.name},
+                       {"core", i},
+                       {"cycle", r.cycles},
+                       {"detail", watchdogs[i].snapshot().describe()}});
         }
         if (checking)
             rep.merge(validate::validateResult(r));
@@ -247,6 +268,27 @@ simulateMulticore(const MachineConfig &machine,
     out.socket_flops =
         out.avg_flops_fraction[stacks::FlopsComponent::kBase] *
         out.socket_peak_flops;
+
+    std::uint64_t total_cycles = 0;
+    std::uint64_t total_instrs = 0;
+    for (const SimResult &r : out.per_core) {
+        total_cycles += r.cycles;
+        total_instrs += r.instrs;
+    }
+    metrics.report_micros.inc(detail::microsSince(report_start));
+    metrics.cycles.inc(total_cycles);
+    metrics.instrs.inc(total_instrs);
+    metrics.violations.inc(out.validation.violations.size());
+    if (measure_us > 0) {
+        const double secs = static_cast<double>(measure_us) * 1e-6;
+        metrics.last_cycles_per_sec.set(static_cast<double>(total_cycles) /
+                                        secs);
+        metrics.last_instrs_per_sec.set(static_cast<double>(total_instrs) /
+                                        secs);
+    }
+    metrics.peak_rss.set(static_cast<double>(obs::peakRssBytes()));
+    metrics.run_seconds.record(
+        static_cast<double>(detail::microsSince(run_start)) * 1e-6);
 
     if (options.validation == ValidationPolicy::kStrict &&
         !out.validation.passed()) {

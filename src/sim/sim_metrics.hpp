@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Internal: shared metric handles for the two simulation drivers
+ * (sim/simulation.cpp and sim/multicore.cpp). Not part of the public sim
+ * API — both drivers report into the same `sim.*` series so front-ends
+ * see one aggregate regardless of core count.
+ */
+
+#ifndef STACKSCOPE_SIM_SIM_METRICS_HPP
+#define STACKSCOPE_SIM_SIM_METRICS_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace stackscope::sim::detail {
+
+struct SimMetrics
+{
+    obs::Counter runs;
+    obs::Counter cycles;
+    obs::Counter instrs;
+    obs::Counter warmup_micros;
+    obs::Counter measure_micros;
+    obs::Counter report_micros;
+    obs::Counter violations;
+    obs::Counter watchdog_fires;
+    obs::Gauge last_cycles_per_sec;
+    obs::Gauge last_instrs_per_sec;
+    obs::Gauge peak_rss;
+    obs::Histogram run_seconds;
+};
+
+inline SimMetrics &
+simMetrics()
+{
+    static SimMetrics m = [] {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        SimMetrics s;
+        s.runs = reg.counter("sim.runs_total");
+        s.cycles = reg.counter("sim.simulated_cycles_total");
+        s.instrs = reg.counter("sim.instrs_committed_total");
+        s.warmup_micros = reg.counter("sim.warmup_micros_total");
+        s.measure_micros = reg.counter("sim.measure_micros_total");
+        s.report_micros = reg.counter("sim.report_micros_total");
+        s.violations = reg.counter("sim.validation_violations_total");
+        s.watchdog_fires = reg.counter("sim.watchdog_fires_total");
+        s.last_cycles_per_sec = reg.gauge("sim.last_cycles_per_sec");
+        s.last_instrs_per_sec = reg.gauge("sim.last_instrs_per_sec");
+        s.peak_rss = reg.gauge("sim.peak_rss_bytes");
+        s.run_seconds = reg.histogram(
+            "sim.run_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0});
+        return s;
+    }();
+    return m;
+}
+
+inline std::uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+}  // namespace stackscope::sim::detail
+
+#endif  // STACKSCOPE_SIM_SIM_METRICS_HPP

@@ -1,10 +1,14 @@
 #include "sim/simulation.hpp"
 
+#include <chrono>
 #include <optional>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "core/ooo_core.hpp"
+#include "obs/metrics.hpp"
+#include "sim/sim_metrics.hpp"
 #include "validate/watchdog.hpp"
 
 namespace stackscope::sim {
@@ -12,6 +16,7 @@ namespace stackscope::sim {
 using stacks::Stage;
 using validate::FaultTarget;
 using validate::ValidationPolicy;
+
 
 void
 checkObsOptions(const SimOptions &options)
@@ -97,6 +102,10 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     validate::ValidationReport report;
     report.policy = options.validation;
 
+    detail::SimMetrics &metrics = detail::simMetrics();
+    metrics.runs.inc();
+    const auto run_start = std::chrono::steady_clock::now();
+
     // Fast-forward (§IV): warm structures, then restart measurement. The
     // watchdog also guards this phase — a hung trace must not spin here.
     const std::uint64_t warmup = options.warmup_instrs.value_or(0);
@@ -108,11 +117,16 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
                              core.stats().instrs_committed)) {
             core.cycle();
         }
+        metrics.warmup_micros.inc(detail::microsSince(run_start));
         if (watchdog.tripped()) {
             // resetMeasurement() never ran: the reported stacks include
             // the warmup phase. Even a plain max-cycles stop must not be
             // a silent truncation here.
             warmup_truncated = true;
+            log::warn("sim", "stopped during warmup; stacks include warmup",
+                      {{"machine", machine.name},
+                       {"cycle", core.cycles()},
+                       {"detail", watchdog.snapshot().describe()}});
             report.add(validate::Invariant::kProgress,
                        "stopped during warmup (" +
                            watchdog.snapshot().describe() +
@@ -124,6 +138,7 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
         }
     }
 
+    const auto measure_start = std::chrono::steady_clock::now();
     while (!core.done() && !watchdog.tripped()) {
         if (!watchdog.poll(core.absoluteCycles(),
                            core.stats().instrs_committed))
@@ -138,7 +153,10 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
             interval.check(core, report);
     }
     core.finalizeAccounting();
+    const std::uint64_t measure_us = detail::microsSince(measure_start);
+    metrics.measure_micros.inc(measure_us);
 
+    const auto report_start = std::chrono::steady_clock::now();
     SimResult r;
     r.machine = machine.name;
     r.cycles = core.cycles();
@@ -168,6 +186,13 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
         report.add(validate::Invariant::kProgress,
                    watchdog.snapshot().describe(), core.cycles());
     }
+    if (watchdog.deadlocked()) {
+        metrics.watchdog_fires.inc();
+        log::warn("sim", "watchdog fired",
+                  {{"machine", machine.name},
+                   {"cycle", core.cycles()},
+                   {"detail", watchdog.snapshot().describe()}});
+    }
     if (checking)
         report.merge(validate::validateResult(r));
     r.validation = std::move(report);
@@ -184,6 +209,21 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
         tracer->finish(core.cycles());
         r.events = tracer->take();
     }
+
+    metrics.report_micros.inc(detail::microsSince(report_start));
+    metrics.cycles.inc(r.cycles);
+    metrics.instrs.inc(r.instrs);
+    metrics.violations.inc(r.validation.violations.size());
+    if (measure_us > 0) {
+        const double secs = static_cast<double>(measure_us) * 1e-6;
+        metrics.last_cycles_per_sec.set(static_cast<double>(r.cycles) /
+                                        secs);
+        metrics.last_instrs_per_sec.set(static_cast<double>(r.instrs) /
+                                        secs);
+    }
+    metrics.peak_rss.set(static_cast<double>(obs::peakRssBytes()));
+    metrics.run_seconds.record(
+        static_cast<double>(detail::microsSince(run_start)) * 1e-6);
 
     if (options.validation == ValidationPolicy::kStrict &&
         !r.validation.passed()) {

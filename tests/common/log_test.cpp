@@ -1,0 +1,125 @@
+/**
+ * Tests for the structured logger: threshold filtering, record format,
+ * JSON-lines validity and level parsing. The logger is process-global
+ * state, so every test restores threshold/format/sink on the way out.
+ */
+
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../obs/json_checker.hpp"
+
+namespace stackscope::log {
+namespace {
+
+/** Captures records and restores global logger state on destruction. */
+class LogCapture
+{
+  public:
+    LogCapture()
+        : saved_threshold_(threshold()), saved_json_(jsonOutput())
+    {
+        setWriterForTest(
+            [this](const std::string &line) { lines_.push_back(line); });
+    }
+
+    ~LogCapture()
+    {
+        setWriterForTest(nullptr);
+        setThreshold(saved_threshold_);
+        setJsonOutput(saved_json_);
+    }
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    std::vector<std::string> lines_;
+    Level saved_threshold_;
+    bool saved_json_;
+};
+
+TEST(Log, ThresholdFiltersRecords)
+{
+    LogCapture cap;
+    setThreshold(Level::kWarn);
+    EXPECT_FALSE(enabled(Level::kDebug));
+    EXPECT_TRUE(enabled(Level::kWarn));
+    EXPECT_TRUE(enabled(Level::kError));
+
+    debug("test", "dropped");
+    info("test", "dropped too");
+    warn("test", "kept");
+    error("test", "kept too");
+    ASSERT_EQ(cap.lines().size(), 2u);
+    EXPECT_NE(cap.lines()[0].find("kept"), std::string::npos);
+    EXPECT_NE(cap.lines()[1].find("kept too"), std::string::npos);
+
+    setThreshold(Level::kOff);
+    error("test", "suppressed");
+    EXPECT_EQ(cap.lines().size(), 2u);
+}
+
+TEST(Log, HumanFormatCarriesLevelModuleAndFields)
+{
+    LogCapture cap;
+    setThreshold(Level::kInfo);
+    setJsonOutput(false);
+    info("runner", "batch finished", {{"jobs", 12}, {"threads", 4u}});
+    ASSERT_EQ(cap.lines().size(), 1u);
+    const std::string &line = cap.lines()[0];
+    EXPECT_NE(line.find("stackscope[info]"), std::string::npos);
+    EXPECT_NE(line.find("runner"), std::string::npos);
+    EXPECT_NE(line.find("batch finished"), std::string::npos);
+    EXPECT_NE(line.find("jobs=12"), std::string::npos);
+    EXPECT_NE(line.find("threads=4"), std::string::npos);
+}
+
+TEST(Log, JsonLinesRecordsAreValidJson)
+{
+    LogCapture cap;
+    setThreshold(Level::kInfo);
+    setJsonOutput(true);
+    info("sim", "run \"done\"",
+         {{"cycles", std::uint64_t{123456}},
+          {"path", "a\\b\nc"},
+          {"cpi", 1.25}});
+    ASSERT_EQ(cap.lines().size(), 1u);
+    const std::string &line = cap.lines()[0];
+    testutil::JsonChecker checker(line);
+    EXPECT_TRUE(checker.valid()) << line;
+    EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+    EXPECT_NE(line.find("\"module\":\"sim\""), std::string::npos);
+    EXPECT_NE(line.find("\"cycles\":\"123456\""), std::string::npos);
+    // The quote, backslash and newline must arrive escaped.
+    EXPECT_NE(line.find("run \\\"done\\\""), std::string::npos);
+    EXPECT_NE(line.find("a\\\\b\\nc"), std::string::npos);
+}
+
+TEST(Log, ParseLevelRoundTrips)
+{
+    for (Level lvl : {Level::kTrace, Level::kDebug, Level::kInfo,
+                      Level::kWarn, Level::kError, Level::kOff}) {
+        const auto parsed = parseLevel(toString(lvl));
+        ASSERT_TRUE(parsed.has_value()) << toString(lvl);
+        EXPECT_EQ(*parsed, lvl);
+    }
+    EXPECT_FALSE(parseLevel("verbose").has_value());
+    EXPECT_FALSE(parseLevel("").has_value());
+    EXPECT_FALSE(parseLevel("WARN").has_value());  // case-sensitive
+}
+
+TEST(Log, DisabledCallsDoNotTouchTheSink)
+{
+    LogCapture cap;
+    setThreshold(Level::kError);
+    for (int i = 0; i < 1000; ++i)
+        debug("test", "hot-path record", {{"i", i}});
+    EXPECT_TRUE(cap.lines().empty());
+}
+
+}  // namespace
+}  // namespace stackscope::log

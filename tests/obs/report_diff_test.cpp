@@ -1,0 +1,213 @@
+/**
+ * Tests for the report-diff regression gate: detection in both
+ * directions, tolerance handling, watched host metrics and structural
+ * mismatch errors.
+ */
+
+#include "obs/report_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+
+namespace stackscope::obs {
+namespace {
+
+trace::SyntheticGenerator
+shortWorkload(const char *name, std::uint64_t n = 10'000)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+/** One real single-core run, reused by every test in this file. */
+const sim::SimResult &
+baselineRun()
+{
+    static const sim::SimResult r = [] {
+        return sim::simulate(sim::bdwConfig(), shortWorkload("gcc"), {});
+    }();
+    return r;
+}
+
+JsonValue
+reportOf(const sim::SimResult &r, const char *label = "gcc/BDW")
+{
+    ReportBuilder report("test");
+    report.add(label, {}, r);
+    return parseJson(report.json());
+}
+
+TEST(DiffTolerance, ExceededUsesMaxOfAbsAndRel)
+{
+    const DiffTolerance tol{.abs = 0.01, .rel = 0.1};
+    EXPECT_FALSE(tol.exceeded(1.0, 1.05));  // within 10% relative
+    EXPECT_TRUE(tol.exceeded(1.0, 1.2));
+    EXPECT_FALSE(tol.exceeded(0.0, 0.005));  // absolute floor near zero
+    EXPECT_TRUE(tol.exceeded(0.0, 0.02));
+    EXPECT_TRUE(tol.exceeded(1.2, 1.0));  // symmetric
+}
+
+TEST(DiffReports, IdenticalReportsAreOk)
+{
+    const JsonValue doc = reportOf(baselineRun());
+    const ReportDiff diff = diffReports(doc, doc, DiffTolerance{});
+    EXPECT_FALSE(diff.regression());
+    EXPECT_TRUE(diff.regressions.empty());
+    EXPECT_EQ(diff.jobs_compared, 1u);
+    EXPECT_GT(diff.values_compared, 10u);  // cpi + 3 stacks + flops
+    EXPECT_NE(renderDiff(diff).find("result: OK"), std::string::npos);
+}
+
+TEST(DiffReports, CpiRegressionDetectedInBothDirections)
+{
+    sim::SimResult worse = baselineRun();
+    worse.cpi += 0.5;
+    const JsonValue a = reportOf(baselineRun());
+    const JsonValue b = reportOf(worse);
+
+    const ReportDiff forward = diffReports(a, b, DiffTolerance{});
+    ASSERT_TRUE(forward.regression());
+    ASSERT_FALSE(forward.regressions.empty());
+    EXPECT_EQ(forward.regressions[0].path, "cpi");
+    EXPECT_GT(forward.regressions[0].delta, 0.0);
+    EXPECT_NE(renderDiff(forward).find("result: REGRESSION"),
+              std::string::npos);
+
+    // An improvement beyond tolerance is still a difference — the gate
+    // flags drift in either direction.
+    const ReportDiff backward = diffReports(b, a, DiffTolerance{});
+    ASSERT_TRUE(backward.regression());
+    EXPECT_LT(backward.regressions[0].delta, 0.0);
+}
+
+TEST(DiffReports, StackComponentRegressionCarriesDottedPath)
+{
+    sim::SimResult worse = baselineRun();
+    worse.cpi_stacks[static_cast<std::size_t>(stacks::Stage::kCommit)]
+                    [stacks::CpiComponent::kDcache] += 0.25;
+    const ReportDiff diff =
+        diffReports(reportOf(baselineRun()), reportOf(worse),
+                    DiffTolerance{});
+    ASSERT_TRUE(diff.regression());
+    ASSERT_EQ(diff.regressions.size(), 1u);
+    EXPECT_EQ(diff.regressions[0].job, "gcc/BDW");
+    EXPECT_EQ(diff.regressions[0].path.find("cpi_stacks."), 0u);
+}
+
+TEST(DiffReports, DeltaWithinToleranceIsOk)
+{
+    sim::SimResult nudged = baselineRun();
+    nudged.cpi += 0.001;
+    // 0.001 on a CPI of ~1 is inside the default 1% relative arm.
+    const ReportDiff diff = diffReports(
+        reportOf(baselineRun()), reportOf(nudged), DiffTolerance{});
+    EXPECT_FALSE(diff.regression());
+    // A tight tolerance turns the same delta into a regression.
+    const ReportDiff tight =
+        diffReports(reportOf(baselineRun()), reportOf(nudged),
+                    DiffTolerance{.abs = 1e-9, .rel = 1e-9});
+    EXPECT_TRUE(tight.regression());
+}
+
+JsonValue
+reportWithMetrics(std::uint64_t runs)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("sim.runs_total");
+    c.inc(runs);
+    ReportBuilder report("test");
+    report.add("gcc/BDW", {}, baselineRun());
+    report.setHostMetrics(reg.snapshot());
+    return parseJson(report.json());
+}
+
+TEST(DiffReports, HostMetricsAreInformationalUnlessWatched)
+{
+    const JsonValue a = reportWithMetrics(5);
+    const JsonValue b = reportWithMetrics(500);
+    const ReportDiff unwatched = diffReports(a, b, DiffTolerance{});
+    EXPECT_FALSE(unwatched.regression());
+    ASSERT_EQ(unwatched.host_metrics.size(), 1u);
+    EXPECT_FALSE(unwatched.host_metrics[0].watched);
+    EXPECT_DOUBLE_EQ(unwatched.host_metrics[0].delta, 495.0);
+
+    const ReportDiff watched = diffReports(
+        a, b, DiffTolerance{}, {{"sim.runs_total", DiffTolerance{}}});
+    EXPECT_TRUE(watched.regression());
+    EXPECT_TRUE(watched.host_metrics[0].watched);
+    EXPECT_TRUE(watched.host_metrics[0].regression);
+    EXPECT_NE(renderDiff(watched).find("watched host metrics:"),
+              std::string::npos);
+
+    // A generous per-watch tolerance lets the same delta pass.
+    const ReportDiff loose = diffReports(
+        a, b, DiffTolerance{},
+        {{"sim.runs_total", DiffTolerance{.abs = 1000.0, .rel = 0.0}}});
+    EXPECT_FALSE(loose.regression());
+}
+
+TEST(DiffReports, WatchingAbsentMetricIsUsageError)
+{
+    const JsonValue doc = reportOf(baselineRun());
+    try {
+        diffReports(doc, doc, DiffTolerance{},
+                    {{"no.such_metric", DiffTolerance{}}});
+        FAIL() << "expected kUsage";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    }
+}
+
+TEST(DiffReports, MismatchedJobLabelsAreUsageError)
+{
+    try {
+        diffReports(reportOf(baselineRun(), "gcc/BDW"),
+                    reportOf(baselineRun(), "mcf/BDW"), DiffTolerance{});
+        FAIL() << "expected kUsage";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    }
+}
+
+TEST(DiffReports, SingleVersusMulticoreJobIsUsageError)
+{
+    const sim::MulticoreResult mc = sim::simulateMulticore(
+        sim::bdwConfig(), shortWorkload("gcc"), 2, {});
+    ReportBuilder multi("test");
+    multi.add("gcc/BDW", {}, mc);
+    try {
+        diffReports(reportOf(baselineRun()), parseJson(multi.json()),
+                    DiffTolerance{});
+        FAIL() << "expected kUsage";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    }
+}
+
+TEST(DiffReports, NonReportDocumentIsUsageError)
+{
+    const JsonValue good = reportOf(baselineRun());
+    for (const char *bad :
+         {"{}", "{\"schema\":\"something-else\",\"version\":2}",
+          "{\"schema\":\"stackscope-report\",\"version\":99}"}) {
+        try {
+            diffReports(parseJson(bad), good, DiffTolerance{});
+            FAIL() << "expected kUsage for " << bad;
+        } catch (const StackscopeError &e) {
+            EXPECT_EQ(e.category(), ErrorCategory::kUsage) << bad;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::obs

@@ -39,10 +39,12 @@ TEST(ReportBuilder, SingleRunSchemaShape)
 
     testutil::JsonChecker checker(json);
     EXPECT_TRUE(checker.valid());
-    // The documented contract of docs/formats.md, v1.
+    // The documented contract of docs/formats.md, v2.
     EXPECT_NE(json.find("\"schema\":\"stackscope-report\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+    // Library-built reports never carry host metrics (determinism).
+    EXPECT_NE(json.find("\"host_metrics\":null"), std::string::npos);
     for (const char *key :
          {"\"command\"", "\"jobs\"", "\"label\"", "\"cores\"",
           "\"options\"", "\"results\"", "\"machine\"", "\"cycles\"",

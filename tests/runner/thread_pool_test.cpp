@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace stackscope::runner {
@@ -86,6 +87,38 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
         // No waitIdle(): the destructor must finish the queue.
     }
     EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, StatsAccountForEveryTaskExactly)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 2000;
+    std::atomic<std::size_t> ran{0};
+    for (std::size_t i = 0; i < kTasks; ++i)
+        pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.waitIdle();
+
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, kTasks);
+    EXPECT_EQ(stats.completed, kTasks);
+    EXPECT_EQ(ran.load(), kTasks);
+    // Every completed task was popped exactly once: either by its owning
+    // worker or stolen. The two must account for the full count.
+    EXPECT_EQ(stats.own_pops + stats.steals, stats.completed);
+}
+
+TEST(ThreadPool, StatsAreCumulativeAcrossRounds)
+{
+    ThreadPool pool(2);
+    for (int round = 1; round <= 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([] {});
+        pool.waitIdle();
+        const ThreadPool::Stats stats = pool.stats();
+        EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(round) * 50);
+        EXPECT_EQ(stats.completed, stats.submitted);
+        EXPECT_EQ(stats.own_pops + stats.steals, stats.completed);
+    }
 }
 
 TEST(ThreadPool, StressManySmallTasks)

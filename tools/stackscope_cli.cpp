@@ -12,6 +12,7 @@
  *   compare-spec [options]   oracle / simple / spec-counter stacks
  *   sweep   [options]        workload x machine x cores grid, CSV output
  *   phases  [options]        interval stack time-series heatmaps
+ *   diff-report A B          compare two run reports as a regression gate
  *
  * Common options:
  *   --workload NAME     workload preset (default mcf)
@@ -37,13 +38,26 @@
  *                       (schema in docs/formats.md)
  *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
  *
+ * diff-report options:
+ *   --tol-abs X         absolute stack-delta tolerance (default 1e-6)
+ *   --tol-rel X         relative stack-delta tolerance (default 0.01)
+ *   --watch M[:ABS[:REL]]  gate on host metric M too (repeatable)
+ *
+ * Environment: STACKSCOPE_LOG=trace|debug|info|warn|error|off (default
+ * warn), STACKSCOPE_LOG_JSON=1 for JSON-lines records, and
+ * STACKSCOPE_PROGRESS=0|1 to override the isatty(stderr) heartbeat
+ * default (docs/observability.md).
+ *
  * Exit codes: 0 success, 1 runtime/internal failure, 2 usage or
- * configuration error, 3 validation or watchdog failure.
+ * configuration error, 3 validation or watchdog failure, 4 diff-report
+ * regression.
  */
 
 #include <charconv>
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,9 +65,14 @@
 #include "analysis/csv.hpp"
 #include "analysis/render.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/report_diff.hpp"
 #include "obs/trace_events.hpp"
 #include "runner/batch_runner.hpp"
+#include "runner/heartbeat.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
@@ -93,13 +112,17 @@ struct CliOptions
     std::optional<Cycle> intervals{};
     std::string trace_out;
     std::string report_out;
+    /** diff-report: the two report paths. */
+    std::vector<std::string> positionals;
+    obs::DiffTolerance diff_tol{};
+    std::vector<obs::WatchSpec> watches;
 
     std::uint64_t warmupInstrs() const { return warmup.value_or(instrs / 2); }
     std::uint64_t totalInstrs() const { return instrs + warmupInstrs(); }
 };
 
 constexpr const char *kCommands =
-    "list|run|bounds|hpc|compare-spec|sweep|phases|help";
+    "list|run|bounds|hpc|compare-spec|sweep|phases|diff-report|help";
 
 /** Split "a,b,c" into its non-empty elements. */
 std::vector<std::string>
@@ -147,7 +170,9 @@ usage(std::FILE *to, const char *argv0)
         "  --intervals N  --trace-out FILE  --report-out FILE\n"
         "  --inject-fault KIND[:SEED] with KIND one of\n"
         "      %s\n"
-        "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n",
+        "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n"
+        "  diff-report A B [--tol-abs X] [--tol-rel X]\n"
+        "      [--watch METRIC[:ABS[:REL]]]   (exit 4 on regression)\n",
         argv0, kCommands, faults.c_str());
     return to == stdout ? 0 : 2;
 }
@@ -175,6 +200,49 @@ parseCount(const std::string &flag, const std::string &text,
     return out;
 }
 
+/** Parse a non-negative real option value strictly. */
+double
+parseReal(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t end = 0;
+        const double out = std::stod(text, &end);
+        if (end == text.size() && out >= 0.0)
+            return out;
+    } catch (const std::exception &) {
+        // fall through to the uniform error below
+    }
+    throw StackscopeError(ErrorCategory::kUsage,
+                          "value for " + flag +
+                              " must be a non-negative number, got '" +
+                              text + "'");
+}
+
+/** Parse --watch METRIC[:ABS[:REL]] with @p defaults for omitted parts. */
+obs::WatchSpec
+parseWatch(const std::string &text, const obs::DiffTolerance &defaults)
+{
+    obs::WatchSpec spec;
+    spec.tol = defaults;
+    const std::size_t c1 = text.find(':');
+    spec.metric = text.substr(0, c1);
+    if (spec.metric.empty()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "--watch needs METRIC[:ABS[:REL]], got '" +
+                                  text + "'");
+    }
+    if (c1 == std::string::npos)
+        return spec;
+    const std::size_t c2 = text.find(':', c1 + 1);
+    spec.tol.abs = parseReal(
+        "--watch", text.substr(c1 + 1, c2 == std::string::npos
+                                           ? std::string::npos
+                                           : c2 - c1 - 1));
+    if (c2 != std::string::npos)
+        spec.tol.rel = parseReal("--watch", text.substr(c2 + 1));
+    return spec;
+}
+
 /**
  * Parse the command line into @p opt; throws StackscopeError (category
  * kUsage) on unknown commands or options, missing values, and malformed
@@ -193,15 +261,25 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         opt.command == "list" || opt.command == "run" ||
         opt.command == "bounds" || opt.command == "hpc" ||
         opt.command == "compare-spec" || opt.command == "sweep" ||
-        opt.command == "phases" || opt.command == "help";
+        opt.command == "phases" || opt.command == "diff-report" ||
+        opt.command == "help";
     if (!known_command) {
         throw StackscopeError(ErrorCategory::kUsage,
                               "unknown command '" + opt.command +
                                   "' (expected " + kCommands + ")");
     }
 
+    std::vector<std::string> watch_raw;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            if (opt.command == "diff-report") {
+                opt.positionals.push_back(std::move(arg));
+                continue;
+            }
+            throw StackscopeError(ErrorCategory::kUsage,
+                                  "unexpected argument '" + arg + "'");
+        }
         std::optional<std::string> inline_value;
         const std::size_t eq = arg.find('=');
         if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
@@ -274,6 +352,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.trace_out = value();
         } else if (arg == "--report-out") {
             opt.report_out = value();
+        } else if (arg == "--tol-abs") {
+            opt.diff_tol.abs = parseReal(arg, value());
+        } else if (arg == "--tol-rel") {
+            opt.diff_tol.rel = parseReal(arg, value());
+        } else if (arg == "--watch") {
+            watch_raw.push_back(value());
         } else if (arg == "--csv") {
             flagOnly();
             opt.csv = true;
@@ -304,17 +388,28 @@ parseArgs(int argc, char **argv, CliOptions &opt)
                               "--trace-out is only supported by the run, "
                               "hpc and phases commands");
     }
+    // Watch specs resolve after the loop so --tol-abs/--tol-rel defaults
+    // apply regardless of option order.
+    for (const std::string &raw : watch_raw)
+        opt.watches.push_back(parseWatch(raw, opt.diff_tol));
+    if (opt.command == "diff-report" && opt.positionals.size() != 2) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "diff-report needs exactly two report paths");
+    }
 }
 
 /**
- * Surface a run's validation outcome: violations are printed to stderr
+ * Surface a run's validation outcome: violations are logged at warn level
  * in warn mode (strict throws inside the sim layer before we get here).
  */
 void
 reportValidation(const validate::ValidationReport &report)
 {
-    if (!report.passed())
-        std::fputs(report.summary().c_str(), stderr);
+    if (!report.passed()) {
+        log::warn("validate", report.summary(),
+                  {{"violations", report.violations.size()},
+                   {"checks_run", report.checks_run}});
+    }
 }
 
 std::unique_ptr<trace::TraceSource>
@@ -346,10 +441,16 @@ simOptions(const CliOptions &opt)
 }
 
 void
-maybeWriteReport(const CliOptions &opt, const obs::ReportBuilder &report)
+maybeWriteReport(const CliOptions &opt, obs::ReportBuilder &report)
 {
-    if (!opt.report_out.empty())
-        obs::writeTextFile(opt.report_out, report.json());
+    if (opt.report_out.empty())
+        return;
+    // CLI reports carry the process-wide telemetry of the run that
+    // produced them (schema v2 "host_metrics").
+    report.setHostMetrics(obs::MetricsRegistry::global().snapshot());
+    obs::writeTextFile(opt.report_out, report.json());
+    log::info("cli", "wrote run report",
+              {{"path", opt.report_out}, {"jobs", report.jobCount()}});
 }
 
 void
@@ -478,8 +579,10 @@ cmdBounds(const CliOptions &opt)
     runner::BatchRunner batch(opt.threads);
     const std::vector<analysis::IdealizationKnob> knobs =
         analysis::standardKnobs();
-    const analysis::IdealizationStudy study =
-        analysis::runIdealizationStudy(machine, *trace, knobs, so, batch);
+    runner::Heartbeat heartbeat("bounds");
+    const analysis::IdealizationStudy study = analysis::runIdealizationStudy(
+        machine, *trace, knobs, so, batch, &heartbeat);
+    heartbeat.finish();
     reportValidation(study.validation);
 
     obs::ReportBuilder report("bounds");
@@ -541,7 +644,10 @@ cmdSweep(const CliOptions &opt)
     }
 
     runner::BatchRunner batch(opt.threads);
-    const runner::BatchResult results = batch.run(std::move(jobs));
+    runner::Heartbeat heartbeat("sweep");
+    const runner::BatchResult results =
+        batch.run(std::move(jobs), &heartbeat);
+    heartbeat.finish();
     reportValidation(results.validation);
 
     obs::ReportBuilder report("sweep");
@@ -654,7 +760,10 @@ cmdCompareSpec(const CliOptions &opt)
         labels.push_back(m.label);
     }
     runner::BatchRunner batch(opt.threads);
-    const runner::BatchResult results = batch.run(std::move(jobs));
+    runner::Heartbeat heartbeat("compare-spec");
+    const runner::BatchResult results =
+        batch.run(std::move(jobs), &heartbeat);
+    heartbeat.finish();
 
     obs::ReportBuilder report("compare-spec");
     std::vector<stacks::CpiStack> dispatch_stacks;
@@ -759,11 +868,45 @@ cmdPhases(const CliOptions &opt)
     return 0;
 }
 
+/** Slurp a report file; kUsage when unreadable. */
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "cannot open report file")
+            .withContext("path", path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "failed reading report file")
+            .withContext("path", path);
+    }
+    return buf.str();
+}
+
+int
+cmdDiffReport(const CliOptions &opt)
+{
+    const obs::JsonValue baseline =
+        obs::parseJson(readTextFile(opt.positionals[0]));
+    const obs::JsonValue candidate =
+        obs::parseJson(readTextFile(opt.positionals[1]));
+    const obs::ReportDiff diff = obs::diffReports(
+        baseline, candidate, opt.diff_tol, opt.watches);
+    std::fputs(obs::renderDiff(diff).c_str(), stdout);
+    return diff.regression() ? 4 : 0;
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
+    log::configureFromEnv();
     CliOptions opt;
     try {
         parseArgs(argc, argv, opt);
@@ -781,6 +924,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
         if (opt.command == "phases")
             return cmdPhases(opt);
+        if (opt.command == "diff-report")
+            return cmdDiffReport(opt);
         return cmdCompareSpec(opt);
     } catch (const StackscopeError &e) {
         std::fprintf(stderr, "%s\n", e.describe().c_str());

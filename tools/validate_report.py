@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Validate a stackscope run report against the docs/formats.md contract.
 
-Checks, for report schema v1:
+Checks, for report schema v1 and v2:
   * the schema/version envelope and required keys at every level;
   * every stage stack uses exactly the documented component names, and
     every FLOPS stack the documented FLOPS component names;
   * the stack law: each result's cycle stacks sum to its cycle count;
   * interval conservation: when intervals are present, windows tile
     [0, cycles) contiguously and the cycle-weighted window stacks sum to
-    the whole-run stack within 1e-9 * cycles.
+    the whole-run stack within 1e-9 * cycles;
+  * v2 only: the "host_metrics" member exists and is null or a
+    well-formed snapshot (counters/gauges/histograms, each histogram
+    with len(counts) == len(bounds) + 1 and total == sum(counts)).
 
 Stdlib only:  python3 tools/validate_report.py report.json
 """
@@ -121,12 +124,42 @@ def check_result(result, where):
             require(key in result["trace"], f"{where}.trace: missing '{key}'")
 
 
+def check_host_metrics(hm):
+    if hm is None:
+        return
+    require(isinstance(hm, dict), "host_metrics: not an object or null")
+    for key in ("counters", "gauges", "histograms"):
+        require(key in hm, f"host_metrics: missing '{key}'")
+    for name, v in hm["counters"].items():
+        require(isinstance(v, int) and v >= 0,
+                f"host_metrics.counters[{name}]: not a non-negative int")
+    for name, v in hm["gauges"].items():
+        require(isinstance(v, (int, float)),
+                f"host_metrics.gauges[{name}]: non-numeric value {v!r}")
+    for name, h in hm["histograms"].items():
+        where = f"host_metrics.histograms[{name}]"
+        for key in ("bounds", "counts", "total", "sum"):
+            require(key in h, f"{where}: missing '{key}'")
+        require(len(h["counts"]) == len(h["bounds"]) + 1,
+                f"{where}: {len(h['counts'])} counts for "
+                f"{len(h['bounds'])} bounds")
+        require(h["bounds"] == sorted(h["bounds"]),
+                f"{where}: bounds not ascending")
+        require(sum(h["counts"]) == h["total"],
+                f"{where}: counts sum to {sum(h['counts'])}, "
+                f"total says {h['total']}")
+
+
 def check_report(doc):
     require(doc.get("schema") == "stackscope-report",
             f"schema is {doc.get('schema')!r}, expected 'stackscope-report'")
-    require(doc.get("version") == 1,
-            f"version is {doc.get('version')!r}, this checker knows v1")
+    version = doc.get("version")
+    require(version in (1, 2),
+            f"version is {version!r}, this checker knows v1 and v2")
     require(isinstance(doc.get("command"), str), "missing 'command'")
+    if version >= 2:
+        require("host_metrics" in doc, "v2 report missing 'host_metrics'")
+        check_host_metrics(doc["host_metrics"])
     jobs = doc.get("jobs")
     require(isinstance(jobs, list) and jobs, "missing or empty 'jobs'")
     results = 0
@@ -157,7 +190,7 @@ def main():
     except Failure as e:
         print(f"FAIL: {e}")
         return 1
-    print(f"OK: {sys.argv[1]} is a valid v1 report "
+    print(f"OK: {sys.argv[1]} is a valid v{doc.get('version')} report "
           f"({jobs} job(s), {results} result(s))")
     return 0
 
