@@ -74,6 +74,37 @@ exitCodeFor(ErrorCategory c)
 }
 
 /**
+ * Batch exit codes beyond the per-category ones: a `--keep-going` batch
+ * that loses some jobs but finishes others is a *partial* success, and
+ * one that loses every job a *total* failure. Documented with the rest
+ * of the contract in docs/exit_codes.md.
+ */
+inline constexpr int kExitPartialSuccess = 5;
+inline constexpr int kExitTotalFailure = 6;
+
+/**
+ * Default retryability of a failure category. Watchdog trips (deadline,
+ * no-retire) and validation violations are worth one more attempt — a
+ * transient host stall or an injected transient fault produces exactly
+ * these — while usage/config errors are deterministic and internal
+ * errors are bugs; re-running either just fails again.
+ */
+constexpr bool
+retryableCategory(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::kValidation:
+      case ErrorCategory::kWatchdog:
+        return true;
+      case ErrorCategory::kUsage:
+      case ErrorCategory::kConfig:
+      case ErrorCategory::kInternal:
+        return false;
+    }
+    return false;
+}
+
+/**
  * The stackscope exception: a category, a human-readable message and
  * optional key/value context attached at the throw site or while the
  * error propagates upward.

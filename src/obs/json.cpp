@@ -163,4 +163,12 @@ JsonWriter::null()
     return *this;
 }
 
+JsonWriter &
+JsonWriter::raw(std::string_view fragment)
+{
+    separate();
+    out_ += fragment;
+    return *this;
+}
+
 }  // namespace stackscope::obs

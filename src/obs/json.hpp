@@ -52,6 +52,13 @@ class JsonWriter
     JsonWriter &value(bool flag);
     JsonWriter &null();
 
+    /**
+     * Splice a pre-serialized JSON fragment verbatim as the next value.
+     * The caller vouches that @p fragment is well-formed JSON; the sweep
+     * journal uses this to replay stored report fragments byte-for-byte.
+     */
+    JsonWriter &raw(std::string_view fragment);
+
     const std::string &str() const { return out_; }
 
   private:

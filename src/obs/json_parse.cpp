@@ -107,15 +107,27 @@ class Parser
         }
     }
 
+    /** Guards the recursion depth; fail() before the stack can overflow. */
+    void
+    enterNested()
+    {
+        if (++depth_ > kMaxJsonDepth) {
+            fail("nesting depth exceeds the limit of " +
+                 std::to_string(kMaxJsonDepth) + " levels");
+        }
+    }
+
     JsonValue
     parseObject()
     {
         expect('{');
+        enterNested();
         JsonValue v;
         v.kind = JsonValue::Kind::kObject;
         skipWhitespace();
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return v;
         }
         for (;;) {
@@ -130,6 +142,7 @@ class Parser
                 continue;
             }
             expect('}');
+            --depth_;
             return v;
         }
     }
@@ -138,11 +151,13 @@ class Parser
     parseArray()
     {
         expect('[');
+        enterNested();
         JsonValue v;
         v.kind = JsonValue::Kind::kArray;
         skipWhitespace();
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return v;
         }
         for (;;) {
@@ -153,6 +168,7 @@ class Parser
                 continue;
             }
             expect(']');
+            --depth_;
             return v;
         }
     }
@@ -271,6 +287,7 @@ class Parser
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 }  // namespace

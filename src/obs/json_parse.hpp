@@ -26,6 +26,16 @@
 
 namespace stackscope::obs {
 
+/**
+ * Maximum container nesting depth parseJson() accepts. The parser is
+ * recursive-descent, so without a bound an adversarial input of a few
+ * hundred kilobytes of '[' would exhaust the call stack and crash the
+ * process; past this depth it throws StackscopeError(kUsage) instead.
+ * Real reports nest ~8 levels, so the bound is two orders of magnitude
+ * of headroom.
+ */
+inline constexpr std::size_t kMaxJsonDepth = 192;
+
 /** One parsed JSON value. */
 class JsonValue
 {

@@ -248,16 +248,85 @@ ReportBuilder::add(std::string label, const sim::SimOptions &options,
     jobs_.push_back(std::move(job));
 }
 
+ReportBuilder::Job
+ReportBuilder::makeEntry(const runner::JobOutcome &outcome,
+                         const sim::SimOptions &options, unsigned cores)
+{
+    Job job;
+    job.label = outcome.label;
+    job.cores = cores;
+    job.options = options;
+    job.status = outcome.status;
+    job.attempts = outcome.attempts;
+    job.error = outcome.error;
+    if (outcome.completed()) {
+        if (outcome.multi) {
+            job.cores =
+                static_cast<unsigned>(outcome.multi->per_core.size());
+            job.multi = *outcome.multi;
+        } else {
+            job.single = outcome.single;
+        }
+    }
+    return job;
+}
+
 void
 ReportBuilder::add(const runner::JobOutcome &outcome,
                    const sim::SimOptions &options, unsigned cores)
 {
-    if (outcome.multi)
-        add(outcome.label, options, *outcome.multi);
-    else {
-        (void)cores;
-        add(outcome.label, options, outcome.single);
+    jobs_.push_back(makeEntry(outcome, options, cores));
+}
+
+void
+ReportBuilder::addRaw(std::string job_json)
+{
+    Job job;
+    job.raw = std::move(job_json);
+    jobs_.push_back(std::move(job));
+}
+
+void
+ReportBuilder::writeJob(JsonWriter &w, const Job &job)
+{
+    const bool completed = job.status == runner::JobStatus::kOk ||
+                           job.status == runner::JobStatus::kRetried;
+    w.beginObject()
+        .key("label").value(job.label)
+        .key("cores").value(job.cores)
+        .key("job_status").beginObject()
+        .key("status").value(runner::toString(job.status))
+        .key("attempts").value(job.attempts)
+        .key("error").value(job.error)
+        .endObject()
+        .key("options");
+    writeOptions(w, job.options);
+    w.key("results").beginArray();
+    if (completed) {
+        if (job.multi) {
+            for (std::size_t i = 0; i < job.multi->per_core.size(); ++i)
+                writeResult(w, static_cast<unsigned>(i),
+                            job.multi->per_core[i]);
+        } else {
+            writeResult(w, 0, job.single);
+        }
     }
+    w.endArray();
+    w.key("aggregate");
+    if (completed && job.multi)
+        writeAggregate(w, *job.multi);
+    else
+        w.null();
+    w.endObject();
+}
+
+std::string
+ReportBuilder::jobJson(const runner::JobOutcome &outcome,
+                       const sim::SimOptions &options, unsigned cores)
+{
+    JsonWriter w;
+    writeJob(w, makeEntry(outcome, options, cores));
+    return w.str();
 }
 
 std::string
@@ -270,26 +339,11 @@ ReportBuilder::json() const
         .key("command").value(command_)
         .key("jobs").beginArray();
     for (const Job &job : jobs_) {
-        w.beginObject()
-            .key("label").value(job.label)
-            .key("cores").value(job.cores)
-            .key("options");
-        writeOptions(w, job.options);
-        w.key("results").beginArray();
-        if (job.multi) {
-            for (std::size_t i = 0; i < job.multi->per_core.size(); ++i)
-                writeResult(w, static_cast<unsigned>(i),
-                            job.multi->per_core[i]);
-        } else {
-            writeResult(w, 0, job.single);
+        if (job.raw) {
+            w.raw(*job.raw);
+            continue;
         }
-        w.endArray();
-        w.key("aggregate");
-        if (job.multi)
-            writeAggregate(w, *job.multi);
-        else
-            w.null();
-        w.endObject();
+        writeJob(w, job);
     }
     w.endArray();
     w.key("host_metrics");

@@ -36,6 +36,8 @@
 
 namespace stackscope::obs {
 
+class JsonWriter;
+
 inline constexpr std::string_view kReportSchemaName = "stackscope-report";
 inline constexpr int kReportSchemaVersion = 2;
 
@@ -61,9 +63,31 @@ class ReportBuilder
     void add(std::string label, const sim::SimOptions &options,
              const sim::MulticoreResult &result);
 
-    /** Add a batch outcome in whichever shape its core count produced. */
+    /**
+     * Add a batch outcome in whichever shape its core count produced.
+     * Carries the outcome's status/attempts/error into the job's
+     * "job_status" section; a failed or skipped outcome becomes a job
+     * entry with an empty results array and a null aggregate, so partial
+     * batches still serialize every job they attempted.
+     */
     void add(const runner::JobOutcome &outcome,
              const sim::SimOptions &options, unsigned cores);
+
+    /**
+     * Splice a pre-serialized job fragment (produced by jobJson())
+     * verbatim. This is how `sweep --resume` replays journaled points:
+     * re-emitting stored bytes, not re-serializing parsed values, keeps
+     * the resumed report byte-identical to a cold run.
+     */
+    void addRaw(std::string job_json);
+
+    /**
+     * The exact per-job JSON fragment json() would emit for this
+     * outcome — the unit the sweep journal stores and addRaw() replays.
+     */
+    static std::string jobJson(const runner::JobOutcome &outcome,
+                               const sim::SimOptions &options,
+                               unsigned cores);
 
     bool empty() const { return jobs_.empty(); }
     std::size_t jobCount() const { return jobs_.size(); }
@@ -85,11 +109,21 @@ class ReportBuilder
         std::string label;
         unsigned cores = 1;
         sim::SimOptions options{};
-        /** Valid when cores == 1. */
+        runner::JobStatus status = runner::JobStatus::kOk;
+        unsigned attempts = 1;
+        /** Final error text; empty for completed jobs. */
+        std::string error;
+        /** Valid when cores == 1 and the job completed. */
         sim::SimResult single{};
-        /** Set when cores > 1. */
+        /** Set when cores > 1 and the job completed. */
         std::optional<sim::MulticoreResult> multi{};
+        /** Pre-serialized fragment (addRaw); overrides everything else. */
+        std::optional<std::string> raw{};
     };
+
+    static Job makeEntry(const runner::JobOutcome &outcome,
+                         const sim::SimOptions &options, unsigned cores);
+    static void writeJob(JsonWriter &w, const Job &job);
 
     std::string command_;
     std::vector<Job> jobs_;

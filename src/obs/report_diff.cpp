@@ -143,6 +143,27 @@ struct Comparer
     }
 };
 
+/**
+ * Final status of one report job. "job_status" is additive (absent in
+ * reports written before partial-result support), so absence means the
+ * job completed: every pre-status report only ever contained results.
+ */
+std::string
+jobStatusOf(const JsonValue &job)
+{
+    const JsonValue *status = job.find("job_status");
+    if (status == nullptr || !status->isObject())
+        return "ok";
+    const JsonValue *s = status->find("status");
+    return s != nullptr && s->isString() ? s->string : "ok";
+}
+
+bool
+statusCompleted(const std::string &status)
+{
+    return status == "ok" || status == "retried";
+}
+
 /** FLOPS cycle stack scaled to fractions of total cycles. */
 JsonValue
 flopsFraction(const JsonValue &result)
@@ -261,8 +282,26 @@ diffReports(const JsonValue &a, const JsonValue &b, const DiffTolerance &tol,
                                   "job missing from candidate report")
                 .withContext("job", label);
         }
-        compareJob(label, *ja, *it->second, cmp);
+        // Partial-report awareness: a job that failed on both sides the
+        // same way has no stacks to compare; a job that completed on one
+        // side only (or failed differently) is a status regression, not
+        // a structural error.
+        const std::string status_a = jobStatusOf(*ja);
+        const std::string status_b = jobStatusOf(*it->second);
+        const bool completed_a = statusCompleted(status_a);
+        const bool completed_b = statusCompleted(status_b);
         ++diff.jobs_compared;
+        if (completed_a != completed_b ||
+            (!completed_a && status_a != status_b)) {
+            diff.status_mismatches.push_back(
+                {label, status_a, status_b});
+            continue;
+        }
+        if (!completed_a) {
+            ++diff.jobs_failed_both;
+            continue;
+        }
+        compareJob(label, *ja, *it->second, cmp);
     }
 
     const auto host_a = flattenHostMetrics(a);
@@ -300,6 +339,13 @@ std::string
 renderDiff(const ReportDiff &diff)
 {
     std::string out;
+    if (!diff.status_mismatches.empty()) {
+        out += "job status mismatches (" +
+               std::to_string(diff.status_mismatches.size()) + "):\n";
+        for (const StatusMismatch &m : diff.status_mismatches) {
+            out += "  " + m.job + ": a=" + m.a + " b=" + m.b + "\n";
+        }
+    }
     if (!diff.regressions.empty()) {
         out += "stack regressions (" +
                std::to_string(diff.regressions.size()) + "):\n";
@@ -329,6 +375,11 @@ renderDiff(const ReportDiff &diff)
            " stack values across " + std::to_string(diff.jobs_compared) +
            " jobs; " + std::to_string(informational) +
            " host metrics informational\n";
+    if (diff.jobs_failed_both > 0) {
+        out += std::to_string(diff.jobs_failed_both) +
+               " job(s) failed identically in both reports (stacks not "
+               "compared)\n";
+    }
     out += diff.regression() ? "result: REGRESSION\n" : "result: OK\n";
     return out;
 }

@@ -77,6 +77,14 @@ struct MetricDelta
     bool regression = false;
 };
 
+/** A job whose final status ("job_status") differs between reports. */
+struct StatusMismatch
+{
+    std::string job;
+    std::string a;
+    std::string b;
+};
+
 /** Full outcome of one report comparison. */
 struct ReportDiff
 {
@@ -84,14 +92,23 @@ struct ReportDiff
     std::vector<DiffEntry> regressions;
     /** Host metrics present in both reports (watched ones flagged). */
     std::vector<MetricDelta> host_metrics;
+    /**
+     * Jobs completed on one side but failed (or failed differently) on
+     * the other — always a regression: a candidate that times out or
+     * quarantines a job the baseline completed has lost coverage even if
+     * every surviving stack matches.
+     */
+    std::vector<StatusMismatch> status_mismatches;
     /** Stack values compared (regressed or not). */
     std::size_t values_compared = 0;
     std::size_t jobs_compared = 0;
+    /** Jobs failed on both sides (identically); stacks not compared. */
+    std::size_t jobs_failed_both = 0;
 
     bool
     regression() const
     {
-        if (!regressions.empty())
+        if (!regressions.empty() || !status_mismatches.empty())
             return true;
         for (const MetricDelta &m : host_metrics) {
             if (m.regression)

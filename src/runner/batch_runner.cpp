@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -30,7 +31,91 @@ jobWork(const JobOutcome &outcome, std::uint64_t &cycles,
     }
 }
 
+/** The resilience counters; registered up front so a clean batch still
+ *  publishes them (at 0) into host_metrics snapshots. */
+struct BatchCounters
+{
+    obs::Counter ok;
+    obs::Counter retries;
+    obs::Counter timeout;
+    obs::Counter quarantined;
+    obs::Counter skipped;
+
+    explicit BatchCounters(obs::MetricsRegistry &reg)
+        : ok(reg.counter("runner.jobs_ok_total")),
+          retries(reg.counter("runner.job_retries_total")),
+          timeout(reg.counter("runner.jobs_timeout_total")),
+          quarantined(reg.counter("runner.jobs_quarantined_total")),
+          skipped(reg.counter("runner.jobs_skipped_total"))
+    {
+    }
+};
+
 }  // namespace
+
+const char *
+toString(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::kOk:
+        return "ok";
+      case JobStatus::kRetried:
+        return "retried";
+      case JobStatus::kTimeout:
+        return "timeout";
+      case JobStatus::kQuarantined:
+        return "quarantined";
+      case JobStatus::kSkipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+std::chrono::milliseconds
+RetryPolicy::delayFor(unsigned retry) const
+{
+    if (retry == 0 || backoff.count() <= 0)
+        return std::chrono::milliseconds{0};
+    std::chrono::milliseconds delay = backoff;
+    for (unsigned i = 1; i < retry && delay < backoff_cap; ++i)
+        delay *= 2;
+    return delay < backoff_cap ? delay : backoff_cap;
+}
+
+StatusTally
+BatchResult::tally() const
+{
+    StatusTally t;
+    for (const JobOutcome &o : outcomes) {
+        switch (o.status) {
+          case JobStatus::kOk:
+            ++t.ok;
+            break;
+          case JobStatus::kRetried:
+            ++t.retried;
+            break;
+          case JobStatus::kTimeout:
+            ++t.timeout;
+            break;
+          case JobStatus::kQuarantined:
+            ++t.quarantined;
+            break;
+          case JobStatus::kSkipped:
+            ++t.skipped;
+            break;
+        }
+    }
+    return t;
+}
+
+int
+BatchResult::exitCode() const
+{
+    const StatusTally t = tally();
+    if (t.completed() == outcomes.size())
+        return 0;
+    return t.completed() == 0 ? kExitTotalFailure : kExitPartialSuccess;
+}
 
 SimJob
 makeJob(std::string label, sim::MachineConfig machine,
@@ -47,19 +132,23 @@ makeJob(std::string label, sim::MachineConfig machine,
 }
 
 BatchResult
-BatchRunner::run(std::vector<SimJob> jobs, ProgressObserver *progress)
+BatchRunner::run(std::vector<SimJob> jobs, ProgressObserver *progress,
+                 const BatchOptions &options)
 {
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     reg.counter("runner.batches_total").inc();
     reg.counter("runner.batch_jobs_total").inc(jobs.size());
+    BatchCounters counters(reg);
     log::debug("runner", "batch started",
-               {{"jobs", jobs.size()}, {"threads", pool_.threads()}});
+               {{"jobs", jobs.size()},
+                {"threads", pool_.threads()},
+                {"keep_going", options.keep_going},
+                {"max_retries", options.retry.max_retries}});
 
     struct Slot
     {
         JobOutcome outcome;
         std::exception_ptr error;
-        bool ran = false;
     };
     std::vector<Slot> slots(jobs.size());
     std::atomic<bool> cancel{false};
@@ -67,55 +156,121 @@ BatchRunner::run(std::vector<SimJob> jobs, ProgressObserver *progress)
     const std::size_t total = jobs.size();
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        pool_.submit([&jobs, &slots, &cancel, &done, total, progress, i] {
-            if (cancel.load(std::memory_order_acquire))
-                return;
+        pool_.submit([&jobs, &slots, &cancel, &done, &options, &counters,
+                      total, progress, i] {
             const SimJob &job = jobs[i];
             Slot &slot = slots[i];
             slot.outcome.label = job.label;
-            try {
-                if (job.cores > 1) {
-                    slot.outcome.multi = sim::simulateMulticore(
-                        job.machine, *job.trace, job.cores, job.options);
-                } else {
-                    slot.outcome.single =
-                        sim::simulate(job.machine, *job.trace, job.options);
+            if (cancel.load(std::memory_order_acquire))
+                return;
+
+            const unsigned max_attempts = options.retry.max_retries + 1;
+            StackscopeError last(ErrorCategory::kInternal, "never ran");
+            bool succeeded = false;
+            for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+                try {
+                    sim::SimOptions opt = job.options;
+                    opt.attempt = attempt;
+                    if (job.cores > 1) {
+                        slot.outcome.multi = sim::simulateMulticore(
+                            job.machine, *job.trace, job.cores, opt);
+                    } else {
+                        slot.outcome.single =
+                            sim::simulate(job.machine, *job.trace, opt);
+                    }
+                    slot.outcome.attempts = attempt + 1;
+                    slot.outcome.status = attempt == 0
+                                              ? JobStatus::kOk
+                                              : JobStatus::kRetried;
+                    succeeded = true;
+                    break;
+                } catch (const StackscopeError &e) {
+                    last = e;
+                } catch (const std::exception &e) {
+                    last = StackscopeError(ErrorCategory::kInternal,
+                                           e.what());
                 }
-                slot.ran = true;
-            } catch (...) {
-                slot.error = std::current_exception();
-                cancel.store(true, std::memory_order_release);
-                log::error("runner", "job failed, cancelling batch",
-                           {{"job", job.label}, {"job_index", i}});
+                slot.outcome.attempts = attempt + 1;
+                if (!retryableCategory(last.category()) ||
+                    attempt + 1 == max_attempts ||
+                    cancel.load(std::memory_order_acquire))
+                    break;
+                counters.retries.inc();
+                log::warn("runner", "job failed, retrying",
+                          {{"job", job.label},
+                           {"attempt", attempt + 1},
+                           {"error", last.describe()}});
+                const auto delay = options.retry.delayFor(attempt + 1);
+                if (delay.count() > 0)
+                    std::this_thread::sleep_for(delay);
             }
+
+            if (succeeded) {
+                counters.ok.inc();
+            } else {
+                slot.outcome.status =
+                    last.category() == ErrorCategory::kWatchdog
+                        ? JobStatus::kTimeout
+                        : JobStatus::kQuarantined;
+                slot.outcome.error = last.describe();
+                slot.outcome.error_category = last.category();
+                slot.error = std::make_exception_ptr(last);
+                (slot.outcome.status == JobStatus::kTimeout
+                     ? counters.timeout
+                     : counters.quarantined)
+                    .inc();
+                if (options.keep_going) {
+                    log::warn("runner", "job failed, continuing batch",
+                              {{"job", job.label},
+                               {"job_index", i},
+                               {"status", toString(slot.outcome.status)},
+                               {"attempts", slot.outcome.attempts}});
+                } else {
+                    cancel.store(true, std::memory_order_release);
+                    log::error("runner", "job failed, cancelling batch",
+                               {{"job", job.label}, {"job_index", i}});
+                }
+            }
+
+            if (options.on_outcome)
+                options.on_outcome(i, slot.outcome);
             if (progress != nullptr) {
                 std::uint64_t cycles = 0;
                 std::uint64_t instrs = 0;
-                if (slot.ran)
+                if (slot.outcome.completed())
                     jobWork(slot.outcome, cycles, instrs);
                 progress->onJobDone(
                     done.fetch_add(1, std::memory_order_acq_rel) + 1,
-                    total, cycles, instrs);
+                    total, cycles, instrs, slot.outcome.status);
             }
         });
     }
     pool_.waitIdle();
+    for (const Slot &slot : slots) {
+        if (slot.outcome.status == JobStatus::kSkipped)
+            counters.skipped.inc();
+    }
     log::debug("runner", "batch finished", {{"jobs", jobs.size()}});
 
-    // Rethrow the lowest-indexed failure with the job identity attached.
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        if (!slots[i].error)
-            continue;
-        try {
-            std::rethrow_exception(slots[i].error);
-        } catch (const StackscopeError &e) {
-            StackscopeError out = e;
-            throw out.withContext("job", jobs[i].label)
-                .withContext("job_index", std::to_string(i));
-        } catch (const std::exception &e) {
-            throw StackscopeError(ErrorCategory::kInternal, e.what())
-                .withContext("job", jobs[i].label)
-                .withContext("job_index", std::to_string(i));
+    // Fail-fast: rethrow the lowest-indexed failure with the job identity
+    // attached. Under keep_going failures stay in their outcome slots.
+    if (!options.keep_going) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (!slots[i].error)
+                continue;
+            try {
+                std::rethrow_exception(slots[i].error);
+            } catch (const StackscopeError &e) {
+                StackscopeError out = e;
+                throw out.withContext("job", jobs[i].label)
+                    .withContext("job_index", std::to_string(i))
+                    .withContext("attempts",
+                                 std::to_string(slots[i].outcome.attempts));
+            } catch (const std::exception &e) {
+                throw StackscopeError(ErrorCategory::kInternal, e.what())
+                    .withContext("job", jobs[i].label)
+                    .withContext("job_index", std::to_string(i));
+            }
         }
     }
 
@@ -124,7 +279,7 @@ BatchRunner::run(std::vector<SimJob> jobs, ProgressObserver *progress)
     if (!jobs.empty())
         out.validation.policy = jobs.front().options.validation;
     for (Slot &slot : slots) {
-        if (slot.ran) {
+        if (slot.outcome.completed()) {
             const validate::ValidationReport &rep =
                 slot.outcome.validation();
             for (const validate::Violation &v : rep.violations) {

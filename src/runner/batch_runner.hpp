@@ -16,11 +16,15 @@
 #ifndef STACKSCOPE_RUNNER_BATCH_RUNNER_HPP
 #define STACKSCOPE_RUNNER_BATCH_RUNNER_HPP
 
+#include <chrono>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/multicore.hpp"
 #include "sim/simulation.hpp"
@@ -45,6 +49,31 @@ SimJob makeJob(std::string label, sim::MachineConfig machine,
                const trace::TraceSource &trace,
                sim::SimOptions options = {}, unsigned cores = 1);
 
+/** Final disposition of one batch job. */
+enum class JobStatus
+{
+    kOk,           ///< completed on the first attempt
+    kRetried,      ///< completed after one or more retries
+    kTimeout,      ///< exhausted retries on a watchdog/deadline error
+    kQuarantined,  ///< exhausted retries on any other error
+    kSkipped,      ///< never ran (batch cancelled before its turn)
+};
+
+const char *toString(JobStatus s);
+
+/** Bounded-attempt retry with exponential backoff. */
+struct RetryPolicy
+{
+    /** Extra attempts after the first; 0 = fail on the first error. */
+    unsigned max_retries = 0;
+    /** Delay before the first retry; doubles per retry up to the cap. */
+    std::chrono::milliseconds backoff{50};
+    std::chrono::milliseconds backoff_cap{2000};
+
+    /** Delay before retry number @p retry (1-based). */
+    std::chrono::milliseconds delayFor(unsigned retry) const;
+};
+
 /** Result of one job, in the shape its core count produced. */
 struct JobOutcome
 {
@@ -54,11 +83,39 @@ struct JobOutcome
     /** Set when the job ran with cores > 1. */
     std::optional<sim::MulticoreResult> multi{};
 
+    JobStatus status = JobStatus::kSkipped;
+    /** Simulation attempts actually made (0 when skipped). */
+    unsigned attempts = 0;
+    /** describe() of the final error; empty when the job completed. */
+    std::string error;
+    /** Category of the final error; meaningful only when !completed(). */
+    ErrorCategory error_category = ErrorCategory::kInternal;
+
+    /** True when the job produced a usable result. */
+    bool
+    completed() const
+    {
+        return status == JobStatus::kOk || status == JobStatus::kRetried;
+    }
+
     const validate::ValidationReport &
     validation() const
     {
         return multi ? multi->validation : single.validation;
     }
+};
+
+/** Per-status job counts of a finished batch. */
+struct StatusTally
+{
+    std::size_t ok = 0;
+    std::size_t retried = 0;
+    std::size_t timeout = 0;
+    std::size_t quarantined = 0;
+    std::size_t skipped = 0;
+
+    std::size_t completed() const { return ok + retried; }
+    std::size_t failed() const { return timeout + quarantined; }
 };
 
 /** All outcomes of one batch, in submission order. */
@@ -67,9 +124,20 @@ struct BatchResult
     std::vector<JobOutcome> outcomes;
     /**
      * Per-job reports merged into one, each violation detail prefixed
-     * with the job label; per-job reports stay in the outcomes.
+     * with the job label; per-job reports stay in the outcomes. Only
+     * *completed* jobs contribute: conservation checks on a job that
+     * timed out or was quarantined are meaningless.
      */
     validate::ValidationReport validation{};
+
+    StatusTally tally() const;
+
+    /**
+     * Batch exit code: 0 when every job completed, kExitTotalFailure
+     * when none did, kExitPartialSuccess otherwise (failed or skipped
+     * jobs alongside completed ones).
+     */
+    int exitCode() const;
 };
 
 /**
@@ -88,9 +156,32 @@ class ProgressObserver
      * @param jobs_total  jobs in the batch.
      * @param cycles      simulated cycles this job contributed.
      * @param instrs      instructions this job committed.
+     * @param status      the job's final disposition.
      */
     virtual void onJobDone(std::size_t jobs_done, std::size_t jobs_total,
-                           std::uint64_t cycles, std::uint64_t instrs) = 0;
+                           std::uint64_t cycles, std::uint64_t instrs,
+                           JobStatus status) = 0;
+};
+
+/** Failure-handling policy for one batch. */
+struct BatchOptions
+{
+    /**
+     * false (default): the first job that exhausts its retries cancels
+     * the batch and run() rethrows its error — the historical
+     * all-or-nothing behaviour. true: failed jobs are quarantined in
+     * their outcome slots and the rest of the batch continues.
+     */
+    bool keep_going = false;
+    RetryPolicy retry{};
+    /**
+     * Called from worker threads once per job that reaches a final
+     * status by running (never for skipped jobs), after the outcome
+     * slot is fully written. Must be thread-safe and must not throw.
+     * The sweep journal hooks in here to persist completed points.
+     */
+    std::function<void(std::size_t job_index, const JobOutcome &outcome)>
+        on_outcome{};
 };
 
 /**
@@ -100,12 +191,16 @@ class ProgressObserver
  * is bit-identical to calling simulate()/simulateMulticore() serially
  * with the same arguments.
  *
- * Failure: when any job throws (e.g. a strict-policy validation failure),
- * the batch is cancelled — queued jobs are skipped, in-flight jobs finish
- * — and the error of the lowest-indexed failed job is rethrown with
- * "job"/"job_index" context attached. Which jobs were already skipped
- * when the failure hit is scheduling-dependent; the no-failure results
- * are not.
+ * Failure: each failing job is retried per BatchOptions::retry while its
+ * error is retryable (watchdog/validation categories), then reaches a
+ * final failed status (kTimeout for watchdog errors, kQuarantined
+ * otherwise). Under the default fail-fast policy the first such job
+ * cancels the batch — queued jobs are skipped, in-flight jobs finish —
+ * and run() rethrows the error of the lowest-indexed failed job with
+ * "job"/"job_index" context. Under keep_going the batch runs to the end
+ * and failures stay isolated in their outcome slots; the caller decides
+ * via BatchResult::exitCode(). Which jobs get skipped by a fail-fast
+ * cancel is scheduling-dependent; every other result is deterministic.
  */
 class BatchRunner
 {
@@ -117,7 +212,8 @@ class BatchRunner
 
     /** Run every job; blocks until the batch completes or fails. */
     BatchResult run(std::vector<SimJob> jobs,
-                    ProgressObserver *progress = nullptr);
+                    ProgressObserver *progress = nullptr,
+                    const BatchOptions &options = {});
 
     /** Scheduling statistics of the underlying pool. */
     ThreadPool::Stats poolStats() const { return pool_.stats(); }

@@ -45,6 +45,41 @@ formatDuration(double seconds)
 
 }  // namespace
 
+std::string
+formatHeartbeatLine(const std::string &tag, std::size_t jobs_done,
+                    std::size_t jobs_total, std::size_t failed,
+                    std::size_t retried, std::uint64_t cycles_done,
+                    double elapsed_seconds, bool final_line)
+{
+    std::string line = "[" + tag + "] " + std::to_string(jobs_done) + "/" +
+                       std::to_string(jobs_total) + " jobs";
+    if (cycles_done > 0 && elapsed_seconds > 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "  %.3g cycles/s",
+                      static_cast<double>(cycles_done) / elapsed_seconds);
+        line += buf;
+    } else {
+        line += "  -- cycles/s";
+    }
+    if (failed > 0)
+        line += "  " + std::to_string(failed) + " failed";
+    if (retried > 0)
+        line += "  " + std::to_string(retried) + " retried";
+    if (final_line) {
+        line += "  done in " + formatDuration(elapsed_seconds);
+    } else if (jobs_done > 0 && elapsed_seconds > 0.0) {
+        constexpr double kEtaCap = 24.0 * 3600.0;
+        const double eta = elapsed_seconds *
+                           static_cast<double>(jobs_total - jobs_done) /
+                           static_cast<double>(jobs_done);
+        if (eta > kEtaCap)
+            line += "  ETA >" + formatDuration(kEtaCap);
+        else
+            line += "  ETA " + formatDuration(eta);
+    }
+    return line;
+}
+
 bool
 Heartbeat::enabledFromEnv()
 {
@@ -69,13 +104,18 @@ Heartbeat::~Heartbeat()
 
 void
 Heartbeat::onJobDone(std::size_t jobs_done, std::size_t jobs_total,
-                     std::uint64_t cycles, std::uint64_t instrs)
+                     std::uint64_t cycles, std::uint64_t instrs,
+                     JobStatus status)
 {
     if (!enabled_)
         return;
     std::lock_guard<std::mutex> lock(mutex_);
     cycles_done_ += cycles;
     instrs_done_ += instrs;
+    if (status == JobStatus::kTimeout || status == JobStatus::kQuarantined)
+        ++failed_;
+    else if (status == JobStatus::kRetried)
+        ++retried_;
     if (finished_)
         return;
     // Overwriting a TTY line is cheap; spamming a log file is not.
@@ -116,22 +156,9 @@ Heartbeat::printLine(std::size_t jobs_done, std::size_t jobs_total,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    const double rate =
-        elapsed > 0.0 ? static_cast<double>(cycles_done_) / elapsed : 0.0;
-
-    std::string line = "[" + tag_ + "] " + std::to_string(jobs_done) + "/" +
-                       std::to_string(jobs_total) + " jobs";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "  %.3g cycles/s", rate);
-    line += buf;
-    if (final_line) {
-        line += "  done in " + formatDuration(elapsed);
-    } else if (jobs_done > 0) {
-        const double eta = elapsed *
-                           static_cast<double>(jobs_total - jobs_done) /
-                           static_cast<double>(jobs_done);
-        line += "  ETA " + formatDuration(eta);
-    }
+    const std::string line =
+        formatHeartbeatLine(tag_, jobs_done, jobs_total, failed_, retried_,
+                            cycles_done_, elapsed, final_line);
 
     if (tty_) {
         std::fprintf(stderr, "\r\033[2K%s", line.c_str());

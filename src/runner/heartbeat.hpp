@@ -24,6 +24,22 @@
 namespace stackscope::runner {
 
 /**
+ * Renders one heartbeat line. Pure and testable: "[tag] done/total jobs
+ * rate  [counts]  ETA/done-in". The rate reads "--" until at least one
+ * simulated cycle has been observed (a "0 cycles/s" first interval is a
+ * lie, not a measurement), failed/retried counts appear only when
+ * nonzero, and the ETA — extrapolated from finished jobs — is shown only
+ * once defined and clamped to 24h so a collapsed rate cannot print a
+ * nonsense horizon.
+ */
+std::string formatHeartbeatLine(const std::string &tag,
+                                std::size_t jobs_done,
+                                std::size_t jobs_total, std::size_t failed,
+                                std::size_t retried,
+                                std::uint64_t cycles_done,
+                                double elapsed_seconds, bool final_line);
+
+/**
  * ProgressObserver that prints heartbeat lines to stderr. Safe to pass to
  * BatchRunner::run() unconditionally: when disabled (not a TTY and not
  * forced on) every callback is a no-op.
@@ -44,7 +60,8 @@ class Heartbeat : public ProgressObserver
     bool enabled() const { return enabled_; }
 
     void onJobDone(std::size_t jobs_done, std::size_t jobs_total,
-                   std::uint64_t cycles, std::uint64_t instrs) override;
+                   std::uint64_t cycles, std::uint64_t instrs,
+                   JobStatus status) override;
 
     /** Print the final line and a newline; further callbacks are no-ops. */
     void finish();
@@ -65,6 +82,8 @@ class Heartbeat : public ProgressObserver
     std::chrono::steady_clock::time_point last_print_;
     std::uint64_t cycles_done_ = 0;
     std::uint64_t instrs_done_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t retried_ = 0;
     bool line_open_ = false;
     bool finished_ = false;
 };

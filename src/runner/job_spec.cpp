@@ -1,0 +1,90 @@
+#include "runner/job_spec.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "validate/invariants.hpp"
+
+namespace stackscope::runner {
+
+namespace {
+
+const char *
+specModeName(stacks::SpeculationMode mode)
+{
+    switch (mode) {
+      case stacks::SpeculationMode::kOracle: return "oracle";
+      case stacks::SpeculationMode::kSimple: return "simple";
+      case stacks::SpeculationMode::kSpecCounters: return "spec-counters";
+    }
+    return "oracle";
+}
+
+}  // namespace
+
+std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+canonicalJson(const JobSpec &spec)
+{
+    const sim::SimOptions &o = spec.options;
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("workload").value(spec.workload)
+        .key("machine").value(spec.machine)
+        .key("cores").value(spec.cores)
+        .key("instrs").value(spec.instrs)
+        .key("options").beginObject()
+        .key("spec_mode").value(specModeName(o.spec_mode))
+        .key("accounting").value(o.accounting)
+        .key("max_cycles").value(static_cast<std::uint64_t>(o.max_cycles))
+        .key("warmup_instrs");
+    if (o.warmup_instrs)
+        w.value(*o.warmup_instrs);
+    else
+        w.null();
+    w.key("validation").value(validate::toString(o.validation))
+        .key("validation_interval")
+        .value(static_cast<std::uint64_t>(o.validation_interval))
+        .key("watchdog_cycles")
+        .value(static_cast<std::uint64_t>(o.watchdog_cycles))
+        .key("deadline_cycles")
+        .value(static_cast<std::uint64_t>(o.deadline_cycles))
+        .key("job_timeout_seconds").value(o.job_timeout_seconds)
+        .key("fault");
+    if (o.fault) {
+        w.value(std::string(validate::toString(o.fault->kind)) + ":" +
+                std::to_string(o.fault->seed));
+    } else {
+        w.null();
+    }
+    w.key("interval_cycles")
+        .value(static_cast<std::uint64_t>(o.obs.interval_cycles))
+        .key("trace_events").value(o.obs.trace_events)
+        .key("trace_capacity")
+        .value(static_cast<std::uint64_t>(o.obs.trace_capacity))
+        .endObject()
+        .endObject();
+    return w.str();
+}
+
+std::string
+specHash(const JobSpec &spec)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(canonicalJson(spec))));
+    return buf;
+}
+
+}  // namespace stackscope::runner

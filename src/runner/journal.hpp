@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Crash-safe on-disk sweep journal.
+ *
+ * A killed sweep must not throw away hours of completed simulation. The
+ * journal is an append-only line-oriented file: a header binding it to
+ * one sweep (the FNV-1a hash over every point's spec hash), then one
+ * CRC32-checksummed record per *completed* job — its spec hash, final
+ * status, and the exact report fragment and CSV rows the cold run would
+ * have produced, stored verbatim so a resumed sweep replays them
+ * byte-for-byte. Every append is written with a single write() and
+ * fsync'd before returning, so a record is either durably complete or
+ * absent; load() verifies each line's checksum and stops at the first
+ * corrupt/truncated one (the crash tail), re-simulating only what is
+ * missing. Failed jobs are deliberately not journaled: their faults are
+ * deterministic and must re-fail (or succeed under new limits) on
+ * resume.
+ *
+ * The journal deliberately treats the report fragment and CSV text as
+ * opaque payloads: the runner layer sits below the report builder in the
+ * library stack, and the replay contract is byte-identity, not
+ * interpretation.
+ */
+
+#ifndef STACKSCOPE_RUNNER_JOURNAL_HPP
+#define STACKSCOPE_RUNNER_JOURNAL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stackscope::runner {
+
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320). */
+std::uint32_t crc32(std::string_view data);
+
+/** One journaled (completed) job. */
+struct JournalRecord
+{
+    /** Canonical spec hash of the point (see job_spec.hpp). */
+    std::string spec_hash;
+    std::string label;
+    /** Final status: "ok" or "retried". */
+    std::string status;
+    unsigned attempts = 1;
+    /** Report job fragment, verbatim. */
+    std::string job_json;
+    /** CSV rows (newline-separated, no trailing newline), verbatim. */
+    std::string csv;
+};
+
+/**
+ * Append-side and resume-side handle on one journal file. Thread-safe:
+ * append() may be called concurrently from batch worker threads.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+    SweepJournal(SweepJournal &&) noexcept;
+    ~SweepJournal();
+
+    /**
+     * Start a fresh journal at @p path (truncating any existing file)
+     * for the sweep identified by @p sweep_hash. Throws
+     * StackscopeError(kUsage) when the file cannot be created.
+     */
+    static SweepJournal create(const std::string &path,
+                               const std::string &sweep_hash);
+
+    /**
+     * Open @p path for resumption: verify the header matches
+     * @p sweep_hash (kUsage error otherwise — resuming a journal from a
+     * different sweep would silently mix results), load every intact
+     * record, drop a corrupt/truncated tail with a warning, and keep the
+     * file open for further appends.
+     */
+    static SweepJournal resume(const std::string &path,
+                               const std::string &sweep_hash);
+
+    /** Durably append one record (single write + fsync). Thread-safe. */
+    void append(const JournalRecord &record);
+
+    /** Records loaded by resume(), in file order. */
+    const std::vector<JournalRecord> &records() const { return records_; }
+
+    /** Loaded record with @p spec_hash, or nullptr. */
+    const JournalRecord *find(std::string_view spec_hash) const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    SweepJournal(std::string path, int fd)
+        : path_(std::move(path)), fd_(fd)
+    {
+    }
+
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mutex_;
+    std::vector<JournalRecord> records_;
+};
+
+}  // namespace stackscope::runner
+
+#endif  // STACKSCOPE_RUNNER_JOURNAL_HPP

@@ -112,8 +112,10 @@ simulateMulticore(const MachineConfig &machine,
         options.validation != ValidationPolicy::kOff && options.accounting;
     const std::uint64_t warmup = options.warmup_instrs.value_or(0);
     std::vector<validate::Watchdog> watchdogs(
-        num_cores, validate::Watchdog(
-                       {options.max_cycles, options.watchdog_cycles}));
+        num_cores,
+        validate::Watchdog({options.max_cycles, options.watchdog_cycles,
+                            options.deadline_cycles,
+                            options.job_timeout_seconds}));
     std::vector<validate::IntervalValidator> intervals(
         num_cores,
         validate::IntervalValidator(options.validation_interval));
@@ -193,7 +195,16 @@ simulateMulticore(const MachineConfig &machine,
             validate::targetOf(options.fault->kind) == FaultTarget::kResult) {
             validate::FaultSpec per_core = *options.fault;
             per_core.seed += i;
-            validate::applyToResult(per_core, r);
+            validate::applyToResult(per_core, r, options.attempt);
+        }
+
+        if (watchdogs[i].deadlineExceeded()) {
+            metrics.watchdog_fires.inc();
+            throw StackscopeError(ErrorCategory::kWatchdog,
+                                  watchdogs[i].snapshot().describe())
+                .withContext("machine", machine.name)
+                .withContext("core", std::to_string(i))
+                .withContext("cycles", std::to_string(r.cycles));
         }
 
         validate::ValidationReport &rep = reports[i];

@@ -94,8 +94,10 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     if (options.obs.trace_events)
         tracer.emplace(options.obs.trace_capacity);
 
-    validate::Watchdog watchdog(
-        {options.max_cycles, options.watchdog_cycles});
+    validate::Watchdog watchdog({options.max_cycles,
+                                 options.watchdog_cycles,
+                                 options.deadline_cycles,
+                                 options.job_timeout_seconds});
     const bool checking =
         options.validation != ValidationPolicy::kOff && options.accounting;
     validate::IntervalValidator interval(options.validation_interval);
@@ -177,7 +179,17 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
 
     if (options.fault &&
         validate::targetOf(options.fault->kind) == FaultTarget::kResult)
-        validate::applyToResult(*options.fault, r);
+        validate::applyToResult(*options.fault, r, options.attempt);
+
+    // A hard deadline (cycle budget / wall clock) is always an error —
+    // the job ran away — independent of the validation policy.
+    if (watchdog.deadlineExceeded()) {
+        metrics.watchdog_fires.inc();
+        throw StackscopeError(ErrorCategory::kWatchdog,
+                              watchdog.snapshot().describe())
+            .withContext("machine", machine.name)
+            .withContext("cycles", std::to_string(core.cycles()));
+    }
 
     // A no-retire watchdog trip is a detected deadlock and recorded even
     // with validation off; a max-cycles stop after warmup stays a silent

@@ -51,6 +51,25 @@ struct SimOptions
      * cycles. 0 disables deadlock detection.
      */
     Cycle watchdog_cycles = 0;
+    /**
+     * Hard per-job cycle budget: unlike max_cycles, crossing it raises a
+     * kWatchdog error (regardless of the validation policy) instead of
+     * silently truncating. 0 disables it.
+     */
+    Cycle deadline_cycles = 0;
+    /**
+     * Hard per-job wall-clock deadline in seconds; 0 disables it. Same
+     * error semantics as deadline_cycles.
+     */
+    double job_timeout_seconds = 0.0;
+    /**
+     * Zero-based retry attempt of the enclosing batch job. Runtime state
+     * set by the BatchRunner retry loop, not a configuration knob: it is
+     * excluded from report serialization and job-spec hashing so retried
+     * and first-try runs stay byte-identical when they produce the same
+     * result. Transient fault kinds consult it.
+     */
+    unsigned attempt = 0;
     /** Deterministic fault to inject, for validating the validators. */
     std::optional<validate::FaultSpec> fault{};
     /**

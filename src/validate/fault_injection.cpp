@@ -34,6 +34,8 @@ toString(FaultKind k)
         return "config-widths";
       case FaultKind::kTraceHang:
         return "trace-hang";
+      case FaultKind::kTransientLeak:
+        return "transient-leak";
       case FaultKind::kCount:
         break;
     }
@@ -73,6 +75,8 @@ violatedBy(FaultKind k)
         return Invariant::kBaseEquality;
       case FaultKind::kTraceHang:
         return Invariant::kProgress;
+      case FaultKind::kTransientLeak:
+        return Invariant::kStackSum;
       case FaultKind::kCount:
         break;
     }
@@ -227,12 +231,16 @@ frontendMass(const CpiStack &s)
 }  // namespace
 
 void
-applyToResult(const FaultSpec &fault, sim::SimResult &r)
+applyToResult(const FaultSpec &fault, sim::SimResult &r, unsigned attempt)
 {
     Rng rng(fault.seed ^ 0x0fa017fa017fa017ULL);
     const double cycles = static_cast<double>(r.cycles);
 
     switch (fault.kind) {
+      case FaultKind::kTransientLeak:
+        if (attempt > 0)
+            break;
+        [[fallthrough]];
       case FaultKind::kStackLeak: {
         // Silently lose 5–15% of one stage's cycles, the classic
         // "forgot to account a stall condition" bug.

@@ -43,6 +43,7 @@ enum class FaultKind : unsigned
     kCpiSkew,       ///< scale CPI stacks away from the cycle stacks
     kConfigWidths,  ///< config fault: native per-stage accounting widths
     kTraceHang,     ///< trace fault: the stream stops retiring forever
+    kTransientLeak, ///< stack-leak on the first attempt only; retry heals
     kCount,
 };
 
@@ -85,8 +86,14 @@ void applyToConfig(const FaultSpec &fault, core::CoreParams &params);
 std::unique_ptr<trace::TraceSource>
 wrapTrace(const FaultSpec &fault, std::unique_ptr<trace::TraceSource> inner);
 
-/** Apply a kResult-target fault to a completed result's counters. */
-void applyToResult(const FaultSpec &fault, sim::SimResult &result);
+/**
+ * Apply a kResult-target fault to a completed result's counters.
+ * @p attempt is the zero-based retry attempt of the enclosing job:
+ * kTransientLeak perturbs only attempt 0, modelling a fault that a
+ * bounded-retry policy is expected to heal.
+ */
+void applyToResult(const FaultSpec &fault, sim::SimResult &result,
+                   unsigned attempt = 0);
 
 }  // namespace stackscope::validate
 

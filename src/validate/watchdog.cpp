@@ -19,6 +19,14 @@ WatchdogSnapshot::describe() const
 }
 
 bool
+Watchdog::wallExpired() const
+{
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return elapsed.count() >= config_.wall_clock_seconds;
+}
+
+bool
 Watchdog::trip(const char *reason, Cycle now, std::uint64_t instrs)
 {
     tripped_ = true;

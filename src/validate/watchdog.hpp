@@ -13,6 +13,7 @@
 #ifndef STACKSCOPE_VALIDATE_WATCHDOG_HPP
 #define STACKSCOPE_VALIDATE_WATCHDOG_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -27,12 +28,23 @@ struct WatchdogConfig
     Cycle max_cycles = 0;
     /** Abort when no instruction retires for this many cycles. */
     Cycle no_retire_cycles = 0;
+    /**
+     * Hard per-job cycle budget. Unlike max_cycles this is an *error*:
+     * crossing it means the job ran away, not that the caller wanted a
+     * truncated sample.
+     */
+    Cycle deadline_cycles = 0;
+    /** Hard per-job wall-clock deadline in seconds. */
+    double wall_clock_seconds = 0.0;
 };
 
 /** State captured when the watchdog fires. */
 struct WatchdogSnapshot
 {
-    /** Why the run was stopped ("max-cycles" or "no-retire"). */
+    /**
+     * Why the run was stopped ("max-cycles", "no-retire",
+     * "cycle-budget" or "wall-clock").
+     */
     std::string reason;
     Cycle cycle = 0;
     std::uint64_t instrs_committed = 0;
@@ -51,7 +63,11 @@ struct WatchdogSnapshot
 class Watchdog
 {
   public:
-    explicit Watchdog(const WatchdogConfig &config) : config_(config) {}
+    explicit Watchdog(const WatchdogConfig &config) : config_(config)
+    {
+        if (config_.wall_clock_seconds > 0.0)
+            start_ = std::chrono::steady_clock::now();
+    }
 
     /**
      * Observe progress at absolute cycle @p now with cumulative commit
@@ -64,11 +80,19 @@ class Watchdog
             last_instrs_ = instrs_committed;
             last_progress_ = now;
         }
+        if (config_.deadline_cycles != 0 && now >= config_.deadline_cycles)
+            return trip("cycle-budget", now, instrs_committed);
         if (config_.max_cycles != 0 && now >= config_.max_cycles)
             return trip("max-cycles", now, instrs_committed);
         if (config_.no_retire_cycles != 0 &&
             now - last_progress_ >= config_.no_retire_cycles)
             return trip("no-retire", now, instrs_committed);
+        // The clock syscall is far too expensive per simulated cycle, so
+        // the wall deadline is sampled; 8 Ki cycles of slop is harmless
+        // for a kill switch measured in seconds.
+        if (config_.wall_clock_seconds > 0.0 &&
+            (++polls_since_clock_ & 0x1fff) == 0 && wallExpired())
+            return trip("wall-clock", now, instrs_committed);
         return true;
     }
 
@@ -79,14 +103,24 @@ class Watchdog
     {
         return tripped_ && snapshot_.reason == "no-retire";
     }
+    /** True when a hard deadline (cycle budget or wall clock) fired. */
+    bool
+    deadlineExceeded() const
+    {
+        return tripped_ && (snapshot_.reason == "cycle-budget" ||
+                            snapshot_.reason == "wall-clock");
+    }
     const WatchdogSnapshot &snapshot() const { return snapshot_; }
 
   private:
     bool trip(const char *reason, Cycle now, std::uint64_t instrs);
+    bool wallExpired() const;
 
     WatchdogConfig config_;
+    std::chrono::steady_clock::time_point start_;
     Cycle last_progress_ = 0;
     std::uint64_t last_instrs_ = 0;
+    std::uint64_t polls_since_clock_ = 0;
     bool tripped_ = false;
     WatchdogSnapshot snapshot_;
 };

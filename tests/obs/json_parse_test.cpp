@@ -1,0 +1,83 @@
+/**
+ * Adversarial-input tests for the JSON parser's nesting-depth guard: a
+ * recursive-descent parser fed kilobytes of '[' must fail with a clean
+ * usage error, not a stack-overflow crash. Depths at and below the bound
+ * must keep parsing.
+ */
+
+#include "obs/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace stackscope::obs {
+namespace {
+
+std::string
+nestedArrays(std::size_t depth)
+{
+    std::string text;
+    text.reserve(2 * depth + 1);
+    text.append(depth, '[');
+    text += '0';
+    text.append(depth, ']');
+    return text;
+}
+
+TEST(JsonParseDepth, AcceptsDepthAtTheLimit)
+{
+    const JsonValue v = parseJson(nestedArrays(kMaxJsonDepth));
+    EXPECT_TRUE(v.isArray());
+}
+
+TEST(JsonParseDepth, RejectsDepthJustPastTheLimit)
+{
+    try {
+        (void)parseJson(nestedArrays(kMaxJsonDepth + 1));
+        FAIL() << "over-deep document accepted";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+        EXPECT_NE(e.describe().find("nesting depth"), std::string::npos)
+            << e.describe();
+    }
+}
+
+TEST(JsonParseDepth, SurvivesAdversarialBracketFlood)
+{
+    // 10k-deep '[' flood: without the guard this is a guaranteed
+    // stack-exhaustion crash; with it, a structured error.
+    EXPECT_THROW((void)parseJson(nestedArrays(10'000)), StackscopeError);
+    // Unclosed flood (no values, no closers) must also fail cleanly.
+    EXPECT_THROW((void)parseJson(std::string(10'000, '[')),
+                 StackscopeError);
+}
+
+TEST(JsonParseDepth, ObjectNestingCountsTowardsTheLimit)
+{
+    std::string text;
+    for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i)
+        text += "{\"k\":";
+    text += "null";
+    for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i)
+        text += '}';
+    try {
+        (void)parseJson(text);
+        FAIL() << "over-deep object accepted";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kUsage);
+    }
+}
+
+TEST(JsonParseDepth, MixedNestingWithinLimitParses)
+{
+    const JsonValue v =
+        parseJson("{\"a\":[{\"b\":[[{\"c\":1}]]}]}");
+    EXPECT_TRUE(v.isObject());
+    EXPECT_NE(v.find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace stackscope::obs

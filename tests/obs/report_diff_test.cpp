@@ -14,6 +14,7 @@
 #include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/presets.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "trace/workload_library.hpp"
@@ -192,6 +193,76 @@ TEST(DiffReports, SingleVersusMulticoreJobIsUsageError)
     } catch (const StackscopeError &e) {
         EXPECT_EQ(e.category(), ErrorCategory::kUsage);
     }
+}
+
+/** A report with one completed and (optionally) one failed job. */
+JsonValue
+partialReport(runner::JobStatus second_status, const char *error = "boom")
+{
+    ReportBuilder report("test");
+    report.add("good/BDW", {}, baselineRun());
+    runner::JobOutcome failed;
+    failed.label = "bad/BDW";
+    failed.status = second_status;
+    failed.attempts = 1;
+    if (second_status == runner::JobStatus::kOk ||
+        second_status == runner::JobStatus::kRetried)
+        failed.single = baselineRun();
+    else
+        failed.error = error;
+    report.add(failed, {}, 1);
+    return parseJson(report.json());
+}
+
+TEST(DiffReports, CompletedVersusFailedJobIsStatusMismatch)
+{
+    // The candidate times out a job the baseline completed: that is lost
+    // coverage and must gate, even though every surviving stack matches.
+    const JsonValue a = partialReport(runner::JobStatus::kOk);
+    const JsonValue b = partialReport(runner::JobStatus::kTimeout);
+    const ReportDiff diff = diffReports(a, b, DiffTolerance{});
+    EXPECT_TRUE(diff.regression());
+    ASSERT_EQ(diff.status_mismatches.size(), 1u);
+    EXPECT_EQ(diff.status_mismatches[0].job, "bad/BDW");
+    EXPECT_EQ(diff.status_mismatches[0].a, "ok");
+    EXPECT_EQ(diff.status_mismatches[0].b, "timeout");
+    EXPECT_NE(renderDiff(diff).find("status mismatch"),
+              std::string::npos);
+}
+
+TEST(DiffReports, OkVersusRetriedIsNotAMismatch)
+{
+    // ok and retried both mean "completed, usable stacks"; flakiness in
+    // how many attempts it took must not fail a determinism gate.
+    const JsonValue a = partialReport(runner::JobStatus::kOk);
+    const JsonValue b = partialReport(runner::JobStatus::kRetried);
+    const ReportDiff diff = diffReports(a, b, DiffTolerance{});
+    EXPECT_FALSE(diff.regression());
+    EXPECT_EQ(diff.jobs_compared, 2u);
+}
+
+TEST(DiffReports, IdenticallyFailedJobsCompareClean)
+{
+    const JsonValue a = partialReport(runner::JobStatus::kQuarantined);
+    const JsonValue b = partialReport(runner::JobStatus::kQuarantined);
+    const ReportDiff diff = diffReports(a, b, DiffTolerance{});
+    EXPECT_FALSE(diff.regression());
+    EXPECT_EQ(diff.jobs_failed_both, 1u);
+    // Only the completed job contributed stack values.
+    EXPECT_EQ(diff.jobs_compared, 2u);
+    EXPECT_NE(renderDiff(diff).find("failed identically"),
+              std::string::npos);
+}
+
+TEST(DiffReports, DifferentFailureStatusesAreAMismatch)
+{
+    const JsonValue a = partialReport(runner::JobStatus::kTimeout);
+    const JsonValue b = partialReport(runner::JobStatus::kQuarantined);
+    const ReportDiff diff = diffReports(a, b, DiffTolerance{});
+    EXPECT_TRUE(diff.regression());
+    ASSERT_EQ(diff.status_mismatches.size(), 1u);
+    EXPECT_EQ(diff.status_mismatches[0].a, "timeout");
+    EXPECT_EQ(diff.status_mismatches[0].b, "quarantined");
 }
 
 TEST(DiffReports, NonReportDocumentIsUsageError)

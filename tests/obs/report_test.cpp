@@ -131,6 +131,89 @@ TEST(ReportBuilder, ValidationViolationsAppearInReport)
     EXPECT_NE(json.find("\"invariant\""), std::string::npos);
 }
 
+TEST(ReportBuilder, JobStatusSectionReflectsOutcome)
+{
+    const auto gen = shortWorkload("gcc");
+    sim::SimOptions so;
+
+    runner::JobOutcome ok;
+    ok.label = "fine";
+    ok.single = sim::simulate(sim::bdwConfig(), gen, so);
+    ok.status = runner::JobStatus::kRetried;
+    ok.attempts = 2;
+
+    runner::JobOutcome failed;
+    failed.label = "stuck";
+    failed.status = runner::JobStatus::kTimeout;
+    failed.attempts = 3;
+    failed.error = "watchdog wall-clock: aborted";
+
+    ReportBuilder report("test");
+    report.add(ok, so, 1);
+    report.add(failed, so, 1);
+    const std::string json = report.json();
+
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+    EXPECT_NE(json.find("\"job_status\":{\"status\":\"retried\","
+                        "\"attempts\":2,\"error\":\"\"}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"job_status\":{\"status\":\"timeout\","
+                        "\"attempts\":3,"
+                        "\"error\":\"watchdog wall-clock: aborted\"}"),
+              std::string::npos)
+        << json;
+    // The failed job serializes with empty results and a null aggregate,
+    // so a partial batch still reports every job it attempted.
+    EXPECT_NE(json.find("\"label\":\"stuck\",\"cores\":1,"
+                        "\"job_status\":{\"status\":\"timeout\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"results\":[],\"aggregate\":null"),
+              std::string::npos)
+        << json;
+}
+
+TEST(ReportBuilder, AddRawSplicesByteIdenticalFragments)
+{
+    // The resume path: jobJson() fragments stored in the journal and
+    // replayed via addRaw() must reproduce the exact bytes add() emits.
+    const auto gen = shortWorkload("mcf");
+    sim::SimOptions so;
+    so.validation = validate::ValidationPolicy::kWarn;
+
+    runner::JobOutcome a;
+    a.label = "mcf/bdw/x1";
+    a.single = sim::simulate(sim::bdwConfig(), gen, so);
+    a.status = runner::JobStatus::kOk;
+    a.attempts = 1;
+
+    runner::JobOutcome b;
+    b.label = "mcf/knl/x1";
+    b.single = sim::simulate(sim::knlConfig(), gen, so);
+    b.status = runner::JobStatus::kRetried;
+    b.attempts = 2;
+
+    ReportBuilder direct("sweep");
+    direct.add(a, so, 1);
+    direct.add(b, so, 1);
+
+    ReportBuilder spliced("sweep");
+    spliced.addRaw(ReportBuilder::jobJson(a, so, 1));
+    spliced.add(b, so, 1);
+
+    ReportBuilder all_raw("sweep");
+    all_raw.addRaw(ReportBuilder::jobJson(a, so, 1));
+    all_raw.addRaw(ReportBuilder::jobJson(b, so, 1));
+
+    EXPECT_EQ(direct.json(), spliced.json());
+    EXPECT_EQ(direct.json(), all_raw.json());
+    const std::string json = all_raw.json();
+    testutil::JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid());
+}
+
 TEST(WriteTextFile, RoundTripsContent)
 {
     const std::string path =

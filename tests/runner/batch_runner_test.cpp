@@ -10,10 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "sim/presets.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "trace/workload_library.hpp"
@@ -191,6 +197,207 @@ TEST(BatchRunner, EmptyBatchIsFine)
     const BatchResult batch = runner.run({});
     EXPECT_TRUE(batch.outcomes.empty());
     EXPECT_TRUE(batch.validation.passed());
+}
+
+TEST(BatchRunner, KeepGoingIsolatesFailure)
+{
+    // 20 jobs, one with a deterministic stack-leak fault: under
+    // keep_going the other 19 must complete and only the faulty one end
+    // quarantined, with the host counters recording exactly that.
+    sim::SimOptions good;
+    good.validation = validate::ValidationPolicy::kStrict;
+    sim::SimOptions bad = good;
+    bad.fault = validate::FaultSpec{validate::FaultKind::kStackLeak, 7};
+
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 20; ++i) {
+        const bool faulty = i == 13;
+        jobs.push_back(makeJob("job" + std::to_string(i),
+                               sim::bdwConfig(),
+                               shortWorkload("gcc", 20'000),
+                               faulty ? bad : good));
+    }
+    BatchOptions options;
+    options.keep_going = true;
+    options.retry.max_retries = 1;
+    options.retry.backoff = std::chrono::milliseconds(1);
+    BatchRunner runner(4);
+    const BatchResult batch = runner.run(std::move(jobs), nullptr, options);
+
+    const StatusTally tally = batch.tally();
+    EXPECT_EQ(tally.ok, 19u);
+    EXPECT_EQ(tally.quarantined, 1u);
+    EXPECT_EQ(tally.timeout, 0u);
+    EXPECT_EQ(tally.skipped, 0u);
+    EXPECT_EQ(batch.exitCode(), kExitPartialSuccess);
+    EXPECT_EQ(batch.outcomes[13].status, JobStatus::kQuarantined);
+    // The persistent fault survives its one retry: 2 attempts.
+    EXPECT_EQ(batch.outcomes[13].attempts, 2u);
+    EXPECT_EQ(batch.outcomes[13].error_category,
+              ErrorCategory::kValidation);
+    EXPECT_FALSE(batch.outcomes[13].error.empty());
+    // Merged validation only covers completed jobs, so it stays clean.
+    EXPECT_TRUE(batch.validation.passed());
+
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::global().snapshot();
+    auto delta = [&](std::string_view name) {
+        return after.counterOr(name) - before.counterOr(name);
+    };
+    EXPECT_EQ(delta("runner.jobs_ok_total"), 19u);
+    EXPECT_EQ(delta("runner.job_retries_total"), 1u);
+    EXPECT_EQ(delta("runner.jobs_quarantined_total"), 1u);
+    EXPECT_EQ(delta("runner.jobs_timeout_total"), 0u);
+}
+
+TEST(BatchRunner, RetryHealsTransientFault)
+{
+    // A transient-leak fault only corrupts attempt 0; with one retry the
+    // job must complete as kRetried and its result must be bit-identical
+    // to a clean run of the same point.
+    sim::SimOptions clean;
+    clean.validation = validate::ValidationPolicy::kStrict;
+    sim::SimOptions flaky = clean;
+    flaky.fault =
+        validate::FaultSpec{validate::FaultKind::kTransientLeak, 11};
+
+    const sim::SimResult reference = sim::simulate(
+        sim::bdwConfig(), shortWorkload("mcf", 20'000), clean);
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("flaky", sim::bdwConfig(),
+                           shortWorkload("mcf", 20'000), flaky));
+    BatchOptions options;
+    options.retry.max_retries = 1;
+    options.retry.backoff = std::chrono::milliseconds(1);
+    BatchRunner runner(2);
+    const BatchResult batch = runner.run(std::move(jobs), nullptr, options);
+
+    ASSERT_EQ(batch.outcomes.size(), 1u);
+    EXPECT_EQ(batch.outcomes[0].status, JobStatus::kRetried);
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+    EXPECT_TRUE(batch.outcomes[0].completed());
+    expectBitIdentical(batch.outcomes[0].single, reference);
+    EXPECT_EQ(batch.exitCode(), 0);
+}
+
+TEST(BatchRunner, TransientFaultWithoutRetriesFailsFast)
+{
+    sim::SimOptions flaky;
+    flaky.validation = validate::ValidationPolicy::kStrict;
+    flaky.fault =
+        validate::FaultSpec{validate::FaultKind::kTransientLeak, 11};
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("flaky", sim::bdwConfig(),
+                           shortWorkload("mcf", 20'000), flaky));
+    BatchRunner runner(1);
+    EXPECT_THROW((void)runner.run(std::move(jobs)), StackscopeError);
+}
+
+TEST(BatchRunner, CycleDeadlineFailsFastWithWatchdogCategory)
+{
+    sim::SimOptions slow;
+    slow.deadline_cycles = 1'000;
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("budgeted", sim::bdwConfig(),
+                           shortWorkload("mcf", 100'000), slow));
+    BatchRunner runner(1);
+    try {
+        (void)runner.run(std::move(jobs));
+        FAIL() << "cycle budget did not propagate";
+    } catch (const StackscopeError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::kWatchdog);
+        EXPECT_NE(e.describe().find("cycle-budget"), std::string::npos)
+            << e.describe();
+    }
+}
+
+TEST(BatchRunner, CycleDeadlineUnderKeepGoingBecomesTimeout)
+{
+    // A deadline failure is retryable (limits may be transient host
+    // pressure), but a cycle budget is deterministic: every retry trips
+    // again and the job lands on kTimeout.
+    sim::SimOptions slow;
+    slow.deadline_cycles = 1'000;
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("budgeted", sim::bdwConfig(),
+                           shortWorkload("mcf", 100'000), slow));
+    jobs.push_back(makeJob("fine", sim::bdwConfig(),
+                           shortWorkload("gcc", 20'000), sim::SimOptions{}));
+    BatchOptions options;
+    options.keep_going = true;
+    options.retry.max_retries = 1;
+    options.retry.backoff = std::chrono::milliseconds(1);
+    BatchRunner runner(2);
+    const BatchResult batch = runner.run(std::move(jobs), nullptr, options);
+
+    EXPECT_EQ(batch.outcomes[0].status, JobStatus::kTimeout);
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+    EXPECT_EQ(batch.outcomes[0].error_category, ErrorCategory::kWatchdog);
+    EXPECT_EQ(batch.outcomes[1].status, JobStatus::kOk);
+    EXPECT_EQ(batch.exitCode(), kExitPartialSuccess);
+}
+
+TEST(BatchRunner, AllJobsFailingIsTotalFailure)
+{
+    sim::SimOptions slow;
+    slow.deadline_cycles = 500;
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back(makeJob("j" + std::to_string(i), sim::bdwConfig(),
+                               shortWorkload("mcf", 100'000), slow));
+    BatchOptions options;
+    options.keep_going = true;
+    BatchRunner runner(2);
+    const BatchResult batch = runner.run(std::move(jobs), nullptr, options);
+    EXPECT_EQ(batch.tally().timeout, 3u);
+    EXPECT_EQ(batch.exitCode(), kExitTotalFailure);
+}
+
+TEST(BatchRunner, OnOutcomeSeesEveryRanJob)
+{
+    sim::SimOptions good;
+    sim::SimOptions bad = good;
+    bad.deadline_cycles = 500;
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob("ok", sim::bdwConfig(),
+                           shortWorkload("gcc", 20'000), good));
+    jobs.push_back(makeJob("late", sim::bdwConfig(),
+                           shortWorkload("mcf", 100'000), bad));
+
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, JobStatus>> seen;
+    BatchOptions options;
+    options.keep_going = true;
+    options.on_outcome = [&](std::size_t index, const JobOutcome &o) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.emplace_back(index, o.status);
+    };
+    BatchRunner runner(2);
+    (void)runner.run(std::move(jobs), nullptr, options);
+
+    ASSERT_EQ(seen.size(), 2u);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen[0], (std::pair<std::size_t, JobStatus>{
+                           0, JobStatus::kOk}));
+    EXPECT_EQ(seen[1], (std::pair<std::size_t, JobStatus>{
+                           1, JobStatus::kTimeout}));
+}
+
+TEST(RetryPolicy, BackoffDoublesAndCaps)
+{
+    RetryPolicy policy;
+    policy.backoff = std::chrono::milliseconds(50);
+    policy.backoff_cap = std::chrono::milliseconds(300);
+    EXPECT_EQ(policy.delayFor(1).count(), 50);
+    EXPECT_EQ(policy.delayFor(2).count(), 100);
+    EXPECT_EQ(policy.delayFor(3).count(), 200);
+    EXPECT_EQ(policy.delayFor(4).count(), 300);
+    EXPECT_EQ(policy.delayFor(10).count(), 300);
 }
 
 TEST(BatchRunner, JobsAreReusableAfterMakeJob)

@@ -1,0 +1,145 @@
+/**
+ * Batch-cancellation race coverage, written to run under ThreadSanitizer
+ * (the tsan CI preset includes test_runner): a fail-fast cancellation
+ * races worker threads finishing, skipping and journaling jobs, and the
+ * outcome bookkeeping, on_outcome hook and progress observer must stay
+ * data-race-free while in-flight jobs drain.
+ */
+
+#include "runner/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/presets.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+#include "validate/fault_injection.hpp"
+
+namespace stackscope::runner {
+namespace {
+
+trace::SyntheticGenerator
+tinyWorkload(const char *name, std::uint64_t n)
+{
+    trace::SyntheticParams p = trace::findWorkload(name).params;
+    p.num_instrs = n;
+    return trace::SyntheticGenerator(p);
+}
+
+/** Thread-safe observer that only counts; TSan watches the callbacks. */
+class CountingObserver : public ProgressObserver
+{
+  public:
+    void
+    onJobDone(std::size_t, std::size_t, std::uint64_t cycles,
+              std::uint64_t, JobStatus status) override
+    {
+        calls_.fetch_add(1, std::memory_order_relaxed);
+        cycles_.fetch_add(cycles, std::memory_order_relaxed);
+        if (status == JobStatus::kQuarantined)
+            failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::size_t calls() const { return calls_.load(); }
+    std::size_t failures() const { return failures_.load(); }
+
+  private:
+    std::atomic<std::size_t> calls_{0};
+    std::atomic<std::uint64_t> cycles_{0};
+    std::atomic<std::size_t> failures_{0};
+};
+
+TEST(CancelRace, FailFastCancellationDrainsCleanly)
+{
+    // One early poisoned job among many: the cancellation signal races
+    // workers picking up, finishing and skipping jobs. Repeat to give
+    // the scheduler chances to interleave differently.
+    sim::SimOptions good;
+    sim::SimOptions bad = good;
+    bad.validation = validate::ValidationPolicy::kStrict;
+    bad.fault = validate::FaultSpec{validate::FaultKind::kStackLeak, 3};
+
+    for (int round = 0; round < 3; ++round) {
+        std::vector<SimJob> jobs;
+        for (int i = 0; i < 12; ++i) {
+            const bool faulty = i == 1;
+            jobs.push_back(makeJob("j" + std::to_string(i),
+                                   sim::bdwConfig(),
+                                   tinyWorkload("gcc", 5'000),
+                                   faulty ? bad : good));
+        }
+        CountingObserver observer;
+        std::atomic<std::size_t> outcomes_seen{0};
+        BatchOptions options;
+        options.on_outcome = [&](std::size_t, const JobOutcome &) {
+            outcomes_seen.fetch_add(1, std::memory_order_relaxed);
+        };
+        BatchRunner runner(4);
+        EXPECT_THROW(
+            (void)runner.run(std::move(jobs), &observer, options),
+            StackscopeError);
+        // Every job that ran reported exactly once to both channels.
+        EXPECT_EQ(observer.calls(), outcomes_seen.load());
+        EXPECT_GE(observer.failures(), 1u);
+    }
+}
+
+TEST(CancelRace, KeepGoingResultsAreThreadCountInvariant)
+{
+    // Retries, quarantine bookkeeping and the on_outcome hook must not
+    // perturb results: every thread count yields the same statuses and
+    // the same simulated cycles for completed jobs.
+    sim::SimOptions good;
+    sim::SimOptions bad = good;
+    bad.validation = validate::ValidationPolicy::kStrict;
+    bad.fault = validate::FaultSpec{validate::FaultKind::kStackLeak, 3};
+
+    auto makeJobs = [&] {
+        std::vector<SimJob> jobs;
+        for (int i = 0; i < 8; ++i) {
+            const bool faulty = i % 4 == 2;
+            jobs.push_back(makeJob("j" + std::to_string(i),
+                                   sim::bdwConfig(),
+                                   tinyWorkload("mcf", 5'000),
+                                   faulty ? bad : good));
+        }
+        return jobs;
+    };
+    BatchOptions options;
+    options.keep_going = true;
+    options.retry.max_retries = 1;
+    options.retry.backoff = std::chrono::milliseconds(1);
+
+    BatchRunner reference_runner(1);
+    const BatchResult reference =
+        reference_runner.run(makeJobs(), nullptr, options);
+    ASSERT_EQ(reference.tally().quarantined, 2u);
+
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        CountingObserver observer;
+        BatchRunner runner(threads);
+        const BatchResult batch =
+            runner.run(makeJobs(), &observer, options);
+        ASSERT_EQ(batch.outcomes.size(), reference.outcomes.size());
+        for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+            EXPECT_EQ(batch.outcomes[i].status,
+                      reference.outcomes[i].status);
+            EXPECT_EQ(batch.outcomes[i].attempts,
+                      reference.outcomes[i].attempts);
+            if (batch.outcomes[i].completed()) {
+                EXPECT_EQ(batch.outcomes[i].single.cycles,
+                          reference.outcomes[i].single.cycles);
+            }
+        }
+        EXPECT_EQ(observer.calls(), batch.outcomes.size());
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::runner

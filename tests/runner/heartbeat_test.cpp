@@ -1,0 +1,82 @@
+/**
+ * Unit tests for the heartbeat's line renderer: the rate must read "--"
+ * until a cycle has actually been observed, the ETA must only appear
+ * once defined and never exceed its 24h clamp, and failure/retry counts
+ * must show up exactly when nonzero.
+ */
+
+#include "runner/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stackscope::runner {
+namespace {
+
+TEST(HeartbeatLine, NoCyclesMeansNoRate)
+{
+    // First callback often lands before any simulated cycle is counted;
+    // "0 cycles/s" would be a lie, "--" is an honest "not yet measured".
+    const std::string line =
+        formatHeartbeatLine("sweep", 1, 10, 0, 0, 0, 0.5, false);
+    EXPECT_NE(line.find("-- cycles/s"), std::string::npos) << line;
+    EXPECT_EQ(line.find("0 cycles/s"), std::string::npos) << line;
+}
+
+TEST(HeartbeatLine, ZeroElapsedMeansNoRate)
+{
+    const std::string line =
+        formatHeartbeatLine("sweep", 1, 10, 0, 0, 50'000, 0.0, false);
+    EXPECT_NE(line.find("-- cycles/s"), std::string::npos) << line;
+}
+
+TEST(HeartbeatLine, RateAndEtaOnceMeasured)
+{
+    const std::string line =
+        formatHeartbeatLine("sweep", 5, 10, 0, 0, 1'000'000, 2.0, false);
+    EXPECT_NE(line.find("5e+05 cycles/s"), std::string::npos) << line;
+    // 5 of 10 jobs in 2s -> 2s to go.
+    EXPECT_NE(line.find("ETA"), std::string::npos) << line;
+    EXPECT_NE(line.find("[sweep] 5/10 jobs"), std::string::npos) << line;
+}
+
+TEST(HeartbeatLine, NoJobsDoneMeansNoEta)
+{
+    const std::string line =
+        formatHeartbeatLine("sweep", 0, 10, 0, 0, 1'000, 1.0, false);
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(HeartbeatLine, EtaClampsAtTwentyFourHours)
+{
+    // 1 of 1e9 jobs after an hour extrapolates to decades; the clamp
+    // keeps the horizon sane.
+    const std::string line = formatHeartbeatLine(
+        "sweep", 1, 1'000'000'000, 0, 0, 1'000, 3600.0, false);
+    EXPECT_NE(line.find("ETA >"), std::string::npos) << line;
+}
+
+TEST(HeartbeatLine, FailureAndRetryCountsAppearOnlyWhenNonzero)
+{
+    const std::string clean =
+        formatHeartbeatLine("sweep", 2, 4, 0, 0, 1'000, 1.0, false);
+    EXPECT_EQ(clean.find("failed"), std::string::npos) << clean;
+    EXPECT_EQ(clean.find("retried"), std::string::npos) << clean;
+
+    const std::string messy =
+        formatHeartbeatLine("sweep", 2, 4, 1, 2, 1'000, 1.0, false);
+    EXPECT_NE(messy.find("1 failed"), std::string::npos) << messy;
+    EXPECT_NE(messy.find("2 retried"), std::string::npos) << messy;
+}
+
+TEST(HeartbeatLine, FinalLineSaysDone)
+{
+    const std::string line =
+        formatHeartbeatLine("sweep", 4, 4, 0, 0, 1'000'000, 2.0, true);
+    EXPECT_NE(line.find("done in"), std::string::npos) << line;
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace stackscope::runner

@@ -1,0 +1,219 @@
+/**
+ * Crash-safety tests for the sweep journal: round-trip, corrupt-tail and
+ * truncated-tail recovery, header verification, and the stability of the
+ * canonical spec hash the journal keys on.
+ */
+
+#include "runner/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "runner/job_spec.hpp"
+
+namespace stackscope::runner {
+namespace {
+
+/** Unique-per-test temp path, removed on destruction. */
+class TempPath
+{
+  public:
+    TempPath()
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = ::testing::TempDir() + "stackscope_journal_" +
+                info->test_suite_name() + "_" + info->name();
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+JournalRecord
+record(const std::string &hash, const std::string &label)
+{
+    JournalRecord rec;
+    rec.spec_hash = hash;
+    rec.label = label;
+    rec.status = "ok";
+    rec.attempts = 1;
+    rec.job_json = "{\"label\":\"" + label + "\"}";
+    rec.csv = label + ",dispatch,1\n" + label + ",issue,2";
+    return rec;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(SweepJournal, RoundTripsRecords)
+{
+    const TempPath path;
+    {
+        SweepJournal journal =
+            SweepJournal::create(path.str(), "00000000deadbeef");
+        journal.append(record("1111111111111111", "mcf/bdw/x1"));
+        journal.append(record("2222222222222222", "gcc/knl/x2"));
+    }
+    SweepJournal resumed =
+        SweepJournal::resume(path.str(), "00000000deadbeef");
+    ASSERT_EQ(resumed.records().size(), 2u);
+    const JournalRecord *rec = resumed.find("2222222222222222");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->label, "gcc/knl/x2");
+    EXPECT_EQ(rec->status, "ok");
+    EXPECT_EQ(rec->attempts, 1u);
+    EXPECT_EQ(rec->job_json, "{\"label\":\"gcc/knl/x2\"}");
+    EXPECT_NE(rec->csv.find("issue,2"), std::string::npos);
+    EXPECT_EQ(resumed.find("3333333333333333"), nullptr);
+}
+
+TEST(SweepJournal, DropsTruncatedTail)
+{
+    const TempPath path;
+    {
+        SweepJournal journal = SweepJournal::create(path.str(), "feed");
+        journal.append(record("1111111111111111", "a"));
+        journal.append(record("2222222222222222", "b"));
+    }
+    // Simulate a crash mid-append: cut the last record's line short.
+    std::string bytes = slurp(path.str());
+    const std::size_t cut = bytes.find("2222222222222222");
+    ASSERT_NE(cut, std::string::npos);
+    {
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(cut + 4));
+    }
+    SweepJournal resumed = SweepJournal::resume(path.str(), "feed");
+    ASSERT_EQ(resumed.records().size(), 1u);
+    EXPECT_NE(resumed.find("1111111111111111"), nullptr);
+
+    // The corrupt tail must be gone from disk: a fresh append and a
+    // second resume must see exactly the intact record plus the new one.
+    resumed.append(record("3333333333333333", "c"));
+    SweepJournal again = SweepJournal::resume(path.str(), "feed");
+    EXPECT_EQ(again.records().size(), 2u);
+    EXPECT_NE(again.find("3333333333333333"), nullptr);
+    EXPECT_EQ(again.find("2222222222222222"), nullptr);
+}
+
+TEST(SweepJournal, RejectsCorruptChecksum)
+{
+    const TempPath path;
+    {
+        SweepJournal journal = SweepJournal::create(path.str(), "feed");
+        journal.append(record("1111111111111111", "a"));
+        journal.append(record("2222222222222222", "b"));
+    }
+    // Flip one payload byte of the *first* record: it and everything
+    // after it (the crash tail, conservatively) must be dropped.
+    std::string bytes = slurp(path.str());
+    const std::size_t at = bytes.find("\"a\"");
+    ASSERT_NE(at, std::string::npos);
+    bytes[at + 1] = 'z';
+    {
+        std::ofstream out(path.str(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    SweepJournal resumed = SweepJournal::resume(path.str(), "feed");
+    EXPECT_TRUE(resumed.records().empty());
+}
+
+TEST(SweepJournal, RejectsWrongSweepHash)
+{
+    const TempPath path;
+    {
+        SweepJournal journal = SweepJournal::create(path.str(), "aaaa");
+        journal.append(record("1111111111111111", "a"));
+    }
+    EXPECT_THROW((void)SweepJournal::resume(path.str(), "bbbb"),
+                 StackscopeError);
+}
+
+TEST(SweepJournal, RejectsNonJournalFile)
+{
+    const TempPath path;
+    {
+        std::ofstream out(path.str(), std::ios::binary);
+        out << "{\"schema\":\"stackscope-report\"}\n";
+    }
+    EXPECT_THROW((void)SweepJournal::resume(path.str(), "aaaa"),
+                 StackscopeError);
+}
+
+TEST(SweepJournal, ResumeOfMissingFileFails)
+{
+    EXPECT_THROW((void)SweepJournal::resume(
+                     ::testing::TempDir() + "stackscope_journal_missing",
+                     "aaaa"),
+                 StackscopeError);
+}
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // IEEE 802.3 check value for "123456789".
+    EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+    EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(JobSpec, HashIsStableAndAttemptInvariant)
+{
+    JobSpec spec;
+    spec.workload = "mcf";
+    spec.machine = "bdw";
+    spec.cores = 2;
+    spec.instrs = 30'000;
+
+    const std::string base = specHash(spec);
+    EXPECT_EQ(base.size(), 16u);
+
+    // The retry attempt is runtime state, not identity.
+    JobSpec retried = spec;
+    retried.options.attempt = 3;
+    EXPECT_EQ(specHash(retried), base);
+
+    // Everything that changes the simulation changes the hash.
+    JobSpec other = spec;
+    other.cores = 4;
+    EXPECT_NE(specHash(other), base);
+    other = spec;
+    other.options.deadline_cycles = 1'000;
+    EXPECT_NE(specHash(other), base);
+    other = spec;
+    other.options.fault =
+        validate::FaultSpec{validate::FaultKind::kStackLeak, 7};
+    EXPECT_NE(specHash(other), base);
+}
+
+TEST(JobSpec, CanonicalJsonExcludesAttempt)
+{
+    JobSpec spec;
+    spec.workload = "mcf";
+    spec.machine = "bdw";
+    spec.options.attempt = 9;
+    const std::string json = canonicalJson(spec);
+    EXPECT_EQ(json.find("attempt"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"workload\":\"mcf\""), std::string::npos)
+        << json;
+}
+
+}  // namespace
+}  // namespace stackscope::runner

@@ -173,6 +173,52 @@ TEST(FaultInjection, MulticoreReportPrefixesCoreIndex)
     EXPECT_FALSE(out.per_core[0].validation.passed());
 }
 
+// ---------------------------------------------------------- transient
+
+TEST(FaultInjection, TransientLeakOnlyCorruptsFirstAttempt)
+{
+    // The transient-leak fault models a flaky failure: attempt 0 leaks
+    // cycles (stack-sum violation), every later attempt is clean — the
+    // hook the retry machinery's tests and the CI chaos job key on.
+    auto gen = shortWorkload("mcf");
+    SimOptions first = faultyOptions(FaultKind::kTransientLeak, 5);
+    const SimResult r0 = sim::simulate(sim::bdwConfig(), gen, first);
+    EXPECT_FALSE(r0.validation.passed());
+    EXPECT_TRUE(r0.validation.contains(Invariant::kStackSum))
+        << r0.validation.summary();
+
+    SimOptions retry = first;
+    retry.attempt = 1;
+    const SimResult r1 = sim::simulate(sim::bdwConfig(), gen, retry);
+    EXPECT_TRUE(r1.validation.passed()) << r1.validation.summary();
+
+    // The healed result is identical to a run that never faulted.
+    SimOptions clean = first;
+    clean.fault.reset();
+    clean.attempt = 0;
+    const SimResult rc = sim::simulate(sim::bdwConfig(), gen, clean);
+    EXPECT_EQ(r1.cycles, rc.cycles);
+    EXPECT_DOUBLE_EQ(r1.cpi, rc.cpi);
+}
+
+TEST(FaultInjection, TransientLeakMatchesStackLeakOnFirstAttempt)
+{
+    // Same seed, same perturbation: transient-leak on attempt 0 is
+    // exactly stack-leak, so its detection coverage is already proven.
+    auto gen = shortWorkload("mcf");
+    const SimResult transient = sim::simulate(
+        sim::bdwConfig(), gen, faultyOptions(FaultKind::kTransientLeak, 9));
+    const SimResult persistent = sim::simulate(
+        sim::bdwConfig(), gen, faultyOptions(FaultKind::kStackLeak, 9));
+    ASSERT_EQ(transient.validation.violations.size(),
+              persistent.validation.violations.size());
+    for (std::size_t i = 0; i < transient.validation.violations.size();
+         ++i) {
+        EXPECT_EQ(transient.validation.violations[i].detail,
+                  persistent.validation.violations[i].detail);
+    }
+}
+
 TEST(FaultInjection, MulticoreRejectsZeroCores)
 {
     auto gen = shortWorkload("mcf", 5'000);

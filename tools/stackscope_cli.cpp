@@ -30,6 +30,9 @@
  *   --validate MODE     off | warn | strict runtime invariant checking
  *   --inject-fault F    deterministic fault KIND[:SEED] (see usage)
  *   --watchdog-cycles N abort after N cycles without a commit (0 = off)
+ *   --job-cycles N      per-job simulated-cycle budget (0 = off); a job
+ *                       exceeding it fails with a watchdog error
+ *   --job-timeout SECS  per-job wall-clock deadline (0 = off)
  *   --intervals N       snapshot stacks every N measured cycles
  *                       (phases defaults to 1000; 0 disables)
  *   --trace-out FILE    write a Chrome trace-event JSON pipeline trace
@@ -37,6 +40,16 @@
  *   --report-out FILE   write the machine-readable JSON run report
  *                       (schema in docs/formats.md)
  *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
+ *
+ * sweep resilience options (docs/formats.md, docs/exit_codes.md):
+ *   --max-retries N     retry a retryably-failing job up to N times
+ *   --retry-backoff-ms N  first-retry backoff delay (doubles per retry)
+ *   --keep-going        quarantine failed jobs, finish the rest, exit 5
+ *   --fault-job SUBSTR  inject the fault only into grid points whose
+ *                       label contains SUBSTR
+ *   --journal FILE      record completed points to a crash-safe journal
+ *   --resume FILE       resume a sweep: replay journaled points
+ *                       byte-for-byte, simulate only what is missing
  *
  * diff-report options:
  *   --tol-abs X         absolute stack-delta tolerance (default 1e-6)
@@ -48,9 +61,10 @@
  * STACKSCOPE_PROGRESS=0|1 to override the isatty(stderr) heartbeat
  * default (docs/observability.md).
  *
- * Exit codes: 0 success, 1 runtime/internal failure, 2 usage or
- * configuration error, 3 validation or watchdog failure, 4 diff-report
- * regression.
+ * Exit codes (full contract in docs/exit_codes.md): 0 success,
+ * 1 runtime/internal failure, 2 usage or configuration error,
+ * 3 validation or watchdog failure, 4 diff-report regression,
+ * 5 partial batch success (--keep-going), 6 total batch failure.
  */
 
 #include <charconv>
@@ -73,6 +87,8 @@
 #include "obs/trace_events.hpp"
 #include "runner/batch_runner.hpp"
 #include "runner/heartbeat.hpp"
+#include "runner/job_spec.hpp"
+#include "runner/journal.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
@@ -108,6 +124,18 @@ struct CliOptions
     validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
     std::optional<validate::FaultSpec> fault{};
     std::optional<Cycle> watchdog_cycles{};
+    /** Per-job simulated-cycle budget; 0 = off. */
+    Cycle job_cycles = 0;
+    /** Per-job wall-clock deadline in seconds; 0 = off. */
+    double job_timeout = 0.0;
+    /** Sweep resilience: bounded retries, quarantine, journaling. */
+    unsigned max_retries = 0;
+    std::optional<std::uint64_t> retry_backoff_ms{};
+    bool keep_going = false;
+    /** Restrict --inject-fault to labels containing this substring. */
+    std::string fault_job;
+    std::string journal_path;
+    std::string resume_path;
     /** Unset means command default: 1000 for phases, off elsewhere. */
     std::optional<Cycle> intervals{};
     std::string trace_out;
@@ -167,10 +195,15 @@ usage(std::FILE *to, const char *argv0)
         "  --threads N (batch workers; 0 = all hardware threads)\n"
         "  --workloads A,B,...  --machines A,B,...  (sweep grid axes)\n"
         "  --validate off|warn|strict  --watchdog-cycles N\n"
+        "  --job-cycles N (per-job cycle budget)  --job-timeout SECS\n"
         "  --intervals N  --trace-out FILE  --report-out FILE\n"
         "  --inject-fault KIND[:SEED] with KIND one of\n"
         "      %s\n"
         "  --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu\n"
+        "  sweep resilience: --max-retries N  --retry-backoff-ms N\n"
+        "      --keep-going (exit 5 on partial success, 6 on total\n"
+        "      failure)  --fault-job SUBSTR  --journal FILE\n"
+        "      --resume FILE  (see docs/exit_codes.md)\n"
         "  diff-report A B [--tol-abs X] [--tol-rel X]\n"
         "      [--watch METRIC[:ABS[:REL]]]   (exit 4 on regression)\n",
         argv0, kCommands, faults.c_str());
@@ -346,6 +379,24 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.fault = validate::parseFaultSpec(value()).value();
         } else if (arg == "--watchdog-cycles") {
             opt.watchdog_cycles = parseCount(arg, value(), 0);
+        } else if (arg == "--job-cycles") {
+            opt.job_cycles = parseCount(arg, value(), 0);
+        } else if (arg == "--job-timeout") {
+            opt.job_timeout = parseReal(arg, value());
+        } else if (arg == "--max-retries") {
+            opt.max_retries =
+                static_cast<unsigned>(parseCount(arg, value(), 0));
+        } else if (arg == "--retry-backoff-ms") {
+            opt.retry_backoff_ms = parseCount(arg, value(), 0);
+        } else if (arg == "--keep-going") {
+            flagOnly();
+            opt.keep_going = true;
+        } else if (arg == "--fault-job") {
+            opt.fault_job = value();
+        } else if (arg == "--journal") {
+            opt.journal_path = value();
+        } else if (arg == "--resume") {
+            opt.resume_path = value();
         } else if (arg == "--intervals") {
             opt.intervals = parseCount(arg, value(), 0);
         } else if (arg == "--trace-out") {
@@ -387,6 +438,28 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         throw StackscopeError(ErrorCategory::kUsage,
                               "--trace-out is only supported by the run, "
                               "hpc and phases commands");
+    }
+    // Retry/quarantine/journaling semantics are defined per batch; only
+    // the sweep command runs a grid where they make sense.
+    if (opt.command != "sweep") {
+        if (opt.max_retries != 0 || opt.retry_backoff_ms ||
+            opt.keep_going || !opt.fault_job.empty() ||
+            !opt.journal_path.empty() || !opt.resume_path.empty()) {
+            throw StackscopeError(
+                ErrorCategory::kUsage,
+                "--max-retries, --retry-backoff-ms, --keep-going, "
+                "--fault-job, --journal and --resume are only supported "
+                "by the sweep command");
+        }
+    }
+    if (!opt.journal_path.empty() && !opt.resume_path.empty()) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "--journal starts a fresh journal and "
+                              "--resume continues one; pass exactly one");
+    }
+    if (!opt.fault_job.empty() && !opt.fault) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "--fault-job needs --inject-fault");
     }
     // Watch specs resolve after the loop so --tol-abs/--tol-rel defaults
     // apply regardless of option order.
@@ -432,6 +505,8 @@ simOptions(const CliOptions &opt)
     // protection: a hung-trace fault would otherwise spin forever.
     so.watchdog_cycles =
         opt.watchdog_cycles.value_or(opt.fault ? 200'000 : 0);
+    so.deadline_cycles = opt.job_cycles;
+    so.job_timeout_seconds = opt.job_timeout;
     // Observability: phases snapshots stacks every 1000 cycles unless
     // overridden; everywhere else intervals are opt-in.
     so.obs.interval_cycles =
@@ -614,70 +689,214 @@ cmdBounds(const CliOptions &opt)
     return 0;
 }
 
+/** One sweep grid point plus its resolved identity. */
+struct SweepPoint
+{
+    std::string workload;
+    std::string machine;
+    unsigned cores;
+    /** Per-point options (--fault-job may strip the fault). */
+    sim::SimOptions options;
+    std::string label;
+    /** Canonical spec hash (runner/job_spec.hpp). */
+    std::string hash;
+};
+
+/**
+ * CSV rows (one per stage, newline-separated, no trailing newline) for
+ * one sweep point. Completed points report the component-wise average
+ * stacks and the cycle/instr counts of core 0 (threads are homogeneous);
+ * failed or skipped points emit all-zero stage rows so the grid shape is
+ * preserved. The trailing `status` column is the schema's append-only
+ * extension point.
+ */
+std::string
+sweepCsvRows(const SweepPoint &p, const runner::JobOutcome &o)
+{
+    std::string rows;
+    char head[160];
+    for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+        const sim::SimResult *rep =
+            o.completed()
+                ? (o.multi ? &o.multi->per_core.front() : &o.single)
+                : nullptr;
+        const double cpi =
+            o.completed() ? (o.multi ? o.multi->avg_cpi : o.single.cpi)
+                          : 0.0;
+        const stacks::CpiStack stack =
+            o.completed() ? (o.multi ? o.multi->cpiStack(s)
+                                     : o.single.cpiStack(s))
+                          : stacks::CpiStack{};
+        std::snprintf(head, sizeof(head), "%s,%s,%u,%llu,%llu,%.6g,",
+                      p.workload.c_str(), p.machine.c_str(), p.cores,
+                      static_cast<unsigned long long>(rep ? rep->instrs
+                                                          : 0),
+                      static_cast<unsigned long long>(rep ? rep->cycles
+                                                          : 0),
+                      cpi);
+        if (!rows.empty())
+            rows += '\n';
+        rows += head;
+        rows += analysis::toCsvRow(std::string(toString(s)), stack);
+        rows += ',';
+        rows += runner::toString(o.status);
+    }
+    return rows;
+}
+
 int
 cmdSweep(const CliOptions &opt)
 {
-    const sim::SimOptions so = simOptions(opt);
+    const sim::SimOptions base = simOptions(opt);
 
-    // Cartesian workload x machine x cores grid, one SimJob per point.
-    struct Point
-    {
-        std::string workload;
-        std::string machine;
-        unsigned cores;
-    };
-    std::vector<Point> points;
-    std::vector<runner::SimJob> jobs;
+    // Cartesian workload x machine x cores grid. Each point gets its own
+    // options so --fault-job can confine the injected fault to matching
+    // labels, and its canonical spec hash — the journal key.
+    std::vector<SweepPoint> points;
     for (const std::string &w : opt.workloads) {
-        trace::SyntheticParams params = trace::findWorkload(w).params;
-        params.num_instrs = opt.totalInstrs();
-        const trace::SyntheticGenerator gen(params);
+        trace::findWorkload(w);  // fail fast on unknown names
         for (const std::string &m : opt.machines) {
-            const sim::MachineConfig machine = sim::machineByName(m);
+            sim::machineByName(m);
             for (unsigned c : opt.cores_list) {
-                points.push_back({w, m, c});
-                jobs.push_back(runner::makeJob(
-                    w + "/" + m + "/x" + std::to_string(c), machine, gen,
-                    so, c));
+                SweepPoint p;
+                p.workload = w;
+                p.machine = m;
+                p.cores = c;
+                p.label = w + "/" + m + "/x" + std::to_string(c);
+                p.options = base;
+                if (opt.fault && !opt.fault_job.empty() &&
+                    p.label.find(opt.fault_job) == std::string::npos)
+                    p.options.fault.reset();
+                runner::JobSpec spec;
+                spec.workload = w;
+                spec.machine = m;
+                spec.cores = c;
+                spec.instrs = opt.totalInstrs();
+                spec.options = p.options;
+                p.hash = runner::specHash(spec);
+                points.push_back(std::move(p));
             }
         }
+    }
+
+    // The sweep identity is the hash over its points' hashes, in grid
+    // order: a journal binds to one exact grid and option set.
+    std::string hashes;
+    for (const SweepPoint &p : points)
+        hashes += p.hash;
+    char sweep_hash[17];
+    std::snprintf(sweep_hash, sizeof(sweep_hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      runner::fnv1a64(hashes)));
+
+    std::optional<runner::SweepJournal> journal;
+    if (!opt.resume_path.empty())
+        journal.emplace(
+            runner::SweepJournal::resume(opt.resume_path, sweep_hash));
+    else if (!opt.journal_path.empty())
+        journal.emplace(
+            runner::SweepJournal::create(opt.journal_path, sweep_hash));
+    if (journal && !journal->records().empty()) {
+        log::info("cli", "resuming sweep from journal",
+                  {{"path", journal->path()},
+                   {"completed", journal->records().size()},
+                   {"points", points.size()}});
+    }
+
+    // Simulate only the points the journal does not already cover.
+    std::vector<runner::SimJob> jobs;
+    std::vector<std::size_t> job_point;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        if (journal && journal->find(p.hash) != nullptr)
+            continue;
+        trace::SyntheticParams params =
+            trace::findWorkload(p.workload).params;
+        params.num_instrs = opt.totalInstrs();
+        const trace::SyntheticGenerator gen(params);
+        jobs.push_back(runner::makeJob(p.label,
+                                       sim::machineByName(p.machine), gen,
+                                       p.options, p.cores));
+        job_point.push_back(i);
+    }
+
+    runner::BatchOptions bopts;
+    bopts.keep_going = opt.keep_going;
+    bopts.retry.max_retries = opt.max_retries;
+    if (opt.retry_backoff_ms)
+        bopts.retry.backoff = std::chrono::milliseconds(*opt.retry_backoff_ms);
+    if (journal) {
+        // Persist each completed point from the worker thread that
+        // finished it: after a crash, everything already journaled
+        // replays verbatim. Failed points are not journaled — their
+        // (deterministic) faults must re-fail, or succeed under new
+        // limits, on resume.
+        bopts.on_outcome = [&](std::size_t job_index,
+                               const runner::JobOutcome &o) {
+            if (!o.completed())
+                return;
+            const SweepPoint &p = points[job_point[job_index]];
+            runner::JournalRecord rec;
+            rec.spec_hash = p.hash;
+            rec.label = o.label;
+            rec.status = runner::toString(o.status);
+            rec.attempts = o.attempts;
+            rec.job_json =
+                obs::ReportBuilder::jobJson(o, p.options, p.cores);
+            rec.csv = sweepCsvRows(p, o);
+            journal->append(rec);
+        };
     }
 
     runner::BatchRunner batch(opt.threads);
     runner::Heartbeat heartbeat("sweep");
     const runner::BatchResult results =
-        batch.run(std::move(jobs), &heartbeat);
+        batch.run(std::move(jobs), &heartbeat, bopts);
     heartbeat.finish();
     reportValidation(results.validation);
 
+    // Merge journaled and fresh outcomes back into grid order. Journaled
+    // points splice their stored report fragment and CSV bytes verbatim,
+    // so a resumed sweep's outputs are byte-identical to a cold run's.
+    std::vector<const runner::JobOutcome *> fresh(points.size(), nullptr);
+    for (std::size_t j = 0; j < results.outcomes.size(); ++j)
+        fresh[job_point[j]] = &results.outcomes[j];
+
     obs::ReportBuilder report("sweep");
-    for (std::size_t i = 0; i < results.outcomes.size(); ++i)
-        report.add(results.outcomes[i], so, points[i].cores);
+    std::string csv;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const runner::JournalRecord *rec =
+            journal ? journal->find(points[i].hash) : nullptr;
+        if (rec != nullptr) {
+            report.addRaw(rec->job_json);
+            csv += rec->csv;
+        } else {
+            report.add(*fresh[i], points[i].options, points[i].cores);
+            csv += sweepCsvRows(points[i], *fresh[i]);
+        }
+        csv += '\n';
+    }
     maybeWriteReport(opt, report);
 
-    // One row per grid point and stage; multi-core points report the
-    // component-wise average stacks and per-core cycle/instr counts of
-    // core 0 (threads are homogeneous).
-    std::printf("workload,machine,cores,instrs,cycles,cpi,%s\n",
+    std::printf("workload,machine,cores,instrs,cycles,cpi,%s,status\n",
                 analysis::cpiStackCsvHeader("stage").c_str());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const Point &p = points[i];
-        const runner::JobOutcome &o = results.outcomes[i];
-        const sim::SimResult &rep =
-            o.multi ? o.multi->per_core.front() : o.single;
-        const double cpi = o.multi ? o.multi->avg_cpi : o.single.cpi;
-        for (Stage s : {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
-            const stacks::CpiStack &stack =
-                o.multi ? o.multi->cpiStack(s) : o.single.cpiStack(s);
-            std::printf(
-                "%s,%s,%u,%llu,%llu,%.6g,%s\n", p.workload.c_str(),
-                p.machine.c_str(), p.cores,
-                static_cast<unsigned long long>(rep.instrs),
-                static_cast<unsigned long long>(rep.cycles), cpi,
-                analysis::toCsvRow(std::string(toString(s)), stack).c_str());
-        }
+    std::fputs(csv.c_str(), stdout);
+
+    // Journaled points completed in a previous run; count them towards
+    // the batch verdict (BatchResult::exitCode() only sees this run's).
+    const runner::StatusTally tally = results.tally();
+    const std::size_t replayed = points.size() - results.outcomes.size();
+    const std::size_t completed = tally.completed() + replayed;
+    if (tally.failed() + tally.skipped > 0) {
+        log::warn("cli", "sweep finished with failures",
+                  {{"completed", completed},
+                   {"timeout", tally.timeout},
+                   {"quarantined", tally.quarantined},
+                   {"skipped", tally.skipped}});
     }
-    return 0;
+    if (completed == points.size())
+        return 0;
+    return completed == 0 ? kExitTotalFailure : kExitPartialSuccess;
 }
 
 int

@@ -11,7 +11,12 @@ Checks, for report schema v1 and v2:
     the whole-run stack within 1e-9 * cycles;
   * v2 only: the "host_metrics" member exists and is null or a
     well-formed snapshot (counters/gauges/histograms, each histogram
-    with len(counts) == len(bounds) + 1 and total == sum(counts)).
+    with len(counts) == len(bounds) + 1 and total == sum(counts));
+  * v2 only: an optional per-job "job_status" section is well-formed
+    (status/attempts/error); jobs whose status is timeout, quarantined
+    or skipped carry an empty results array and a null aggregate, while
+    completed jobs ("ok"/"retried", or no job_status at all) must have
+    exactly one result per core.
 
 Stdlib only:  python3 tools/validate_report.py report.json
 """
@@ -24,6 +29,8 @@ CPI_COMPONENTS = ["Base", "Icache", "Bpred", "Dcache", "ALU lat", "Depend",
 FLOPS_COMPONENTS = ["Base", "Non-FMA", "Mask", "Frontend", "Non-VFP",
                     "Memory", "Depend", "Unsched"]
 STAGES = ["dispatch", "issue", "commit"]
+JOB_STATUSES = {"ok", "retried", "timeout", "quarantined", "skipped"}
+COMPLETED_STATUSES = {"ok", "retried"}
 RESULT_KEYS = {"core", "machine", "cycles", "instrs", "cpi", "ipc",
                "freq_hz", "core_peak_flops", "achieved_flops", "stats",
                "cpi_stacks", "cycle_stacks", "flops_cycles", "validation",
@@ -167,13 +174,37 @@ def check_report(doc):
         where = f"jobs[{j}]"
         for key in ("label", "cores", "options", "results", "aggregate"):
             require(key in job, f"{where}: missing '{key}'")
-        require(len(job["results"]) == job["cores"],
-                f"{where}: {len(job['results'])} results for "
-                f"{job['cores']} cores")
+        # "job_status" (v2, additive): absent means completed; failed or
+        # skipped jobs legitimately carry no results.
+        completed = True
+        if "job_status" in job:
+            status = job["job_status"]
+            for key in ("status", "attempts", "error"):
+                require(key in status, f"{where}.job_status: missing "
+                        f"'{key}'")
+            require(status["status"] in JOB_STATUSES,
+                    f"{where}.job_status: unknown status "
+                    f"{status['status']!r}")
+            require(isinstance(status["attempts"], int)
+                    and status["attempts"] >= 0,
+                    f"{where}.job_status: bad attempts "
+                    f"{status['attempts']!r}")
+            completed = status["status"] in COMPLETED_STATUSES
+            require(completed == (status["error"] == ""),
+                    f"{where}.job_status: error text and status disagree")
+        if completed:
+            require(len(job["results"]) == job["cores"],
+                    f"{where}: {len(job['results'])} results for "
+                    f"{job['cores']} cores")
+        else:
+            require(job["results"] == [],
+                    f"{where}: failed job carries results")
+            require(job["aggregate"] is None,
+                    f"{where}: failed job carries an aggregate")
         for r, result in enumerate(job["results"]):
             check_result(result, f"{where}.results[{r}]")
             results += 1
-        if job["cores"] > 1:
+        if completed and job["cores"] > 1:
             require(job["aggregate"] is not None,
                     f"{where}: multicore job lacks aggregate")
     return len(jobs), results
