@@ -23,7 +23,7 @@ std::string
 stackRow(const std::string &label, const stacks::StackT<E> &stack)
 {
     std::ostringstream out;
-    out << label;
+    out << csvField(label);
     char buf[32];
     stack.forEach([&](E, double v) {
         std::snprintf(buf, sizeof(buf), ",%.6g", v);
@@ -33,6 +33,55 @@ stackRow(const std::string &label, const stacks::StackT<E> &stack)
 }
 
 }  // namespace
+
+std::string
+csvField(std::string_view text)
+{
+    if (text.find_first_of(",\"\r\n") == std::string_view::npos)
+        return std::string(text);
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+parseCsvLine(std::string_view line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"' && cur.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(std::move(cur));
+    return fields;
+}
 
 std::string
 cpiStackCsvHeader(const std::string &label_col)

@@ -8,11 +8,28 @@
 #define STACKSCOPE_ANALYSIS_CSV_HPP
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stacks/stack.hpp"
 
 namespace stackscope::analysis {
+
+/**
+ * RFC 4180 field encoding: returns @p text unchanged unless it contains a
+ * comma, double quote, CR or LF, in which case it is wrapped in double
+ * quotes with embedded quotes doubled. Plain fields stay byte-identical,
+ * so existing consumers (and byte-comparison CI gates) only see quoting
+ * when it is actually needed.
+ */
+std::string csvField(std::string_view text);
+
+/**
+ * Parse one RFC 4180 CSV line (no trailing newline) into its fields,
+ * honouring quoted fields with embedded commas and doubled quotes. The
+ * inverse of csvField-joined rows.
+ */
+std::vector<std::string> parseCsvLine(std::string_view line);
 
 /** Header line for CPI stack rows: "label,Base,Icache,...". */
 std::string cpiStackCsvHeader(const std::string &label_col = "label");

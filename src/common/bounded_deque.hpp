@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-capacity ring deque for hot-loop queues.
+ *
+ * std::deque allocates (and frees) chunk nodes as it grows and shrinks;
+ * in the core's fetch queue and store queue that shows up as malloc
+ * traffic on every misprediction squash. BoundedDeque keeps one flat
+ * allocation sized at construction and wraps indices, so push/pop are a
+ * couple of integer ops and clear() never releases memory.
+ */
+
+#ifndef STACKSCOPE_COMMON_BOUNDED_DEQUE_HPP
+#define STACKSCOPE_COMMON_BOUNDED_DEQUE_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace stackscope {
+
+template <typename T>
+class BoundedDeque
+{
+  public:
+    explicit BoundedDeque(std::size_t capacity)
+        : slots_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == slots_.size(); }
+    std::size_t capacity() const { return slots_.size(); }
+
+    T &
+    front()
+    {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+
+    T &
+    back()
+    {
+        assert(count_ > 0);
+        return slots_[wrap(head_ + count_ - 1)];
+    }
+
+    const T &
+    back() const
+    {
+        assert(count_ > 0);
+        return slots_[wrap(head_ + count_ - 1)];
+    }
+
+    /** Logical indexing: [0] is the front. */
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < count_);
+        return slots_[wrap(head_ + i)];
+    }
+
+    void
+    push_back(T value)
+    {
+        assert(!full());
+        slots_[wrap(head_ + count_)] = std::move(value);
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count_ > 0);
+        slots_[head_] = T{};  // release payload resources eagerly
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        assert(count_ > 0);
+        slots_[wrap(head_ + count_ - 1)] = T{};
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        while (count_ > 0)
+            pop_back();
+        head_ = 0;
+    }
+
+  private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i < slots_.size() ? i : i - slots_.size();
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace stackscope
+
+#endif  // STACKSCOPE_COMMON_BOUNDED_DEQUE_HPP

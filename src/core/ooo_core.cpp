@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace stackscope::core {
 
 using stacks::BackendBlame;
+using stacks::CycleRecord;
 using stacks::CycleState;
 using stacks::FrontendReason;
 using stacks::Stage;
@@ -23,8 +25,14 @@ OooCore::OooCore(const CoreParams &params,
       fu_(params.fu),
       rob_(params.rob_size),
       rs_(params.rs_size),
+      fetch_q_(params.fetch_queue_size),
       wp_rng_(params.wrong_path_seed),
       scoreboard_(kScoreboardSize),
+      rs_mark_(params.rob_size, 0),
+      ready_lb_(params.rob_size, 0),
+      ready_blame_(params.rob_size, 0),
+      pending_stores_(params.rob_size),
+      store_filter_(kStoreFilterSize, 0),
       acct_dispatch_({Stage::kDispatch,
                       params.accounting_native_widths
                           ? params.dispatch_width
@@ -39,15 +47,28 @@ OooCore::OooCore(const CoreParams &params,
                         ? params.commit_width
                         : params.effectiveWidth(),
                     params.spec_mode}),
-      flops_({params.fu.vpu_units, params.flops_vec_lanes})
+      flops_({params.fu.vpu_units, params.flops_vec_lanes}),
+      has_shared_uncore_(shared_uncore != nullptr)
 {
     assert(trace_);
     assert(trace::kMaxDepDistance + params_.rob_size < kScoreboardSize);
+    // ScoreEntry::waiters stores ROB slots as uint16_t.
+    assert(params_.rob_size <= 0xffff);
+    batch_.reserve(kBatchCapacity);
+    const std::uint64_t line = mem_.params().l1i.line_bytes;
+    if (line > 1 && (line & (line - 1)) == 0) {
+        while ((std::uint64_t{1} << ifetch_line_shift_) < line)
+            ++ifetch_line_shift_;
+    }
+    updateSkipAllowed();
 }
 
 const stacks::CpiAccountant &
 OooCore::accountant(Stage stage) const
 {
+    // Logical constness: draining the record ring changes no observable
+    // result, it only moves already-recorded cycles into the accountant.
+    const_cast<OooCore *>(this)->flushBatch();
     switch (stage) {
       case Stage::kDispatch: return acct_dispatch_;
       case Stage::kIssue: return acct_issue_;
@@ -56,6 +77,13 @@ OooCore::accountant(Stage stage) const
     }
     assert(false);
     return acct_dispatch_;
+}
+
+const stacks::FlopsAccountant &
+OooCore::flopsAccountant() const
+{
+    const_cast<OooCore *>(this)->flushBatch();
+    return flops_;
 }
 
 OooCore::ScoreEntry &
@@ -76,6 +104,15 @@ OooCore::producerComplete(std::uint64_t trace_index) const
     return se.complete_at <= now_;
 }
 
+const OooCore::ScoreEntry *
+OooCore::liveIncompleteProducer(std::uint64_t trace_index) const
+{
+    const ScoreEntry &se = scoreboard_[trace_index % kScoreboardSize];
+    if (se.trace_index != trace_index || se.complete_at <= now_)
+        return nullptr;
+    return &se;
+}
+
 bool
 OooCore::entryReady(const InflightInstr &e, bool &store_conflict) const
 {
@@ -93,15 +130,21 @@ OooCore::entryReady(const InflightInstr &e, bool &store_conflict) const
     }
     if (e.instr.isLoad()) {
         // A load whose address matches an older, not-yet-executed store
-        // must wait (issue-stage structural stall, "Other").
+        // must wait (issue-stage structural stall, "Other"). The counting
+        // filter skips the queue walk when no pending store can possibly
+        // share the word address (the common case).
         const Addr word = e.instr.mem_addr / 8;
-        for (const PendingStore &ps : pending_stores_) {
-            if (ps.seq >= e.seq)
-                break;
-            if (ps.word_addr == word && rob_.holds(ps.slot, ps.seq) &&
-                !rob_.at(ps.slot).completed) {
-                store_conflict = true;
-                return false;
+        if (store_filter_[word & (kStoreFilterSize - 1)] != 0) {
+            const std::size_t n = pending_stores_.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                const PendingStore &ps = pending_stores_[i];
+                if (ps.seq >= e.seq)
+                    break;
+                if (ps.word_addr == word && rob_.holds(ps.slot, ps.seq) &&
+                    !rob_.at(ps.slot).completed) {
+                    store_conflict = true;
+                    return false;
+                }
             }
         }
     }
@@ -120,13 +163,12 @@ OooCore::blameProducer(const InflightInstr &e) const
     const ScoreEntry *binding = nullptr;
     Cycle binding_done = 0;
     for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
-        const std::uint64_t idx = e.instr.src[i];
-        const ScoreEntry &se = scoreboard_[idx % kScoreboardSize];
-        if (se.trace_index != idx || se.complete_at <= now_)
+        const ScoreEntry *se = liveIncompleteProducer(e.instr.src[i]);
+        if (se == nullptr)
             continue;
-        if (binding == nullptr || se.complete_at >= binding_done) {
-            binding = &se;
-            binding_done = se.complete_at;
+        if (binding == nullptr || se->complete_at >= binding_done) {
+            binding = se;
+            binding_done = se->complete_at;
         }
     }
     if (binding == nullptr)
@@ -138,6 +180,61 @@ OooCore::blameProducer(const InflightInstr &e) const
     if (binding->exec_latency > 1)
         return BackendBlame::kAluLat;
     return BackendBlame::kDepend;
+}
+
+void
+OooCore::classifyBlocked(const InflightInstr &e, Cycle &lb,
+                         stacks::BackendBlame &blame,
+                         std::uint64_t &unissued_src) const
+{
+    lb = 0;
+    blame = BackendBlame::kDepend;
+    unissued_src = kNoSeq;
+    if (e.wrong_path) {
+        if (e.wp_dep_slot >= 0 &&
+            rob_.holds(static_cast<unsigned>(e.wp_dep_slot), e.wp_dep_seq)) {
+            const InflightInstr &d =
+                rob_.at(static_cast<unsigned>(e.wp_dep_slot));
+            // An issued dependence completes exactly at its writeback
+            // event; an unissued one has no bound yet.
+            if (d.issued)
+                lb = d.complete_cycle;
+        }
+        return;
+    }
+    // Same binding-producer selection as blameProducer(). The bound is
+    // only sound when every incomplete producer has issued: readiness is
+    // then exactly the latest completion, and the binding (and therefore
+    // the blame) cannot change before that cycle because every other
+    // producer completes no later.
+    const ScoreEntry *binding = nullptr;
+    Cycle binding_done = 0;
+    bool all_issued = true;
+    for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
+        const ScoreEntry *se = liveIncompleteProducer(e.instr.src[i]);
+        if (se == nullptr)
+            continue;
+        if (!se->issued) {
+            all_issued = false;
+            if (unissued_src == kNoSeq)
+                unissued_src = se->trace_index;
+        }
+        if (binding == nullptr || se->complete_at >= binding_done) {
+            binding = se;
+            binding_done = se->complete_at;
+        }
+    }
+    if (binding == nullptr || !binding->issued) {
+        blame = BackendBlame::kDepend;
+    } else if (binding->dcache_miss) {
+        blame = BackendBlame::kDcache;
+    } else if (binding->exec_latency > 1) {
+        blame = BackendBlame::kAluLat;
+    } else {
+        blame = BackendBlame::kDepend;
+    }
+    if (binding != nullptr && all_issued)
+        lb = binding_done;
 }
 
 stacks::BackendBlame
@@ -172,8 +269,18 @@ OooCore::captureHeadState()
 void
 OooCore::onBranchFetchedAll(SeqNum seq)
 {
-    if (!params_.accounting_enabled)
+    // Only spec-counter epochs consume branch events (the accountants
+    // ignore them under oracle/simple), so everything else skips the
+    // three forwarding calls per branch.
+    if (!params_.accounting_enabled ||
+        params_.spec_mode != stacks::SpeculationMode::kSpecCounters)
         return;
+    // Spec-counter epochs are order-sensitive with respect to branch
+    // events: drain the ring so every already-recorded cycle is accounted
+    // before the event, exactly as the per-cycle reference interleaves
+    // them.
+    if (params_.batched_accounting)
+        flushBatch();
     acct_dispatch_.onBranchFetched(seq);
     acct_issue_.onBranchFetched(seq);
     acct_commit_.onBranchFetched(seq);
@@ -182,8 +289,11 @@ OooCore::onBranchFetchedAll(SeqNum seq)
 void
 OooCore::onBranchResolvedAll(SeqNum seq, bool mispredicted)
 {
-    if (!params_.accounting_enabled)
+    if (!params_.accounting_enabled ||
+        params_.spec_mode != stacks::SpeculationMode::kSpecCounters)
         return;
+    if (params_.batched_accounting)
+        flushBatch();
     acct_dispatch_.onBranchResolved(seq, mispredicted);
     acct_issue_.onBranchResolved(seq, mispredicted);
     acct_commit_.onBranchResolved(seq, mispredicted);
@@ -195,6 +305,7 @@ OooCore::doWriteback()
     while (!wb_queue_.empty() && wb_queue_.top().done <= now_) {
         const WbEvent ev = wb_queue_.top();
         wb_queue_.pop();
+        progress_ = true;
         if (!rob_.holds(ev.slot, ev.seq))
             continue;  // squashed
         InflightInstr &e = rob_.at(ev.slot);
@@ -210,16 +321,21 @@ OooCore::doWriteback()
 void
 OooCore::squashAfter(unsigned branch_slot, SeqNum branch_seq)
 {
+    progress_ = true;
     rob_.squashYounger(branch_slot, [&](InflightInstr &sq) {
         ++stats_.squashed_uops;
         (void)sq;
     });
     rs_.removeIf([&](unsigned s) { return !rob_.isLiveSlot(s); });
+    rs_counts_valid_ = false;
     while (!pending_stores_.empty() &&
            !rob_.holds(pending_stores_.back().slot,
                        pending_stores_.back().seq)) {
+        --store_filter_[pending_stores_.back().word_addr &
+                        (kStoreFilterSize - 1)];
         pending_stores_.pop_back();
     }
+    recountRsVfp();
     // Everything in the fetch queue is wrong-path by construction.
     fetch_q_.clear();
     fetch_q_correct_ = 0;
@@ -229,6 +345,17 @@ OooCore::squashAfter(unsigned branch_slot, SeqNum branch_seq)
     redirect_until_ =
         std::max<Cycle>(redirect_until_, now_ + params_.frontend_depth);
     onBranchResolvedAll(branch_seq, /*mispredicted=*/true);
+}
+
+void
+OooCore::recountRsVfp()
+{
+    rs_vfp_correct_ = 0;
+    for (unsigned slot : rs_.entries()) {
+        const InflightInstr &e = rob_.at(slot);
+        if (!e.wrong_path && trace::isVfp(e.instr.cls))
+            ++rs_vfp_correct_;
+    }
 }
 
 void
@@ -243,6 +370,8 @@ OooCore::doCommit()
             mem_.store(h.instr.mem_addr, now_);
             if (!pending_stores_.empty() &&
                 pending_stores_.front().seq == h.seq) {
+                --store_filter_[pending_stores_.front().word_addr &
+                                (kStoreFilterSize - 1)];
                 pending_stores_.pop_front();
             }
         }
@@ -253,6 +382,8 @@ OooCore::doCommit()
         rob_.popHead();
         ++n;
     }
+    if (n > 0)
+        progress_ = true;
     cs_.n_commit = n;
     captureHeadState();
 }
@@ -291,9 +422,14 @@ OooCore::issueOne(unsigned slot)
     if (!e.wrong_path) {
         ScoreEntry &se = scoreSlot(e.trace_index);
         se.complete_at = now_ + lat;
-        se.exec_latency = lat;
+        se.exec_latency = static_cast<std::uint32_t>(lat);
         se.dcache_miss = e.dcache_miss;
         se.issued = true;
+        // Re-arm consumers parked on this producer: their bound is
+        // computable now that the completion time is known.
+        for (unsigned i = 0; i < se.num_waiters; ++i)
+            ready_lb_[se.waiters[i]] = 0;
+        se.num_waiters = 0;
 
         if (trace::isVfp(e.instr.cls)) {
             const double a = trace::flopsPerLane(e.instr.cls);
@@ -304,6 +440,7 @@ OooCore::issueOne(unsigned slot)
             cs_.vfp_nonfma_loss += (2.0 - a) * m;
             cs_.vfp_mask_loss += v - m;
             stats_.flops_issued += static_cast<std::uint64_t>(a * m);
+            --rs_vfp_correct_;
         }
     }
 }
@@ -312,32 +449,94 @@ void
 OooCore::doIssue()
 {
     fu_.beginCycle(now_);
+    cs_.issue_blame = BackendBlame::kNone;
+    cs_.ready_unissued = false;
+
+    if (rs_counts_valid_ && rs_active_ == 0 && now_ < next_wake_) {
+        // Every RS entry is parked with an unexpired bound: none can have
+        // become ready (entryReady() on a data-incomplete entry is false
+        // with no store conflict), so the walk would only replay blames.
+        // The oldest entry is the first nonready one in age order.
+        if (!rs_.empty())
+            cs_.issue_blame = static_cast<BackendBlame>(
+                ready_blame_[rs_.entries().front()]);
+        cs_.n_issue = 0;
+        cs_.n_issue_wrong = 0;
+        cs_.rs_empty_any = rs_.empty();
+        cs_.rs_empty_correct = rs_correct_ == 0;
+        cs_.nonvfp_on_vpu = fu_.nonVfpOnVpuThisCycle();
+        scanVfpWait();
+        return;
+    }
+
     unsigned budget = params_.issue_width;
     unsigned n_issue = 0;
     unsigned n_wrong = 0;
     bool found_nonready = false;
-    cs_.issue_blame = BackendBlame::kNone;
-    cs_.ready_unissued = false;
+    bool walk_complete = true;
+    unsigned active = 0;
+    Cycle wake = kNeverCycle;
 
     issued_scratch_.clear();
     for (unsigned slot : rs_.entries()) {
+        if (ready_lb_[slot] > now_) {
+            // Provably blocked until ready_lb_: skip the dependence walk
+            // and replay the blame computed when the bound was cached.
+            wake = std::min(wake, ready_lb_[slot]);
+            if (!found_nonready) {
+                found_nonready = true;
+                cs_.issue_blame =
+                    static_cast<BackendBlame>(ready_blame_[slot]);
+            }
+            continue;
+        }
         InflightInstr &e = rob_.at(slot);
         bool conflict = false;
         if (!entryReady(e, conflict)) {
             if (conflict) {
                 cs_.ready_unissued = true;
-            } else if (!found_nonready) {
-                found_nonready = true;
-                cs_.issue_blame = blameProducer(e);
+                ++active;
+            } else {
+                Cycle lb = 0;
+                stacks::BackendBlame blame = BackendBlame::kDepend;
+                std::uint64_t unissued = kNoSeq;
+                classifyBlocked(e, lb, blame, unissued);
+                if (lb > now_) {
+                    ready_lb_[slot] = lb;
+                    ready_blame_[slot] = static_cast<std::uint8_t>(blame);
+                    wake = std::min(wake, lb);
+                } else if (unissued != kNoSeq) {
+                    // Blocked on a producer that has not even issued:
+                    // park the entry until that producer's issueOne()
+                    // re-arms it (blame is kDepend the whole time).
+                    ScoreEntry &p = scoreSlot(unissued);
+                    if (p.num_waiters < std::size(p.waiters)) {
+                        p.waiters[p.num_waiters++] =
+                            static_cast<std::uint16_t>(slot);
+                        ready_lb_[slot] = kNeverCycle;
+                        ready_blame_[slot] =
+                            static_cast<std::uint8_t>(blame);
+                    } else {
+                        ++active;
+                    }
+                } else {
+                    ++active;
+                }
+                if (!found_nonready) {
+                    found_nonready = true;
+                    cs_.issue_blame = blame;
+                }
             }
             continue;
         }
         if (budget == 0) {
             cs_.ready_unissued = true;
+            walk_complete = false;
             break;
         }
         if (!fu_.canIssue(e.instr.cls)) {
             cs_.ready_unissued = true;
+            ++active;
             continue;
         }
         issueOne(slot);
@@ -350,42 +549,67 @@ OooCore::doIssue()
             --rs_correct_;
         }
     }
-    for (unsigned slot : issued_scratch_)
-        rs_.remove(slot);
+    if (!issued_scratch_.empty()) {
+        progress_ = true;
+        // One ordered sweep instead of an O(n) search per issued uop.
+        for (unsigned slot : issued_scratch_)
+            rs_mark_[slot] = 1;
+        rs_.removeIf([&](unsigned s) { return rs_mark_[s] != 0; });
+        for (unsigned slot : issued_scratch_)
+            rs_mark_[slot] = 0;
+    }
+
+    // The walk's census is trustworthy only if it covered every entry and
+    // no issue re-armed an already-visited waiter mid-walk.
+    if (walk_complete && issued_scratch_.empty()) {
+        rs_counts_valid_ = true;
+        rs_active_ = active;
+        next_wake_ = wake;
+    } else {
+        rs_counts_valid_ = false;
+    }
 
     cs_.n_issue = n_issue;
     cs_.n_issue_wrong = n_wrong;
     cs_.rs_empty_any = rs_.empty();
     cs_.rs_empty_correct = rs_correct_ == 0;
     cs_.nonvfp_on_vpu = fu_.nonVfpOnVpuThisCycle();
+    scanVfpWait();
+}
 
+void
+OooCore::scanVfpWait()
+{
     // FLOPS stack inputs: is a correct-path VFP uop still waiting, and why?
+    // The occupancy counter makes the common no-VFP case free.
     cs_.vfp_in_rs = false;
     cs_.vfp_blame = VfpBlame::kNone;
-    for (unsigned slot : rs_.entries()) {
-        const InflightInstr &e = rob_.at(slot);
-        if (e.wrong_path || !trace::isVfp(e.instr.cls))
-            continue;
-        cs_.vfp_in_rs = true;
-        // prod(oldest VFP instr): Table III blames the producer the VFP
-        // op is actually waiting for — the latest-completing incomplete
-        // one. Memory load -> mem component, anything else -> depend.
-        const ScoreEntry *binding = nullptr;
-        Cycle binding_done = 0;
-        for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
-            const std::uint64_t idx = e.instr.src[i];
-            const ScoreEntry &se = scoreboard_[idx % kScoreboardSize];
-            if (se.trace_index != idx || se.complete_at <= now_)
+    if (rs_vfp_correct_ > 0) {
+        for (unsigned slot : rs_.entries()) {
+            const InflightInstr &e = rob_.at(slot);
+            if (e.wrong_path || !trace::isVfp(e.instr.cls))
                 continue;
-            if (binding == nullptr || se.complete_at >= binding_done) {
-                binding = &se;
-                binding_done = se.complete_at;
+            cs_.vfp_in_rs = true;
+            // prod(oldest VFP instr): Table III blames the producer the VFP
+            // op is actually waiting for — the latest-completing incomplete
+            // one. Memory load -> mem component, anything else -> depend.
+            const ScoreEntry *binding = nullptr;
+            Cycle binding_done = 0;
+            for (unsigned i = 0; i < e.instr.num_srcs; ++i) {
+                const ScoreEntry *se =
+                    liveIncompleteProducer(e.instr.src[i]);
+                if (se == nullptr)
+                    continue;
+                if (binding == nullptr || se->complete_at >= binding_done) {
+                    binding = se;
+                    binding_done = se->complete_at;
+                }
             }
+            cs_.vfp_blame = (binding != nullptr && binding->is_load)
+                                ? VfpBlame::kMem
+                                : VfpBlame::kDepend;
+            break;
         }
-        cs_.vfp_blame = (binding != nullptr && binding->is_load)
-                            ? VfpBlame::kMem
-                            : VfpBlame::kDepend;
-        break;
     }
 }
 
@@ -402,6 +626,7 @@ OooCore::doDispatch()
         if (front.instr.cls == InstrClass::kYield && !front.wrong_path) {
             if (rob_.empty()) {
                 // Retire the marker and deschedule the thread.
+                progress_ = true;
                 unsched_until_ = now_ + 1 + front.instr.yield_cycles;
                 ScoreEntry &se = scoreSlot(front.trace_index);
                 se = ScoreEntry{front.trace_index, now_, false, false, 1,
@@ -436,6 +661,7 @@ OooCore::doDispatch()
 
         const bool wrong_path = inst.wrong_path;
         const bool is_branch = inst.instr.isBranch();
+        const bool is_vfp = trace::isVfp(inst.instr.cls);
         const SeqNum seq = inst.seq;
         const std::uint64_t tidx = inst.trace_index;
         const bool is_store = inst.instr.isStore();
@@ -443,6 +669,10 @@ OooCore::doDispatch()
 
         const unsigned slot = rob_.push(std::move(inst));
         rs_.insert(slot);
+        ready_lb_[slot] = 0;
+        // A fresh entry is unclassified, hence active.
+        if (rs_counts_valid_)
+            ++rs_active_;
 
         if (wrong_path) {
             ++n_wrong;
@@ -454,16 +684,22 @@ OooCore::doDispatch()
             ++rob_correct_;
             ++rs_correct_;
             --fetch_q_correct_;
+            if (is_vfp)
+                ++rs_vfp_correct_;
             ScoreEntry &se = scoreSlot(tidx);
             se = ScoreEntry{tidx, kNeverCycle,
                             rob_.at(slot).instr.isLoad(), false, 1, false};
             if (is_branch)
                 onBranchFetchedAll(seq);
-            if (is_store)
+            if (is_store) {
                 pending_stores_.push_back(PendingStore{slot, seq, addr / 8});
+                ++store_filter_[(addr / 8) & (kStoreFilterSize - 1)];
+            }
         }
     }
 
+    if (n + n_wrong > 0)
+        progress_ = true;
     cs_.n_dispatch = n;
     cs_.n_dispatch_wrong = n_wrong;
     cs_.fe_has_any = !fetch_q_.empty();
@@ -523,7 +759,7 @@ OooCore::fetchCorrectPath(unsigned budget)
         }
 
         // Instruction cache: one timed access per new line.
-        const Addr line = pending_.pc / mem_.params().l1i.line_bytes;
+        const Addr line = ifetchLine(pending_.pc);
         if (line != last_fetch_line_) {
             const uarch::AccessResult res = mem_.ifetch(pending_.pc, now_);
             last_fetch_line_ = line;
@@ -579,16 +815,64 @@ OooCore::fetchCorrectPath(unsigned budget)
 void
 OooCore::doFetch()
 {
+    // Snapshot the frontend latches so any mutation below marks the cycle
+    // as having made progress (which vetoes skip-ahead). fe_reason_ is
+    // part of the snapshot because dispatch publishes it one cycle late:
+    // a boundary cycle that flips only the latched reason (e.g. redirect
+    // expiry with the trace drained, kBpred -> kDrain) must not be quiet,
+    // or skip-ahead would replicate the stale reason across the span.
+    const std::size_t fq_before = fetch_q_.size();
+    const unsigned decode_before = decode_busy_;
+    const bool pending_before = has_pending_;
+    const Cycle ready_before = fetch_ready_at_;
+    const FrontendReason reason_before = fe_reason_;
+
     if (now_ < redirect_until_) {
         fe_reason_ = FrontendReason::kBpred;
-        return;
-    }
-    if (wrong_path_mode_) {
+    } else if (wrong_path_mode_) {
         fe_reason_ = FrontendReason::kBpred;
         fetchWrongPath(params_.fetch_width);
-        return;
+    } else {
+        fetchCorrectPath(params_.fetch_width);
     }
-    fetchCorrectPath(params_.fetch_width);
+
+    if (fetch_q_.size() != fq_before || decode_busy_ != decode_before ||
+        has_pending_ != pending_before || fetch_ready_at_ != ready_before ||
+        fe_reason_ != reason_before) {
+        progress_ = true;
+    }
+}
+
+void
+OooCore::flushBatch()
+{
+    if (batch_.empty())
+        return;
+    acct_dispatch_.tickBatch(batch_.data(), batch_.size());
+    acct_issue_.tickBatch(batch_.data(), batch_.size());
+    acct_commit_.tickBatch(batch_.data(), batch_.size());
+    flops_.tickBatch(batch_.data(), batch_.size());
+    batch_.clear();
+}
+
+void
+OooCore::appendRecord(const CycleRecord &rec)
+{
+    if (!batch_.empty()) {
+        CycleRecord &last = batch_.back();
+        // Runs of identical idle cycles collapse into one record; records
+        // with any pipeline activity are kept singular so the accountants'
+        // per-cycle arithmetic (and the §III-A carry) replays bit-exactly.
+        if (last.flags == rec.flags && last.idle() && rec.idle() &&
+            rec.repeat <=
+                std::numeric_limits<std::uint32_t>::max() - last.repeat) {
+            last.repeat += rec.repeat;
+            return;
+        }
+    }
+    if (batch_.size() == kBatchCapacity)
+        flushBatch();
+    batch_.push_back(rec);
 }
 
 void
@@ -596,22 +880,95 @@ OooCore::account()
 {
     if (!params_.accounting_enabled)
         return;
-    acct_dispatch_.tick(cs_);
-    acct_issue_.tick(cs_);
-    acct_commit_.tick(cs_);
-    flops_.tick(cs_);
+    if (!params_.batched_accounting) {
+        acct_dispatch_.tick(cs_);
+        acct_issue_.tick(cs_);
+        acct_commit_.tick(cs_);
+        flops_.tick(cs_);
+        return;
+    }
+    appendRecord(stacks::packCycleState(cs_));
+}
+
+void
+OooCore::accountUnsched(Cycle span)
+{
+    if (!params_.accounting_enabled)
+        return;
+    if (!params_.batched_accounting) {
+        assert(span == 1);
+        acct_dispatch_.tick(cs_);
+        acct_issue_.tick(cs_);
+        acct_commit_.tick(cs_);
+        flops_.tick(cs_);
+        return;
+    }
+    CycleRecord rec{};
+    rec.flags = stacks::record_flags::kUnsched;
+    while (span > 0) {
+        const Cycle chunk = std::min<Cycle>(
+            span, std::numeric_limits<std::uint32_t>::max());
+        rec.repeat = static_cast<std::uint32_t>(chunk);
+        appendRecord(rec);
+        span -= chunk;
+    }
+}
+
+void
+OooCore::maybeSkipAhead()
+{
+    // A cycle that mutated nothing and holds no ready-but-unissued work is
+    // provably inert: microarchitectural state next changes only when a
+    // writeback completes, an icache refill lands, or a redirect expires.
+    // Jump to the earliest such event and account the skipped cycles as
+    // repeats of the (identical) record just appended. See
+    // docs/performance.md for the legality argument.
+    if (!skip_allowed_ || progress_ || cs_.ready_unissued)
+        return;
+    Cycle target = cycle_horizon_;
+    if (!wb_queue_.empty())
+        target = std::min(target, wb_queue_.top().done);
+    // now_ is the next unevaluated cycle: an event landing exactly on it
+    // means that cycle is not quiet, so >= (not >) keeps it in the target
+    // set and the `target <= now_` check below refuses the jump.
+    if (fetch_ready_at_ >= now_)
+        target = std::min(target, fetch_ready_at_);
+    if (redirect_until_ >= now_)
+        target = std::min(target, redirect_until_);
+    if (target == kNeverCycle || target <= now_)
+        return;
+    Cycle span = target - now_;
+    if (params_.accounting_enabled) {
+        assert(!batch_.empty());
+        CycleRecord &last = batch_.back();
+        const std::uint32_t headroom =
+            std::numeric_limits<std::uint32_t>::max() - last.repeat;
+        span = std::min<Cycle>(span, headroom);
+        if (span == 0)
+            return;
+        last.repeat += static_cast<std::uint32_t>(span);
+    }
+    now_ += span;
 }
 
 void
 OooCore::cycle()
 {
-    cs_ = CycleState{};
     if (now_ < unsched_until_) {
+        cs_ = CycleState{};
         cs_.unsched = true;
-        account();
-        ++now_;
+        Cycle span = 1;
+        if (skip_allowed_) {
+            const Cycle limit = std::min(unsched_until_, cycle_horizon_);
+            if (limit > now_)
+                span = limit - now_;
+        }
+        accountUnsched(span);
+        now_ += span;
         return;
     }
+    cs_ = CycleState{};
+    progress_ = false;
     doWriteback();
     doCommit();
     doIssue();
@@ -619,6 +976,7 @@ OooCore::cycle()
     doFetch();
     account();
     ++now_;
+    maybeSkipAhead();
 }
 
 bool
@@ -628,9 +986,21 @@ OooCore::done() const
            rob_.empty() && now_ >= unsched_until_;
 }
 
+bool
+OooCore::storeQueueSorted() const
+{
+    for (std::size_t i = 1; i < pending_stores_.size(); ++i) {
+        if (pending_stores_[i - 1].seq >= pending_stores_[i].seq)
+            return false;
+    }
+    return true;
+}
+
 void
 OooCore::run(Cycle max_cycles)
 {
+    if (max_cycles != 0)
+        cycle_horizon_ = std::min(cycle_horizon_, max_cycles);
     while (!done() && (max_cycles == 0 || now_ < max_cycles))
         cycle();
     stats_.cycles = cycles();
@@ -655,6 +1025,7 @@ OooCore::resetMeasurement()
          params_.spec_mode});
     flops_ = stacks::FlopsAccountant(
         {params_.fu.vpu_units, params_.flops_vec_lanes});
+    batch_.clear();  // warmup cycles never reach the fresh accountants
     stats_ = CoreStats{};
     measure_start_cycle_ = now_;
     accounting_finalized_ = false;
@@ -665,6 +1036,7 @@ OooCore::finalizeAccounting()
 {
     if (accounting_finalized_ || !params_.accounting_enabled)
         return;
+    flushBatch();
     acct_dispatch_.finalize();
     acct_issue_.finalize();
     acct_commit_.finalize();

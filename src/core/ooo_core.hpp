@@ -19,6 +19,16 @@
  * the four accountants (dispatch/issue/commit CPI stacks and the FLOPS
  * stack), which is exactly the integration style the paper recommends for
  * simulators (§IV: negligible overhead).
+ *
+ * Two accounting engines share that observation contract
+ * (docs/performance.md):
+ *  - the batched engine (default) packs each CycleState into a
+ *    stacks::CycleRecord ring consumed in spans via tickBatch(), merges
+ *    runs of identical idle cycles, and fast-forwards `now_` across
+ *    provably quiet spans to the next writeback/refill/redirect event;
+ *  - the reference engine (CoreParams::batched_accounting = false) keeps
+ *    the original one-tick-per-cycle path and never skips, serving as the
+ *    golden baseline the batched engine is checked against.
  */
 
 #ifndef STACKSCOPE_CORE_OOO_CORE_HPP
@@ -26,14 +36,15 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/bounded_deque.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "stacks/cpi_accountant.hpp"
+#include "stacks/cycle_record.hpp"
 #include "stacks/cycle_state.hpp"
 #include "stacks/flops_accountant.hpp"
 #include "trace/trace_source.hpp"
@@ -69,6 +80,14 @@ struct CoreParams
 
     /** Master switch for all stack accounting (overhead benchmark). */
     bool accounting_enabled = true;
+
+    /**
+     * Engine selection: true (default) drives the accountants through the
+     * packed CycleRecord ring with idle-run merging and skip-ahead; false
+     * retains the per-cycle reference path (SimOptions::reference_engine,
+     * the golden baseline of the bit-identity suite).
+     */
+    bool batched_accounting = true;
 
     /**
      * Ablation knob: account each stage with its *native* width instead of
@@ -120,7 +139,7 @@ class OooCore
             std::unique_ptr<trace::TraceSource> trace,
             uarch::Uncore *shared_uncore = nullptr);
 
-    /** Advance one cycle. */
+    /** Advance one cycle (or, when skip-ahead engages, one quiet span). */
     void cycle();
 
     /** Trace exhausted and pipeline drained. */
@@ -143,6 +162,38 @@ class OooCore
      */
     void resetMeasurement();
 
+    /**
+     * Runtime gate for idle skip-ahead (on by default). Drivers turn it
+     * off when an observer needs to see every individual cycle (the
+     * pipeline tracer). It has no effect in the reference engine or with
+     * a shared uncore, where skip is never legal.
+     */
+    void
+    setSkipAheadEnabled(bool on)
+    {
+        skip_user_enabled_ = on;
+        updateSkipAllowed();
+    }
+
+    /**
+     * Absolute-cycle ceiling for skip-ahead: a quiet span never advances
+     * `now_` past this value, so cycle-exact consumers (watchdogs,
+     * interval snapshots, periodic validators) observe the same
+     * boundaries as a never-skipping run. kNeverCycle disables the cap;
+     * drivers refresh it every iteration.
+     */
+    void setCycleHorizon(Cycle horizon) { cycle_horizon_ = horizon; }
+
+    /**
+     * The `pending_stores_` ordering invariant the load-alias early-break
+     * relies on: sequence numbers strictly increase front to back.
+     * Dispatch appends in program order and both removal paths (commit
+     * pops the front, squash pops the wrong-path suffix from the back)
+     * preserve it; validate::IntervalValidator asserts it under
+     * `--validate strict`.
+     */
+    bool storeQueueSorted() const;
+
     /** @name Results @{ */
     /** Cycles elapsed since the last resetMeasurement() (or start). */
     Cycle cycles() const { return now_ - measure_start_cycle_; }
@@ -157,8 +208,10 @@ class OooCore
                    : static_cast<double>(cycles()) /
                          static_cast<double>(stats_.instrs_committed);
     }
+    /** Per-stage accountant; drains any batched records first. */
     const stacks::CpiAccountant &accountant(stacks::Stage stage) const;
-    const stacks::FlopsAccountant &flopsAccountant() const { return flops_; }
+    /** FLOPS accountant; drains any batched records first. */
+    const stacks::FlopsAccountant &flopsAccountant() const;
     /** The observation record of the most recently executed cycle. */
     const stacks::CycleState &cycleState() const { return cs_; }
     const uarch::CacheHierarchy &caches() const { return mem_; }
@@ -169,14 +222,27 @@ class OooCore
 
   private:
     /** Dependence scoreboard entry for one correct-path instruction. */
+    /**
+     * Packed to 32 bytes (two per cache line): the dispatch stage rewrites
+     * one entry per uop, so the footprint is hot.
+     */
     struct ScoreEntry
     {
         std::uint64_t trace_index = kNoSeq;
         Cycle complete_at = kNeverCycle;
+        std::uint32_t exec_latency = 1;
         bool is_load = false;
         bool dcache_miss = false;
-        Cycle exec_latency = 1;
         bool issued = false;
+        /**
+         * ROB slots of RS entries parked (ready_lb_ = kNeverCycle) until
+         * this producer issues; issueOne() re-arms them. A full list
+         * simply leaves further consumers on the evaluate-every-cycle
+         * path, and a stale wake is only a spurious re-evaluation, never
+         * a correctness hazard.
+         */
+        std::uint8_t num_waiters = 0;
+        std::uint16_t waiters[4] = {};
     };
 
     /** Writeback event. */
@@ -191,12 +257,19 @@ class OooCore
     /** Outstanding (uncommitted) store for load-conflict checks. */
     struct PendingStore
     {
-        unsigned slot;
-        SeqNum seq;
-        Addr word_addr;
+        unsigned slot = 0;
+        SeqNum seq = kNoSeq;
+        Addr word_addr = 0;
     };
 
     static constexpr std::uint64_t kScoreboardSize = 4096;
+    /** Record ring capacity before a forced drain into the accountants. */
+    static constexpr std::size_t kBatchCapacity = 256;
+    /**
+     * Counting-filter buckets for pending-store word addresses (power of
+     * two; collisions only cost a redundant scan, never a missed one).
+     */
+    static constexpr std::size_t kStoreFilterSize = 1024;
 
     void doWriteback();
     void doCommit();
@@ -204,6 +277,16 @@ class OooCore
     void doDispatch();
     void doFetch();
     void account();
+    void accountUnsched(Cycle span);
+    void maybeSkipAhead();
+    void flushBatch();
+    void appendRecord(const stacks::CycleRecord &rec);
+    void
+    updateSkipAllowed()
+    {
+        skip_allowed_ = params_.batched_accounting && skip_user_enabled_ &&
+                        !has_shared_uncore_;
+    }
 
     void fetchCorrectPath(unsigned budget);
     void fetchWrongPath(unsigned budget);
@@ -211,13 +294,42 @@ class OooCore
 
     ScoreEntry &scoreSlot(std::uint64_t trace_index);
     bool producerComplete(std::uint64_t trace_index) const;
+    /**
+     * The scoreboard entry for @p trace_index iff it is still live (not
+     * recycled after the kScoreboardSize wrap) and not yet complete;
+     * nullptr otherwise. Blame selection must go through this guard — a
+     * recycled entry's is_load/dcache_miss/exec_latency belong to a
+     * long-gone instruction.
+     */
+    const ScoreEntry *liveIncompleteProducer(std::uint64_t trace_index) const;
+    Addr
+    ifetchLine(Addr pc) const
+    {
+        return ifetch_line_shift_ != 0
+                   ? pc >> ifetch_line_shift_
+                   : pc / mem_.params().l1i.line_bytes;
+    }
     bool entryReady(const uarch::InflightInstr &e, bool &store_conflict) const;
     stacks::BackendBlame blameProducer(const uarch::InflightInstr &e) const;
+    /**
+     * For an RS entry that failed entryReady() on a producer dependence:
+     * the earliest cycle it could become ready (0 when unknowable, i.e.
+     * some producer has not issued yet) and the Table II blame it will
+     * carry until then. Mirrors blameProducer() exactly; the pair feeds
+     * the per-slot ready_lb_ cache that lets doIssue() skip re-evaluating
+     * provably blocked entries.
+     */
+    void classifyBlocked(const uarch::InflightInstr &e, Cycle &lb,
+                         stacks::BackendBlame &blame,
+                         std::uint64_t &unissued_src) const;
     stacks::BackendBlame headBlame() const;
     void captureHeadState();
     void issueOne(unsigned slot);
     void onBranchFetchedAll(SeqNum seq);
     void onBranchResolvedAll(SeqNum seq, bool mispredicted);
+    void recountRsVfp();
+    /** FLOPS-stack inputs (cs_.vfp_in_rs / vfp_blame) from the RS walk. */
+    void scanVfpWait();
 
     CoreParams params_;
     std::unique_ptr<trace::TraceSource> trace_;
@@ -235,7 +347,7 @@ class OooCore
     CoreStats stats_;
 
     // Frontend state.
-    std::deque<uarch::InflightInstr> fetch_q_;
+    BoundedDeque<uarch::InflightInstr> fetch_q_;
     trace::DynInstr pending_{};
     std::uint64_t pending_index_ = 0;
     bool has_pending_ = false;
@@ -243,6 +355,8 @@ class OooCore
     Cycle fetch_ready_at_ = 0;       ///< icache-miss stall
     unsigned decode_busy_ = 0;       ///< microcode decode cycles remaining
     Addr last_fetch_line_ = ~Addr{0};
+    /** log2(l1i line bytes) when a power of two, else 0 (= use division). */
+    unsigned ifetch_line_shift_ = 0;
     stacks::FrontendReason fe_reason_ = stacks::FrontendReason::kNone;
 
     // Wrong-path / redirect state.
@@ -259,13 +373,41 @@ class OooCore
     unsigned fetch_q_correct_ = 0;
     unsigned rob_correct_ = 0;
     unsigned rs_correct_ = 0;
+    /** Correct-path VFP uops waiting in the RS (elides the Table III scan). */
+    unsigned rs_vfp_correct_ = 0;
 
     // Backend bookkeeping.
     std::vector<ScoreEntry> scoreboard_;
     std::vector<unsigned> issued_scratch_;
+    std::vector<std::uint8_t> rs_mark_;  ///< per-ROB-slot issue marks
+    /**
+     * Per-ROB-slot readiness lower bound: while now_ < ready_lb_[slot]
+     * the RS entry provably cannot issue and doIssue() skips it, reusing
+     * ready_blame_[slot] for the Table II issue blame. 0 means "evaluate
+     * every cycle" (unknown, e.g. an unissued producer). Reset when the
+     * slot is re-dispatched; squashes remove the entry from the RS, so
+     * stale bounds are never consulted.
+     */
+    std::vector<Cycle> ready_lb_;
+    std::vector<std::uint8_t> ready_blame_;
+    /**
+     * doIssue() O(1) fast path. While rs_counts_valid_, rs_active_ counts
+     * RS entries whose readiness bound has been reached (they must be
+     * re-evaluated), and next_wake_ is the earliest finite bound among
+     * the parked rest. When rs_active_ == 0 and now_ < next_wake_, no
+     * entry can possibly issue this cycle and the per-entry walk is
+     * skipped: blame replays from the oldest entry's cached value.
+     * Invalidated by any issue (wakeups shift entries to active) or
+     * squash; revalidated by the next completed full walk.
+     */
+    bool rs_counts_valid_ = false;
+    unsigned rs_active_ = 0;
+    Cycle next_wake_ = 0;
     std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>>
         wb_queue_;
-    std::deque<PendingStore> pending_stores_;
+    BoundedDeque<PendingStore> pending_stores_;
+    /** Per-bucket count of pending-store word addresses. */
+    std::vector<std::uint16_t> store_filter_;
 
     // Accounting.
     stacks::CpiAccountant acct_dispatch_;
@@ -274,6 +416,14 @@ class OooCore
     stacks::FlopsAccountant flops_;
     stacks::CycleState cs_;
     bool accounting_finalized_ = false;
+
+    // Batched engine state.
+    std::vector<stacks::CycleRecord> batch_;
+    bool progress_ = false;  ///< any state mutation in the current cycle
+    bool has_shared_uncore_ = false;
+    bool skip_user_enabled_ = true;
+    bool skip_allowed_ = false;
+    Cycle cycle_horizon_ = kNeverCycle;
 };
 
 }  // namespace stackscope::core

@@ -105,6 +105,17 @@ class IntervalAccountant
         return window_ != 0 && elapsed >= next_;
     }
 
+    /**
+     * The next boundary in measured cycles — drivers feed it into
+     * core::OooCore::setCycleHorizon() so idle skip-ahead never jumps a
+     * window edge (0 when disabled maps to an immediate horizon; callers
+     * must check enabled() via window()).
+     */
+    Cycle nextBoundary() const { return next_; }
+
+    /** Nominal window length (0 = disabled). */
+    Cycle window() const { return window_; }
+
     /** Record the window ending at the current measured cycle. */
     void snapshot(const core::OooCore &core);
 

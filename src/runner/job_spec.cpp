@@ -46,6 +46,7 @@ canonicalJson(const JobSpec &spec)
         .key("options").beginObject()
         .key("spec_mode").value(specModeName(o.spec_mode))
         .key("accounting").value(o.accounting)
+        .key("engine").value(o.reference_engine ? "reference" : "batched")
         .key("max_cycles").value(static_cast<std::uint64_t>(o.max_cycles))
         .key("warmup_instrs");
     if (o.warmup_instrs)

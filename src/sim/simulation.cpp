@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -75,6 +76,7 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     core::CoreParams params = machine.core;
     params.spec_mode = options.spec_mode;
     params.accounting_enabled = options.accounting;
+    params.batched_accounting = !options.reference_engine;
     if (options.fault &&
         validate::targetOf(options.fault->kind) == FaultTarget::kConfig)
         validate::applyToConfig(*options.fault, params);
@@ -93,6 +95,11 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     std::optional<obs::PipelineTracer> tracer;
     if (options.obs.trace_events)
         tracer.emplace(options.obs.trace_capacity);
+    // The tracer must observe every individual cycle, so idle skip-ahead
+    // is illegal under it (it is also off in the reference engine and
+    // with a shared uncore; see OooCore::setSkipAheadEnabled).
+    if (tracer)
+        core.setSkipAheadEnabled(false);
 
     validate::Watchdog watchdog({options.max_cycles,
                                  options.watchdog_cycles,
@@ -117,6 +124,7 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
                core.stats().instrs_committed < warmup &&
                watchdog.poll(core.absoluteCycles(),
                              core.stats().instrs_committed)) {
+            core.setCycleHorizon(watchdog.cycleHorizon());
             core.cycle();
         }
         metrics.warmup_micros.inc(detail::microsSince(run_start));
@@ -141,10 +149,24 @@ simulate(const MachineConfig &machine, const trace::TraceSource &trace,
     }
 
     const auto measure_start = std::chrono::steady_clock::now();
+    // Skip-ahead ceiling: never jump past a watchdog threshold, an
+    // interval-snapshot boundary or a periodic-validation boundary, so a
+    // skipping run observes them at exactly the same cycles as a
+    // per-cycle run. The boundaries are in measured cycles; the horizon
+    // is absolute.
+    const Cycle measure_base = core.absoluteCycles() - core.cycles();
     while (!core.done() && !watchdog.tripped()) {
         if (!watchdog.poll(core.absoluteCycles(),
                            core.stats().instrs_committed))
             break;
+        Cycle horizon = watchdog.cycleHorizon();
+        if (iacct)
+            horizon = std::min(horizon,
+                               measure_base + iacct->nextBoundary());
+        if (checking)
+            horizon = std::min(horizon,
+                               measure_base + interval.nextCheck());
+        core.setCycleHorizon(horizon);
         core.cycle();
         if (tracer)
             tracer->observe(core.cycles() - 1, core.cycleState(),

@@ -28,6 +28,14 @@ struct SimOptions
 {
     stacks::SpeculationMode spec_mode = stacks::SpeculationMode::kOracle;
     bool accounting = true;
+    /**
+     * Select the per-cycle reference accounting engine instead of the
+     * default batched one (CLI `--engine reference`). The reference
+     * engine ticks every accountant every cycle and never skips ahead;
+     * it exists as the golden baseline for the bit-identity suite and
+     * for bench/simspeed (docs/performance.md).
+     */
+    bool reference_engine = false;
     /** Safety valve; 0 = unlimited. Truncates the run without error. */
     Cycle max_cycles = 0;
     /**

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Packed per-cycle observation record for batched stack accounting.
+ *
+ * CycleState is the simulator-facing observation contract (a struct of
+ * plain fields, easy for any core model to fill). CycleRecord is its wire
+ * format inside the hot loop: all booleans and small enums packed into one
+ * 32-bit flag word, stage counts narrowed to bytes, plus a run-length
+ * field so a span of identical idle cycles is represented — and later
+ * accounted — as a single record. CpiAccountant::tickBatch() and
+ * FlopsAccountant::tickBatch() consume arrays of these records, replacing
+ * one classification-branch cascade per stage per cycle with a table
+ * lookup on the flag word (docs/performance.md).
+ */
+
+#ifndef STACKSCOPE_STACKS_CYCLE_RECORD_HPP
+#define STACKSCOPE_STACKS_CYCLE_RECORD_HPP
+
+#include <cstdint>
+
+#include "stacks/cycle_state.hpp"
+
+namespace stackscope::stacks {
+
+/** Bit layout of CycleRecord::flags. */
+namespace record_flags {
+
+inline constexpr std::uint32_t kFeHasCorrect = 1u << 0;
+inline constexpr std::uint32_t kFeHasAny = 1u << 1;
+inline constexpr std::uint32_t kBackendFull = 1u << 2;
+inline constexpr std::uint32_t kRobEmptyCorrect = 1u << 3;
+inline constexpr std::uint32_t kRobEmptyAny = 1u << 4;
+inline constexpr std::uint32_t kHeadIncomplete = 1u << 5;
+inline constexpr std::uint32_t kReadyUnissued = 1u << 6;
+inline constexpr std::uint32_t kRsEmptyCorrect = 1u << 7;
+inline constexpr std::uint32_t kRsEmptyAny = 1u << 8;
+inline constexpr std::uint32_t kVfpInRs = 1u << 9;
+inline constexpr std::uint32_t kUnsched = 1u << 10;
+
+inline constexpr unsigned kFeReasonShift = 11;  ///< 3 bits
+inline constexpr unsigned kHeadBlameShift = 14; ///< 2 bits
+inline constexpr unsigned kIssueBlameShift = 16; ///< 2 bits
+inline constexpr unsigned kVfpBlameShift = 18;  ///< 2 bits
+
+inline constexpr std::uint32_t kFeReasonMask = 0x7u;
+inline constexpr std::uint32_t kBlameMask = 0x3u;
+
+}  // namespace record_flags
+
+/**
+ * One accounted cycle (or a run of identical idle cycles), packed.
+ *
+ * `repeat` > 1 is only ever produced for *idle* cycles: all stage counts
+ * zero and no VFP activity. That restriction is what makes bulk
+ * accounting of the run legal — each repeated cycle contributes the same
+ * component attribution, and the §III-A carry-over drains within the
+ * first few cycles of the span (tickBatch handles that exactly).
+ */
+struct CycleRecord
+{
+    std::uint32_t flags = 0;
+    std::uint32_t repeat = 1;
+
+    std::uint8_t n_dispatch = 0;
+    std::uint8_t n_dispatch_wrong = 0;
+    std::uint8_t n_issue = 0;
+    std::uint8_t n_issue_wrong = 0;
+    std::uint8_t n_commit = 0;
+    std::uint8_t n_vfp = 0;
+    std::uint8_t nonvfp_on_vpu = 0;
+
+    double vfp_lane_ops = 0.0;
+    double vfp_nonfma_loss = 0.0;
+    double vfp_mask_loss = 0.0;
+
+    bool unsched() const { return flags & record_flags::kUnsched; }
+
+    FrontendReason
+    feReason() const
+    {
+        return static_cast<FrontendReason>(
+            (flags >> record_flags::kFeReasonShift) &
+            record_flags::kFeReasonMask);
+    }
+
+    BackendBlame
+    headBlame() const
+    {
+        return static_cast<BackendBlame>(
+            (flags >> record_flags::kHeadBlameShift) &
+            record_flags::kBlameMask);
+    }
+
+    BackendBlame
+    issueBlame() const
+    {
+        return static_cast<BackendBlame>(
+            (flags >> record_flags::kIssueBlameShift) &
+            record_flags::kBlameMask);
+    }
+
+    VfpBlame
+    vfpBlame() const
+    {
+        return static_cast<VfpBlame>(
+            (flags >> record_flags::kVfpBlameShift) &
+            record_flags::kBlameMask);
+    }
+
+    /** All stage activity counts zero (mergeable into a repeat run). */
+    bool
+    idle() const
+    {
+        return (n_dispatch | n_dispatch_wrong | n_issue | n_issue_wrong |
+                n_commit | n_vfp | nonvfp_on_vpu) == 0;
+    }
+};
+
+/** Pack a CycleState observation into the wire format. */
+inline CycleRecord
+packCycleState(const CycleState &s)
+{
+    namespace rf = record_flags;
+    CycleRecord r;
+    r.flags =
+        (s.fe_has_correct ? rf::kFeHasCorrect : 0u) |
+        (s.fe_has_any ? rf::kFeHasAny : 0u) |
+        (s.backend_full ? rf::kBackendFull : 0u) |
+        (s.rob_empty_correct ? rf::kRobEmptyCorrect : 0u) |
+        (s.rob_empty_any ? rf::kRobEmptyAny : 0u) |
+        (s.head_incomplete ? rf::kHeadIncomplete : 0u) |
+        (s.ready_unissued ? rf::kReadyUnissued : 0u) |
+        (s.rs_empty_correct ? rf::kRsEmptyCorrect : 0u) |
+        (s.rs_empty_any ? rf::kRsEmptyAny : 0u) |
+        (s.vfp_in_rs ? rf::kVfpInRs : 0u) |
+        (s.unsched ? rf::kUnsched : 0u) |
+        (static_cast<std::uint32_t>(s.fe_reason) << rf::kFeReasonShift) |
+        (static_cast<std::uint32_t>(s.head_blame) << rf::kHeadBlameShift) |
+        (static_cast<std::uint32_t>(s.issue_blame) << rf::kIssueBlameShift) |
+        (static_cast<std::uint32_t>(s.vfp_blame) << rf::kVfpBlameShift);
+    r.n_dispatch = static_cast<std::uint8_t>(s.n_dispatch);
+    r.n_dispatch_wrong = static_cast<std::uint8_t>(s.n_dispatch_wrong);
+    r.n_issue = static_cast<std::uint8_t>(s.n_issue);
+    r.n_issue_wrong = static_cast<std::uint8_t>(s.n_issue_wrong);
+    r.n_commit = static_cast<std::uint8_t>(s.n_commit);
+    r.n_vfp = static_cast<std::uint8_t>(s.n_vfp);
+    r.nonvfp_on_vpu = static_cast<std::uint8_t>(s.nonvfp_on_vpu);
+    r.vfp_lane_ops = s.vfp_lane_ops;
+    r.vfp_nonfma_loss = s.vfp_nonfma_loss;
+    r.vfp_mask_loss = s.vfp_mask_loss;
+    return r;
+}
+
+/** Unpack back into the simulator-facing struct (tests, tracing). */
+inline CycleState
+unpackCycleRecord(const CycleRecord &r)
+{
+    namespace rf = record_flags;
+    CycleState s;
+    s.fe_has_correct = r.flags & rf::kFeHasCorrect;
+    s.fe_has_any = r.flags & rf::kFeHasAny;
+    s.backend_full = r.flags & rf::kBackendFull;
+    s.rob_empty_correct = r.flags & rf::kRobEmptyCorrect;
+    s.rob_empty_any = r.flags & rf::kRobEmptyAny;
+    s.head_incomplete = r.flags & rf::kHeadIncomplete;
+    s.ready_unissued = r.flags & rf::kReadyUnissued;
+    s.rs_empty_correct = r.flags & rf::kRsEmptyCorrect;
+    s.rs_empty_any = r.flags & rf::kRsEmptyAny;
+    s.vfp_in_rs = r.flags & rf::kVfpInRs;
+    s.unsched = r.unsched();
+    s.fe_reason = r.feReason();
+    s.head_blame = r.headBlame();
+    s.issue_blame = r.issueBlame();
+    s.vfp_blame = r.vfpBlame();
+    s.n_dispatch = r.n_dispatch;
+    s.n_dispatch_wrong = r.n_dispatch_wrong;
+    s.n_issue = r.n_issue;
+    s.n_issue_wrong = r.n_issue_wrong;
+    s.n_commit = r.n_commit;
+    s.n_vfp = r.n_vfp;
+    s.nonvfp_on_vpu = r.nonvfp_on_vpu;
+    s.vfp_lane_ops = r.vfp_lane_ops;
+    s.vfp_nonfma_loss = r.vfp_nonfma_loss;
+    s.vfp_mask_loss = r.vfp_mask_loss;
+    return s;
+}
+
+}  // namespace stackscope::stacks
+
+#endif  // STACKSCOPE_STACKS_CYCLE_RECORD_HPP

@@ -54,6 +54,45 @@ FlopsAccountant::tick(const CycleState &s)
     }
 }
 
+void
+FlopsAccountant::tickBatch(const CycleRecord *records, std::size_t count)
+{
+    const double k = config_.vpu_count;
+    const double v = config_.vec_lanes;
+    const double peak = 2.0 * k * v;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const CycleRecord &r = records[i];
+        const double rep = static_cast<double>(r.repeat);
+        if (r.flags & record_flags::kUnsched) {
+            cycles_[FlopsComponent::kUnsched] += rep;
+            continue;
+        }
+
+        const double f = r.vfp_lane_ops / peak;
+        cycles_[FlopsComponent::kBase] += f * rep;
+        if (f >= 1.0)
+            continue;
+
+        cycles_[FlopsComponent::kNonFma] += (r.vfp_nonfma_loss / peak) * rep;
+        cycles_[FlopsComponent::kMask] += (r.vfp_mask_loss / (k * v)) * rep;
+
+        if (r.n_vfp < config_.vpu_count) {
+            const double rem = (k - static_cast<double>(r.n_vfp)) / k;
+            FlopsComponent c;
+            if (!(r.flags & record_flags::kVfpInRs))
+                c = FlopsComponent::kFrontend;
+            else if (r.nonvfp_on_vpu > 0)
+                c = FlopsComponent::kNonVfp;
+            else if (r.vfpBlame() == VfpBlame::kMem)
+                c = FlopsComponent::kMem;
+            else
+                c = FlopsComponent::kDepend;
+            cycles_[c] += rem * rep;
+        }
+    }
+}
+
 FlopsStack
 FlopsAccountant::asFlops(std::uint64_t total_cycles, double freq_hz) const
 {

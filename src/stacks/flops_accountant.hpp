@@ -14,8 +14,10 @@
 #ifndef STACKSCOPE_STACKS_FLOPS_ACCOUNTANT_HPP
 #define STACKSCOPE_STACKS_FLOPS_ACCOUNTANT_HPP
 
+#include <cstddef>
 #include <cstdint>
 
+#include "stacks/cycle_record.hpp"
 #include "stacks/cycle_state.hpp"
 #include "stacks/stack.hpp"
 
@@ -41,6 +43,14 @@ class FlopsAccountant
 
     /** Account one cycle. */
     void tick(const CycleState &state);
+
+    /**
+     * Account a span of packed cycles: per-record contributions are
+     * computed once and scaled by the run length (Table III has no
+     * cross-cycle carry, so repeats are exactly linear; bitwise equal to
+     * tick() for repeat == 1 records).
+     */
+    void tickBatch(const CycleRecord *records, std::size_t count);
 
     /** Per-component cycle counts. */
     const FlopsStack &cycles() const { return cycles_; }

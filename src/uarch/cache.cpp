@@ -14,6 +14,15 @@ Cache::Cache(const CacheParams &params)
     assert(num_sets_ > 0);
     ways_.resize(static_cast<std::size_t>(num_sets_) * params_.assoc);
     set_clock_.resize(num_sets_, 0);
+    const auto is_pow2 = [](std::uint64_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    pow2_ = is_pow2(params_.line_bytes) && is_pow2(num_sets_);
+    if (pow2_) {
+        while ((Addr{1} << line_shift_) < params_.line_bytes)
+            ++line_shift_;
+        set_mask_ = num_sets_ - 1;
+    }
 }
 
 bool

@@ -65,14 +65,26 @@ class Cache
         std::uint32_t lru = 0;  ///< lower = older
     };
 
-    Addr lineAddr(Addr addr) const { return addr / params_.line_bytes; }
-    unsigned setIndex(Addr line) const
+    Addr
+    lineAddr(Addr addr) const
     {
-        return static_cast<unsigned>(line % num_sets_);
+        // line_bytes and num_sets_ are powers of two in every real config;
+        // shift/mask avoids two integer divisions on the hottest path in
+        // the memory hierarchy (odd sizes fall back to div/mod).
+        return pow2_ ? addr >> line_shift_ : addr / params_.line_bytes;
+    }
+    unsigned
+    setIndex(Addr line) const
+    {
+        return static_cast<unsigned>(pow2_ ? line & set_mask_
+                                           : line % num_sets_);
     }
 
     CacheParams params_;
     unsigned num_sets_;
+    bool pow2_ = false;
+    unsigned line_shift_ = 0;
+    Addr set_mask_ = 0;
     std::vector<Way> ways_;         ///< num_sets_ x assoc, row-major
     std::vector<std::uint32_t> set_clock_;  ///< per-set LRU clock
     std::uint64_t lookups_ = 0;

@@ -11,6 +11,15 @@ Tlb::Tlb(const TlbParams &params)
     assert(params_.page_bytes > 0);
     num_sets_ = std::max(1u, params_.entries / kWays);
     entries_.resize(static_cast<std::size_t>(num_sets_) * kWays);
+    const auto is_pow2 = [](std::uint64_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    pow2_ = is_pow2(params_.page_bytes) && is_pow2(num_sets_);
+    if (pow2_) {
+        while ((Addr{1} << page_shift_) < params_.page_bytes)
+            ++page_shift_;
+        set_mask_ = num_sets_ - 1;
+    }
 }
 
 Cycle
@@ -19,10 +28,14 @@ Tlb::access(Addr addr)
     if (!params_.enable)
         return 0;
     ++accesses_;
-    const Addr page = addr / params_.page_bytes;
+    // Shift/mask fast path; see Cache::lineAddr for the rationale.
+    const Addr page =
+        pow2_ ? addr >> page_shift_ : addr / params_.page_bytes;
     ++clock_;
 
-    Entry *base = &entries_[static_cast<std::size_t>(page % num_sets_) *
+    Entry *base = &entries_[static_cast<std::size_t>(
+                                pow2_ ? page & set_mask_
+                                      : page % num_sets_) *
                             kWays];
     Entry *victim = base;
     for (unsigned w = 0; w < kWays; ++w) {

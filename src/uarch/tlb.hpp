@@ -62,6 +62,9 @@ class Tlb
 
     TlbParams params_;
     unsigned num_sets_;
+    bool pow2_ = false;  ///< page_bytes and num_sets_ both powers of two
+    unsigned page_shift_ = 0;
+    Addr set_mask_ = 0;
     std::vector<Entry> entries_;  ///< num_sets_ x kWays, row-major
     std::uint64_t clock_ = 0;
     std::uint64_t accesses_ = 0;

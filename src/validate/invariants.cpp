@@ -63,6 +63,8 @@ toString(Invariant inv)
         return "cpi-consistency";
       case Invariant::kProgress:
         return "run-progress";
+      case Invariant::kStoreOrder:
+        return "store-queue-order";
       case Invariant::kCount:
         break;
     }
@@ -380,6 +382,16 @@ IntervalValidator::check(const core::OooCore &core, ValidationReport &report)
                            std::string(toString(s)) + " stack",
                        elapsed);
         }
+    }
+
+    // Microarchitectural invariant the load-alias early-break depends on:
+    // the pending-store queue must stay strictly seq-sorted through every
+    // dispatch/commit/squash interleaving.
+    ++report.checks_run;
+    if (!core.storeQueueSorted()) {
+        report.add(Invariant::kStoreOrder,
+                   "pending-store queue is not strictly seq-sorted",
+                   elapsed);
     }
 
     ++report.checks_run;

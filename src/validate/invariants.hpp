@@ -59,6 +59,7 @@ enum class Invariant : unsigned
     kBaseEquality,      ///< §III-A: base component equal across stages
     kCpiConsistency,    ///< CPI stacks == cycle stacks / instructions
     kProgress,          ///< watchdog: the run kept retiring instructions
+    kStoreOrder,        ///< core: pending-store queue strictly seq-sorted
     kCount,
 };
 
@@ -154,6 +155,13 @@ class IntervalValidator
     {
         return interval_ != 0 && elapsed >= next_check_;
     }
+
+    /**
+     * The measured cycle of the next due check — drivers feed it into
+     * core::OooCore::setCycleHorizon() so skip-ahead lands exactly on
+     * check boundaries.
+     */
+    Cycle nextCheck() const { return next_check_; }
 
     /** Check @p core now; violations are appended to @p report. */
     void check(const core::OooCore &core, ValidationReport &report);

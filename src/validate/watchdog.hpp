@@ -13,6 +13,7 @@
 #ifndef STACKSCOPE_VALIDATE_WATCHDOG_HPP
 #define STACKSCOPE_VALIDATE_WATCHDOG_HPP
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -94,6 +95,29 @@ class Watchdog
             (++polls_since_clock_ & 0x1fff) == 0 && wallExpired())
             return trip("wall-clock", now, instrs_committed);
         return true;
+    }
+
+    /**
+     * The earliest absolute cycle at which any configured threshold could
+     * fire given progress observed so far — the skip-ahead ceiling for
+     * core::OooCore::setCycleHorizon(). Idle spans never retire, so
+     * last_progress_ is stable across a skipped span and the no-retire
+     * bound computed here is exact. kNeverCycle when nothing is armed
+     * (the wall clock cannot be mapped to a cycle and is deliberately
+     * ignored; its 8 Ki-poll sampling slop already absorbs coarser
+     * polling).
+     */
+    Cycle
+    cycleHorizon() const
+    {
+        Cycle h = kNeverCycle;
+        if (config_.deadline_cycles != 0)
+            h = std::min(h, config_.deadline_cycles);
+        if (config_.max_cycles != 0)
+            h = std::min(h, config_.max_cycles);
+        if (config_.no_retire_cycles != 0)
+            h = std::min(h, last_progress_ + config_.no_retire_cycles);
+        return h;
     }
 
     bool tripped() const { return tripped_; }

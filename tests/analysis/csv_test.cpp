@@ -1,0 +1,82 @@
+/** RFC 4180 CSV encoding: plain fields stay byte-identical, fields with
+ *  commas/quotes/newlines get quoted with doubled quotes, and
+ *  parseCsvLine() inverts csvField()-joined rows exactly. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "stacks/stack.hpp"
+
+namespace stackscope::analysis {
+namespace {
+
+TEST(Csv, PlainFieldsPassThroughUnchanged)
+{
+    EXPECT_EQ(csvField("mcf"), "mcf");
+    EXPECT_EQ(csvField(""), "");
+    EXPECT_EQ(csvField("12.5"), "12.5");
+    EXPECT_EQ(csvField("with space"), "with space");
+    EXPECT_EQ(csvField("semi;colon"), "semi;colon");
+}
+
+TEST(Csv, SpecialFieldsAreQuoted)
+{
+    EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvField("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvField("cr\rhere"), "\"cr\rhere\"");
+    EXPECT_EQ(csvField("\""), "\"\"\"\"");
+    EXPECT_EQ(csvField(","), "\",\"");
+}
+
+TEST(Csv, ParseLineHandlesQuotedFields)
+{
+    const auto fields = parseCsvLine("a,\"b,c\",\"say \"\"hi\"\"\",,d");
+    ASSERT_EQ(fields.size(), 5u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b,c");
+    EXPECT_EQ(fields[2], "say \"hi\"");
+    EXPECT_EQ(fields[3], "");
+    EXPECT_EQ(fields[4], "d");
+}
+
+TEST(Csv, FieldParseRoundTrip)
+{
+    const std::vector<std::string> nasty = {
+        "plain",       "",          "comma,inside", "\"quoted\"",
+        "multi\nline", "trail,",    ",lead",        "both\"and,comma",
+        "crlf\r\n",    "end quote\"",
+    };
+    std::string line;
+    for (std::size_t i = 0; i < nasty.size(); ++i) {
+        if (i > 0)
+            line += ',';
+        line += csvField(nasty[i]);
+    }
+    const auto parsed = parseCsvLine(line);
+    ASSERT_EQ(parsed.size(), nasty.size());
+    for (std::size_t i = 0; i < nasty.size(); ++i)
+        EXPECT_EQ(parsed[i], nasty[i]) << "field " << i;
+}
+
+/** Stack rows: a label that needs quoting must parse back to the same
+ *  label with the same number of value columns. */
+TEST(Csv, StackRowWithQuotedLabelParsesBack)
+{
+    stacks::CpiStack stack;
+    const std::string label = "mcf, 4-wide \"ideal\"";
+    const std::string row = toCsvRow(label, stack);
+    const auto fields = parseCsvLine(row);
+
+    const auto header = parseCsvLine(cpiStackCsvHeader());
+    ASSERT_EQ(fields.size(), header.size());
+    EXPECT_EQ(fields[0], label);
+    for (std::size_t i = 1; i < fields.size(); ++i)
+        EXPECT_EQ(fields[i], "0") << "column " << i;
+}
+
+}  // namespace
+}  // namespace stackscope::analysis

@@ -1,0 +1,200 @@
+/** CycleRecord is the packed wire format of CycleState inside the batched
+ *  engine: packing must round-trip every field, and feeding a single
+ *  record through tickBatch() must be bitwise identical to tick() on the
+ *  unpacked state (equivalence by construction of the stall table). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stacks/cpi_accountant.hpp"
+#include "stacks/cycle_record.hpp"
+#include "stacks/flops_accountant.hpp"
+
+namespace stackscope::stacks {
+namespace {
+
+CycleState
+randomState(Rng &rng)
+{
+    CycleState s;
+    s.n_dispatch = static_cast<std::uint32_t>(rng.below(5));
+    s.n_dispatch_wrong = static_cast<std::uint32_t>(rng.below(5));
+    s.fe_has_correct = rng.chance(0.5);
+    s.fe_has_any = s.fe_has_correct || rng.chance(0.5);
+    s.fe_reason = static_cast<FrontendReason>(rng.below(5));
+    s.backend_full = rng.chance(0.3);
+    s.rob_empty_correct = rng.chance(0.3);
+    s.rob_empty_any = s.rob_empty_correct && rng.chance(0.5);
+    s.head_incomplete = rng.chance(0.5);
+    s.head_blame = static_cast<BackendBlame>(rng.below(4));
+    s.n_issue = static_cast<std::uint32_t>(rng.below(5));
+    s.n_issue_wrong = static_cast<std::uint32_t>(rng.below(5));
+    s.rs_empty_correct = rng.chance(0.3);
+    s.rs_empty_any = s.rs_empty_correct && rng.chance(0.5);
+    s.ready_unissued = rng.chance(0.3);
+    s.issue_blame = static_cast<BackendBlame>(rng.below(4));
+    s.n_commit = static_cast<std::uint32_t>(rng.below(5));
+    s.n_vfp = static_cast<std::uint32_t>(rng.below(3));
+    s.vfp_lane_ops = static_cast<double>(rng.below(64));
+    s.vfp_nonfma_loss = static_cast<double>(rng.below(32));
+    s.vfp_mask_loss = static_cast<double>(rng.below(32));
+    s.vfp_in_rs = rng.chance(0.4);
+    s.nonvfp_on_vpu = static_cast<std::uint32_t>(rng.below(3));
+    s.vfp_blame = static_cast<VfpBlame>(rng.below(3));
+    s.unsched = rng.chance(0.1);
+    return s;
+}
+
+bool
+statesEqual(const CycleState &a, const CycleState &b)
+{
+    return a.n_dispatch == b.n_dispatch &&
+           a.n_dispatch_wrong == b.n_dispatch_wrong &&
+           a.fe_has_correct == b.fe_has_correct &&
+           a.fe_has_any == b.fe_has_any && a.fe_reason == b.fe_reason &&
+           a.backend_full == b.backend_full &&
+           a.rob_empty_correct == b.rob_empty_correct &&
+           a.rob_empty_any == b.rob_empty_any &&
+           a.head_incomplete == b.head_incomplete &&
+           a.head_blame == b.head_blame && a.n_issue == b.n_issue &&
+           a.n_issue_wrong == b.n_issue_wrong &&
+           a.rs_empty_correct == b.rs_empty_correct &&
+           a.rs_empty_any == b.rs_empty_any &&
+           a.ready_unissued == b.ready_unissued &&
+           a.issue_blame == b.issue_blame && a.n_commit == b.n_commit &&
+           a.n_vfp == b.n_vfp && a.vfp_lane_ops == b.vfp_lane_ops &&
+           a.vfp_nonfma_loss == b.vfp_nonfma_loss &&
+           a.vfp_mask_loss == b.vfp_mask_loss &&
+           a.vfp_in_rs == b.vfp_in_rs &&
+           a.nonvfp_on_vpu == b.nonvfp_on_vpu &&
+           a.vfp_blame == b.vfp_blame && a.unsched == b.unsched;
+}
+
+TEST(CycleRecord, PackUnpackRoundTrips)
+{
+    Rng rng(12345);
+    for (int i = 0; i < 2000; ++i) {
+        const CycleState s = randomState(rng);
+        const CycleRecord r = packCycleState(s);
+        EXPECT_EQ(r.repeat, 1u);
+        const CycleState back = unpackCycleRecord(r);
+        ASSERT_TRUE(statesEqual(s, back)) << "iteration " << i;
+    }
+}
+
+TEST(CycleRecord, IdlePredicateMatchesCounts)
+{
+    CycleState s;
+    EXPECT_TRUE(packCycleState(s).idle());
+    s.n_commit = 1;
+    EXPECT_FALSE(packCycleState(s).idle());
+    s.n_commit = 0;
+    s.nonvfp_on_vpu = 2;
+    EXPECT_FALSE(packCycleState(s).idle());
+}
+
+template <typename StackT>
+void
+expectBitwiseEqual(const StackT &a, const StackT &b)
+{
+    std::vector<double> av;
+    a.forEach([&](auto, double v) { av.push_back(v); });
+    std::size_t i = 0;
+    b.forEach([&](auto c, double v) {
+        EXPECT_EQ(av[i], v) << "component " << static_cast<int>(c);
+        ++i;
+    });
+}
+
+/** tickBatch on repeat==1 records must be bitwise equal to tick. */
+TEST(CycleRecord, SingleRecordBatchBitwiseEqualsTick)
+{
+    for (SpeculationMode mode :
+         {SpeculationMode::kOracle, SpeculationMode::kSimple}) {
+        for (Stage stage :
+             {Stage::kDispatch, Stage::kIssue, Stage::kCommit}) {
+            CpiAccountantConfig cfg;
+            cfg.stage = stage;
+            cfg.effective_width = 4;
+            cfg.spec_mode = mode;
+            CpiAccountant by_tick(cfg);
+            CpiAccountant by_batch(cfg);
+
+            Rng rng(99);
+            std::vector<CycleRecord> records;
+            for (int i = 0; i < 500; ++i) {
+                const CycleState s = randomState(rng);
+                by_tick.tick(s);
+                records.push_back(packCycleState(s));
+            }
+            by_batch.tickBatch(records.data(), records.size());
+            expectBitwiseEqual(by_tick.cycles(), by_batch.cycles());
+        }
+    }
+}
+
+TEST(CycleRecord, SingleRecordFlopsBatchBitwiseEqualsTick)
+{
+    FlopsAccountantConfig cfg;
+    cfg.vpu_count = 2;
+    cfg.vec_lanes = 16;
+    FlopsAccountant by_tick(cfg);
+    FlopsAccountant by_batch(cfg);
+
+    Rng rng(7);
+    std::vector<CycleRecord> records;
+    for (int i = 0; i < 500; ++i) {
+        const CycleState s = randomState(rng);
+        by_tick.tick(s);
+        records.push_back(packCycleState(s));
+    }
+    by_batch.tickBatch(records.data(), records.size());
+    expectBitwiseEqual(by_tick.cycles(), by_batch.cycles());
+}
+
+/** A folded idle run must equal the same record ticked repeat times to
+ *  within summation-order error. */
+TEST(CycleRecord, IdleRunFoldMatchesRepeatedTicks)
+{
+    CycleState idle;  // nothing dispatched/issued/committed
+    idle.fe_reason = FrontendReason::kIcache;
+    idle.rob_empty_correct = false;
+    idle.rob_empty_any = false;
+    idle.head_incomplete = true;
+    idle.head_blame = BackendBlame::kDcache;
+    idle.rs_empty_correct = false;
+    idle.rs_empty_any = false;
+    idle.issue_blame = BackendBlame::kDcache;
+
+    CpiAccountantConfig cfg;
+    cfg.stage = Stage::kCommit;
+    cfg.effective_width = 4;
+    CpiAccountant by_tick(cfg);
+    CpiAccountant by_batch(cfg);
+
+    constexpr std::uint32_t kRun = 1000;
+    for (std::uint32_t i = 0; i < kRun; ++i)
+        by_tick.tick(idle);
+
+    CycleRecord rec = packCycleState(idle);
+    ASSERT_TRUE(rec.idle());
+    rec.repeat = kRun;
+    by_batch.tickBatch(&rec, 1);
+
+    std::vector<double> tick_v;
+    by_tick.cycles().forEach([&](auto, double v) { tick_v.push_back(v); });
+    std::size_t i = 0;
+    by_batch.cycles().forEach([&](auto c, double v) {
+        EXPECT_NEAR(tick_v[i], v, 1e-9 * kRun)
+            << "component " << static_cast<int>(c);
+        ++i;
+    });
+    EXPECT_NEAR(by_batch.accountedCycles(), static_cast<double>(kRun),
+                1e-9 * kRun);
+}
+
+}  // namespace
+}  // namespace stackscope::stacks

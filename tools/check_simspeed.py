@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate the engine-speed benchmark against its committed baseline.
+
+Reads a fresh ``BENCH_simspeed.json`` (schema ``stackscope-simspeed-v1``,
+written by ``bench/simspeed``) and the committed baseline
+``bench/simspeed_baseline.json``, then fails when the batched engine's
+advantage over the per-cycle reference engine has regressed by more than
+the tolerance (default 10%).
+
+The gated metric is ``totals.speedup_vs_reference`` — a *ratio* of two
+timings taken back-to-back in the same process, so shared-runner noise
+largely cancels where raw cycles/sec would not. Absolute throughput is
+still printed for the log, but never gated.
+
+Exit codes follow docs/exit_codes.md:
+  0  speedup within tolerance of the baseline
+  1  internal error
+  2  usage error, unreadable input, or schema mismatch
+  4  regression — speedup fell more than --tolerance below the baseline,
+     or the benchmark recorded an engine mismatch (engines_identical
+     false), which makes its timings meaningless
+
+Stdlib only:
+  python3 tools/check_simspeed.py BENCH_simspeed.json [baseline.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "stackscope-simspeed-v1"
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "bench", "simspeed_baseline.json")
+
+
+def load(path, what):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read {what} {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"FAIL: {what} {path}: schema {doc.get('schema')!r}, "
+              f"expected {SCHEMA!r}", file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def speedup_of(doc, path):
+    try:
+        s = doc["totals"]["speedup_vs_reference"]
+    except (KeyError, TypeError):
+        print(f"FAIL: {path}: missing totals.speedup_vs_reference",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(s, (int, float)) or s <= 0:
+        print(f"FAIL: {path}: bad speedup value {s!r}", file=sys.stderr)
+        raise SystemExit(2)
+    return float(s)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench", help="fresh BENCH_simspeed.json to check")
+    ap.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                    help="committed baseline (default: "
+                         "bench/simspeed_baseline.json)")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression (default 0.10)")
+    args = ap.parse_args()
+    if not 0 <= args.tolerance < 1:
+        ap.error("--tolerance must be in [0, 1)")
+
+    fresh = load(args.bench, "benchmark")
+    base = load(args.baseline, "baseline")
+
+    if fresh.get("engines_identical") is not True:
+        print(f"FAIL: {args.bench}: engines_identical is "
+              f"{fresh.get('engines_identical')!r} — the batched engine "
+              f"diverged from the reference, timings are meaningless")
+        return 4
+
+    got = speedup_of(fresh, args.bench)
+    want = speedup_of(base, args.baseline)
+    floor = want * (1.0 - args.tolerance)
+
+    throughput = fresh.get("totals", {}).get("batched_cycles_per_sec")
+    extra = (f", batched {throughput / 1e6:.2f}M cycles/sec"
+             if isinstance(throughput, (int, float)) else "")
+    if got < floor:
+        print(f"FAIL: speedup_vs_reference {got:.3f}x is below the floor "
+              f"{floor:.3f}x (baseline {want:.3f}x minus "
+              f"{args.tolerance:.0%} tolerance){extra}")
+        return 4
+    print(f"OK: speedup_vs_reference {got:.3f}x vs baseline {want:.3f}x "
+          f"(floor {floor:.3f}x){extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

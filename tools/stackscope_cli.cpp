@@ -27,6 +27,8 @@
  *   --workloads A,B,..  sweep workload axis (default mcf,gcc,bwaves)
  *   --machines A,B,..   sweep machine axis (default bdw,knl,skx)
  *   --csv               machine-readable output
+ *   --engine E          batched (default) | reference accounting engine
+ *                       (docs/performance.md)
  *   --validate MODE     off | warn | strict runtime invariant checking
  *   --inject-fault F    deterministic fault KIND[:SEED] (see usage)
  *   --watchdog-cycles N abort after N cycles without a commit (0 = off)
@@ -120,6 +122,8 @@ struct CliOptions
     std::vector<std::string> workloads = {"mcf", "gcc", "bwaves"};
     std::vector<std::string> machines = {"bdw", "knl", "skx"};
     bool csv = false;
+    /** Accounting engine: per-cycle reference instead of batched. */
+    bool reference_engine = false;
     sim::Idealization ideal{};
     validate::ValidationPolicy validation = validate::ValidationPolicy::kOff;
     std::optional<validate::FaultSpec> fault{};
@@ -194,6 +198,7 @@ usage(std::FILE *to, const char *argv0)
         "  --instrs N  --warmup N  --cores N[,N...]  --csv\n"
         "  --threads N (batch workers; 0 = all hardware threads)\n"
         "  --workloads A,B,...  --machines A,B,...  (sweep grid axes)\n"
+        "  --engine batched|reference (accounting engine)\n"
         "  --validate off|warn|strict  --watchdog-cycles N\n"
         "  --job-cycles N (per-job cycle budget)  --job-timeout SECS\n"
         "  --intervals N  --trace-out FILE  --report-out FILE\n"
@@ -365,6 +370,18 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.workloads = splitList(arg, value());
         } else if (arg == "--machines") {
             opt.machines = splitList(arg, value());
+        } else if (arg == "--engine") {
+            const std::string engine = value();
+            if (engine == "reference") {
+                opt.reference_engine = true;
+            } else if (engine == "batched") {
+                opt.reference_engine = false;
+            } else {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "bad --engine '" + engine +
+                                          "' (expected batched or "
+                                          "reference)");
+            }
         } else if (arg == "--validate") {
             const std::string mode = value();
             const auto policy = validate::parsePolicy(mode);
@@ -512,6 +529,7 @@ simOptions(const CliOptions &opt)
     so.obs.interval_cycles =
         opt.intervals.value_or(opt.command == "phases" ? 1000 : 0);
     so.obs.trace_events = !opt.trace_out.empty();
+    so.reference_engine = opt.reference_engine;
     return so;
 }
 
@@ -727,8 +745,9 @@ sweepCsvRows(const SweepPoint &p, const runner::JobOutcome &o)
             o.completed() ? (o.multi ? o.multi->cpiStack(s)
                                      : o.single.cpiStack(s))
                           : stacks::CpiStack{};
-        std::snprintf(head, sizeof(head), "%s,%s,%u,%llu,%llu,%.6g,",
-                      p.workload.c_str(), p.machine.c_str(), p.cores,
+        // RFC 4180: name-like fields go through csvField so a workload or
+        // machine containing a comma or quote cannot shear the row.
+        std::snprintf(head, sizeof(head), ",%u,%llu,%llu,%.6g,", p.cores,
                       static_cast<unsigned long long>(rep ? rep->instrs
                                                           : 0),
                       static_cast<unsigned long long>(rep ? rep->cycles
@@ -736,10 +755,13 @@ sweepCsvRows(const SweepPoint &p, const runner::JobOutcome &o)
                       cpi);
         if (!rows.empty())
             rows += '\n';
+        rows += analysis::csvField(p.workload);
+        rows += ',';
+        rows += analysis::csvField(p.machine);
         rows += head;
         rows += analysis::toCsvRow(std::string(toString(s)), stack);
         rows += ',';
-        rows += runner::toString(o.status);
+        rows += analysis::csvField(runner::toString(o.status));
     }
     return rows;
 }
