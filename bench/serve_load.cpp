@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Load generator for the `stackscope serve` daemon: concurrent clients
+ * hammering a running daemon over its Unix-domain socket with a mixed
+ * hit/miss spec set, verifying the cache's byte-identity guarantee and
+ * recording per-class latency percentiles.
+ *
+ * Usage:
+ *   stackscope serve --socket /tmp/ss.sock &
+ *   bench/serve_load --socket /tmp/ss.sock [--clients N] [--requests N]
+ *                    [--specs N] [--instrs N]
+ *
+ * Each client opens one connection and issues its requests serially,
+ * cycling through `--specs` distinct job specs, so after the first wave
+ * of cold misses the steady state is cache hits — the production-shaped
+ * mix the ISSUE acceptance criterion measures (hit p50 < 1 ms).
+ * Every result frame's verbatim report bytes are compared against the
+ * first response seen for that cache key; any divergence fails the run.
+ *
+ * Output is BENCH_serve.json (path overridable via
+ * STACKSCOPE_BENCH_JSON), schema `stackscope-serve-load-v1` — see
+ * docs/formats.md. Exit 0 only when all requests succeeded, at least
+ * one hit was observed and every response was byte-identical per key.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace stackscope;
+
+struct LoadOptions
+{
+    std::string socket_path;
+    unsigned clients = 4;
+    unsigned requests = 32;  ///< per client
+    unsigned specs = 4;      ///< distinct job specs in the mix
+    std::uint64_t instrs = 20'000;
+};
+
+struct ClientResult
+{
+    std::vector<double> hit_ms;
+    std::vector<double> miss_ms;  ///< miss + coalesced
+    unsigned errors = 0;
+};
+
+/** First-seen report bytes per cache key, for byte-identity checking. */
+std::mutex g_reports_mutex;
+std::map<std::string, std::string> g_reports;
+bool g_identical = true;
+
+constexpr const char *kWorkloads[] = {"mcf", "gcc", "bwaves", "povray",
+                                      "lbm", "imagick"};
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    while (!bytes.empty()) {
+        const ssize_t n =
+            ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated frame using @p pending as carry-over. */
+bool
+readFrame(int fd, std::string &pending, std::string &frame)
+{
+    char buf[65536];
+    for (;;) {
+        const std::size_t pos = pending.find('\n');
+        if (pos != std::string::npos) {
+            frame = pending.substr(0, pos + 1);
+            pending.erase(0, pos + 1);
+            return true;
+        }
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        pending.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+specLine(const LoadOptions &opt, unsigned spec_index, unsigned request_id)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("analyze")
+        .key("id").value(std::to_string(request_id))
+        .key("spec").beginObject()
+        .key("workload").value(kWorkloads[spec_index %
+                                          std::size(kWorkloads)])
+        .key("machine").value("bdw")
+        .key("instrs").value(opt.instrs)
+        .endObject()
+        .endObject();
+    return w.str() + "\n";
+}
+
+/** Verbatim report bytes: from after `"report":` to the frame's `}`. */
+std::string_view
+reportBytes(const std::string &frame)
+{
+    const std::size_t start = frame.find("\"report\":");
+    const std::size_t end = frame.rfind('}');
+    if (start == std::string::npos || end == std::string::npos ||
+        end <= start)
+        return {};
+    return std::string_view(frame).substr(start + 9, end - start - 9);
+}
+
+void
+clientMain(const LoadOptions &opt, unsigned client_index,
+           ClientResult *result)
+{
+    const int fd = connectUnix(opt.socket_path);
+    if (fd < 0) {
+        result->errors += opt.requests;
+        return;
+    }
+    std::string pending;
+    std::string frame;
+    if (!readFrame(fd, pending, frame)) {  // hello
+        result->errors += opt.requests;
+        ::close(fd);
+        return;
+    }
+    for (unsigned i = 0; i < opt.requests; ++i) {
+        // Stagger start offsets so the cold wave spreads over all specs
+        // and concurrent same-key requests (coalescing) still happen.
+        const unsigned spec_index = (client_index + i) % opt.specs;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!sendAll(fd, specLine(opt, spec_index, i))) {
+            ++result->errors;
+            break;
+        }
+        bool done = false;
+        while (!done) {
+            if (!readFrame(fd, pending, frame)) {
+                ++result->errors;
+                ::close(fd);
+                return;
+            }
+            const obs::JsonValue parsed = obs::parseJson(
+                std::string_view(frame.data(), frame.size() - 1));
+            const std::string &type = parsed.at("type").string;
+            if (type == "progress")
+                continue;
+            done = true;
+            if (type != "result") {
+                ++result->errors;
+                continue;
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const std::string &outcome = parsed.at("cache").string;
+            if (outcome == "hit")
+                result->hit_ms.push_back(ms);
+            else
+                result->miss_ms.push_back(ms);
+            const std::string &key = parsed.at("key").string;
+            const std::string report(reportBytes(frame));
+            std::lock_guard<std::mutex> lock(g_reports_mutex);
+            auto [it, inserted] = g_reports.emplace(key, report);
+            if (!inserted && it->second != report)
+                g_identical = false;
+        }
+    }
+    ::close(fd);
+}
+
+double
+percentile(std::vector<double> &sorted_ms, double p)
+{
+    if (sorted_ms.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_ms.size() - 1));
+    return sorted_ms[rank];
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socket_path = value();
+        } else if (arg == "--clients") {
+            opt.clients = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--requests") {
+            opt.requests = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--specs") {
+            opt.specs = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--instrs") {
+            opt.instrs = std::stoull(value());
+        } else {
+            std::fprintf(stderr,
+                         "usage: serve_load --socket PATH [--clients N] "
+                         "[--requests N] [--specs N] [--instrs N]\n");
+            return 2;
+        }
+    }
+    if (opt.socket_path.empty()) {
+        std::fprintf(stderr, "serve_load: --socket PATH is required\n");
+        return 2;
+    }
+    opt.specs = std::max(1u, std::min<unsigned>(
+                                 opt.specs, std::size(kWorkloads)));
+
+    std::vector<ClientResult> results(opt.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(opt.clients);
+    for (unsigned c = 0; c < opt.clients; ++c)
+        threads.emplace_back(clientMain, opt, c, &results[c]);
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<double> hits;
+    std::vector<double> misses;
+    unsigned errors = 0;
+    for (const ClientResult &r : results) {
+        hits.insert(hits.end(), r.hit_ms.begin(), r.hit_ms.end());
+        misses.insert(misses.end(), r.miss_ms.begin(), r.miss_ms.end());
+        errors += r.errors;
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(misses.begin(), misses.end());
+    const std::size_t total = hits.size() + misses.size();
+    const double hit_rate =
+        total == 0 ? 0.0
+                   : static_cast<double>(hits.size()) /
+                         static_cast<double>(total);
+
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("schema").value("stackscope-serve-load-v1")
+        .key("clients").value(opt.clients)
+        .key("requests_per_client").value(opt.requests)
+        .key("distinct_specs").value(opt.specs)
+        .key("instrs").value(opt.instrs)
+        .key("completed").value(static_cast<std::uint64_t>(total))
+        .key("errors").value(errors)
+        .key("hits").value(static_cast<std::uint64_t>(hits.size()))
+        .key("misses").value(static_cast<std::uint64_t>(misses.size()))
+        .key("hit_rate").value(hit_rate)
+        .key("hit_p50_ms").value(percentile(hits, 0.50))
+        .key("hit_p99_ms").value(percentile(hits, 0.99))
+        .key("miss_p50_ms").value(percentile(misses, 0.50))
+        .key("miss_p99_ms").value(percentile(misses, 0.99))
+        .key("byte_identical").value(g_identical)
+        .endObject();
+
+    const char *env = std::getenv("STACKSCOPE_BENCH_JSON");
+    const std::string path = env != nullptr ? env : "BENCH_serve.json";
+    obs::writeTextFile(path, w.str() + "\n");
+
+    std::printf("serve_load: %zu requests (%zu hits, %zu misses), "
+                "%u errors\n",
+                total, hits.size(), misses.size(), errors);
+    std::printf("  hit  p50 %.3f ms   p99 %.3f ms\n",
+                percentile(hits, 0.50), percentile(hits, 0.99));
+    std::printf("  miss p50 %.3f ms   p99 %.3f ms\n",
+                percentile(misses, 0.50), percentile(misses, 0.99));
+    std::printf("  byte_identical: %s   -> %s\n",
+                g_identical ? "true" : "false", path.c_str());
+
+    if (errors > 0 || hits.empty() || !g_identical)
+        return 1;
+    return 0;
+}

@@ -83,6 +83,16 @@ inline constexpr int kExitPartialSuccess = 5;
 inline constexpr int kExitTotalFailure = 6;
 
 /**
+ * Daemon exit codes (`stackscope serve`, docs/serving.md): a listener
+ * that cannot bind (socket path already served, TCP port in use) exits
+ * 7 so supervisors can distinguish "another instance is running" from
+ * ordinary config errors; a shutdown whose in-flight connections do not
+ * drain within --drain-timeout exits 8.
+ */
+inline constexpr int kExitBindFailure = 7;
+inline constexpr int kExitDrainTimeout = 8;
+
+/**
  * Default retryability of a failure category. Watchdog trips (deadline,
  * no-retire) and validation violations are worth one more attempt — a
  * transient host stall or an injected transient fault produces exactly

@@ -191,8 +191,10 @@ writeAggregate(JsonWriter &w, const sim::MulticoreResult &m)
     w.endObject();
 }
 
+}  // namespace
+
 void
-writeHostMetrics(JsonWriter &w, const MetricsSnapshot &snap)
+writeMetricsSnapshot(JsonWriter &w, const MetricsSnapshot &snap)
 {
     w.beginObject().key("counters").beginObject();
     for (const CounterValue &c : snap.counters)
@@ -215,8 +217,6 @@ writeHostMetrics(JsonWriter &w, const MetricsSnapshot &snap)
     }
     w.endObject().endObject();
 }
-
-}  // namespace
 
 void
 ReportBuilder::setHostMetrics(MetricsSnapshot snapshot)
@@ -348,7 +348,7 @@ ReportBuilder::json() const
     w.endArray();
     w.key("host_metrics");
     if (host_metrics_)
-        writeHostMetrics(w, *host_metrics_);
+        writeMetricsSnapshot(w, *host_metrics_);
     else
         w.null();
     w.endObject();

@@ -137,6 +137,14 @@ class ReportBuilder
  */
 void writeTextFile(const std::string &path, std::string_view content);
 
+/**
+ * Serialize @p snap as the report's "host_metrics" object
+ * ({counters:{...},gauges:{...},histograms:{...}}). Shared between the
+ * report writer and the serve daemon's statusz frame so both expose the
+ * exact same shape (docs/observability.md).
+ */
+void writeMetricsSnapshot(JsonWriter &w, const MetricsSnapshot &snap);
+
 }  // namespace stackscope::obs
 
 #endif  // STACKSCOPE_OBS_REPORT_HPP

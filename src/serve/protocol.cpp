@@ -1,0 +1,316 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "sim/multicore.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulation.hpp"
+#include "stacks/speculation.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/workload_library.hpp"
+#include "validate/invariants.hpp"
+
+namespace stackscope::serve {
+
+namespace {
+
+[[noreturn]] void
+usageError(std::string message, const std::string &where)
+{
+    throw StackscopeError(ErrorCategory::kUsage, std::move(message))
+        .withContext("field", where);
+}
+
+/** Reject unknown members: the spec feeds the cache key, so a silently
+ *  dropped key would alias two different requests onto one entry. */
+void
+checkKeys(const obs::JsonValue &object,
+          std::initializer_list<std::string_view> allowed,
+          const std::string &where)
+{
+    for (const auto &[key, value] : object.object) {
+        bool known = false;
+        for (std::string_view a : allowed)
+            known = known || key == a;
+        if (!known)
+            usageError("unknown key '" + key + "'", where);
+    }
+}
+
+std::string
+requireString(const obs::JsonValue &object, const std::string &key)
+{
+    const obs::JsonValue *v = object.find(key);
+    if (v == nullptr || !v->isString())
+        usageError("'" + key + "' must be a string", key);
+    return v->string;
+}
+
+/** Integral, non-negative, exactly representable in a double. */
+std::uint64_t
+uintField(const obs::JsonValue &object, const std::string &key,
+          std::uint64_t fallback)
+{
+    const obs::JsonValue *v = object.find(key);
+    if (v == nullptr)
+        return fallback;
+    if (!v->isNumber() || v->number < 0 ||
+        v->number != std::floor(v->number) || v->number > 9.007199254740992e15)
+        usageError("'" + key + "' must be a non-negative integer", key);
+    return static_cast<std::uint64_t>(v->number);
+}
+
+double
+numberField(const obs::JsonValue &object, const std::string &key,
+            double fallback)
+{
+    const obs::JsonValue *v = object.find(key);
+    if (v == nullptr)
+        return fallback;
+    if (!v->isNumber() || v->number < 0)
+        usageError("'" + key + "' must be a non-negative number", key);
+    return v->number;
+}
+
+stacks::SpeculationMode
+parseSpecMode(const std::string &text)
+{
+    if (text == "oracle")
+        return stacks::SpeculationMode::kOracle;
+    if (text == "simple")
+        return stacks::SpeculationMode::kSimple;
+    if (text == "spec-counters")
+        return stacks::SpeculationMode::kSpecCounters;
+    usageError("unknown spec_mode '" + text +
+                   "' (oracle|simple|spec-counters)",
+               "spec_mode");
+}
+
+}  // namespace
+
+Request
+parseRequest(std::string_view line)
+{
+    const obs::JsonValue frame = obs::parseJson(line);
+    if (!frame.isObject())
+        usageError("request frame must be a JSON object", "frame");
+    checkKeys(frame, {"type", "id", "spec"}, "frame");
+
+    Request req;
+    if (const obs::JsonValue *id = frame.find("id")) {
+        if (!id->isString())
+            usageError("'id' must be a string", "id");
+        req.id = id->string;
+    }
+    const std::string type = requireString(frame, "type");
+    if (type == "ping") {
+        req.kind = Request::Kind::kPing;
+    } else if (type == "statusz") {
+        req.kind = Request::Kind::kStatusz;
+    } else if (type == "analyze") {
+        req.kind = Request::Kind::kAnalyze;
+        const obs::JsonValue *spec = frame.find("spec");
+        if (spec == nullptr || !spec->isObject())
+            usageError("analyze requires a 'spec' object", "spec");
+        req.spec = *spec;
+    } else {
+        usageError("unknown request type '" + type +
+                       "' (ping|statusz|analyze)",
+                   "type");
+    }
+    return req;
+}
+
+runner::JobSpec
+parseSpec(const obs::JsonValue &spec)
+{
+    checkKeys(spec, {"workload", "machine", "cores", "instrs", "warmup",
+                     "options"},
+              "spec");
+
+    runner::JobSpec job;
+    job.workload = requireString(spec, "workload");
+    job.machine = requireString(spec, "machine");
+    try {
+        trace::findWorkload(job.workload);
+        sim::machineByName(job.machine);
+    } catch (const std::out_of_range &e) {
+        throw StackscopeError(ErrorCategory::kUsage, e.what());
+    }
+
+    const std::uint64_t cores = uintField(spec, "cores", 1);
+    if (cores < 1 || cores > 1024)
+        usageError("'cores' must be in [1, 1024]", "cores");
+    job.cores = static_cast<unsigned>(cores);
+
+    const std::uint64_t instrs = uintField(spec, "instrs", kDefaultInstrs);
+    if (instrs < 1)
+        usageError("'instrs' must be at least 1", "instrs");
+    // CLI convention: warmup defaults to half the measured count, and
+    // JobSpec::instrs is the total the generator runs (measured+warmup),
+    // so wire specs hash identically to equivalent CLI invocations.
+    const std::uint64_t warmup = uintField(spec, "warmup", instrs / 2);
+    job.instrs = instrs + warmup;
+
+    sim::SimOptions &so = job.options;
+    so.warmup_instrs = warmup;
+    const obs::JsonValue *options = spec.find("options");
+    if (options != nullptr) {
+        if (!options->isObject())
+            usageError("'options' must be an object", "options");
+        checkKeys(*options,
+                  {"spec_mode", "engine", "validate", "max_cycles",
+                   "watchdog_cycles", "deadline_cycles",
+                   "job_timeout_seconds", "interval_cycles"},
+                  "options");
+        if (const obs::JsonValue *v = options->find("spec_mode")) {
+            if (!v->isString())
+                usageError("'spec_mode' must be a string", "spec_mode");
+            so.spec_mode = parseSpecMode(v->string);
+        }
+        if (const obs::JsonValue *v = options->find("engine")) {
+            if (!v->isString() ||
+                (v->string != "batched" && v->string != "reference"))
+                usageError("'engine' must be \"batched\" or \"reference\"",
+                           "engine");
+            so.reference_engine = v->string == "reference";
+        }
+        if (const obs::JsonValue *v = options->find("validate")) {
+            const auto policy =
+                v->isString() ? validate::parsePolicy(v->string)
+                              : std::nullopt;
+            if (!policy)
+                usageError("'validate' must be off|warn|strict", "validate");
+            so.validation = *policy;
+        }
+        so.max_cycles = uintField(*options, "max_cycles", 0);
+        so.watchdog_cycles = uintField(*options, "watchdog_cycles", 0);
+        so.deadline_cycles = uintField(*options, "deadline_cycles", 0);
+        so.job_timeout_seconds =
+            numberField(*options, "job_timeout_seconds", 0.0);
+        so.obs.interval_cycles = uintField(*options, "interval_cycles", 0);
+    }
+    sim::checkObsOptions(so);
+    return job;
+}
+
+std::string
+simulateSpec(const runner::JobSpec &spec)
+{
+    const sim::MachineConfig machine = sim::machineByName(spec.machine);
+    trace::SyntheticParams params =
+        trace::findWorkload(spec.workload).params;
+    params.num_instrs = spec.instrs;
+    const trace::SyntheticGenerator gen(params);
+
+    obs::ReportBuilder report("run");
+    if (spec.cores > 1) {
+        const sim::MulticoreResult r =
+            sim::simulateMulticore(machine, gen, spec.cores, spec.options);
+        report.add(spec.workload + "/" + machine.name + "/x" +
+                       std::to_string(spec.cores),
+                   spec.options, r);
+    } else {
+        const sim::SimResult r = sim::simulate(machine, gen, spec.options);
+        report.add(spec.workload + "/" + machine.name, spec.options, r);
+    }
+    return report.json();
+}
+
+std::string
+helloFrame()
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("hello")
+        .key("schema").value(kProtocolName)
+        .key("version").value(kProtocolVersion)
+        .endObject();
+    return w.str() + "\n";
+}
+
+std::string
+pongFrame(const std::string &id)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("pong")
+        .key("id").value(id)
+        .endObject();
+    return w.str() + "\n";
+}
+
+std::string
+progressFrame(const std::string &id, const std::string &key,
+              std::uint64_t elapsed_ms)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("progress")
+        .key("id").value(id)
+        .key("key").value(key)
+        .key("elapsed_ms").value(elapsed_ms)
+        .endObject();
+    return w.str() + "\n";
+}
+
+std::string
+errorFrame(const std::string &id, ErrorCategory category,
+           const std::string &message)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("error")
+        .key("id").value(id)
+        .key("category").value(toString(category))
+        .key("message").value(message)
+        .endObject();
+    return w.str() + "\n";
+}
+
+std::string
+resultFrame(const std::string &id, const std::string &key,
+            CacheOutcome outcome, const std::string &report)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("result")
+        .key("id").value(id)
+        .key("key").value(key)
+        .key("cache").value(toString(outcome))
+        .key("report").raw(report)
+        .endObject();
+    return w.str() + "\n";
+}
+
+std::string
+statusFrame(const std::string &id, const ResultCache::Stats &cache,
+            const obs::MetricsSnapshot &snap)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("type").value("status")
+        .key("id").value(id)
+        .key("cache").beginObject()
+        .key("hits").value(cache.hits)
+        .key("misses").value(cache.misses)
+        .key("coalesced").value(cache.coalesced)
+        .key("evictions").value(cache.evictions)
+        .key("failures").value(cache.failures)
+        .key("entries").value(static_cast<std::uint64_t>(cache.entries))
+        .key("pending").value(static_cast<std::uint64_t>(cache.pending))
+        .key("bytes").value(static_cast<std::uint64_t>(cache.bytes))
+        .key("capacity_bytes")
+        .value(static_cast<std::uint64_t>(cache.capacity_bytes))
+        .endObject()
+        .key("host_metrics");
+    obs::writeMetricsSnapshot(w, snap);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+}  // namespace stackscope::serve

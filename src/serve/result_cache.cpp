@@ -1,0 +1,136 @@
+#include "serve/result_cache.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace stackscope::serve {
+
+ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes)
+{
+    stats_.capacity_bytes = max_bytes;
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    m_hits_ = reg.counter("serve.cache_hits_total");
+    m_misses_ = reg.counter("serve.cache_misses_total");
+    m_coalesced_ = reg.counter("serve.cache_coalesced_total");
+    m_evictions_ = reg.counter("serve.cache_evictions_total");
+    m_failures_ = reg.counter("serve.cache_failures_total");
+    m_bytes_ = reg.gauge("serve.cache_bytes");
+    m_entries_ = reg.gauge("serve.cache_entries");
+}
+
+std::size_t
+ResultCache::chargeFor(const std::string &key, const std::string &bytes) const
+{
+    // Key stored twice (map + LRU list) plus per-entry bookkeeping; the
+    // budget is approximate but must not drift below the payload size.
+    return bytes.size() + 2 * key.size() + 128;
+}
+
+ResultCache::Handle
+ResultCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        Entry entry;
+        entry.future = entry.promise.get_future().share();
+        Handle handle{entry.future, CacheOutcome::kMiss};
+        entries_.emplace(key, std::move(entry));
+        ++stats_.misses;
+        ++stats_.pending;
+        m_misses_.inc();
+        return handle;
+    }
+    Entry &entry = it->second;
+    if (entry.pending) {
+        ++stats_.coalesced;
+        m_coalesced_.inc();
+        return Handle{entry.future, CacheOutcome::kCoalesced};
+    }
+    // Touch: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    ++stats_.hits;
+    m_hits_.inc();
+    return Handle{entry.future, CacheOutcome::kHit};
+}
+
+void
+ResultCache::evictLockedOverBudget()
+{
+    while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        auto it = entries_.find(victim);
+        if (it != entries_.end()) {
+            stats_.bytes -= it->second.charge;
+            entries_.erase(it);
+            --stats_.entries;
+            ++stats_.evictions;
+            m_evictions_.inc();
+        }
+    }
+    m_bytes_.set(static_cast<double>(stats_.bytes));
+    m_entries_.set(static_cast<double>(stats_.entries));
+}
+
+void
+ResultCache::complete(const std::string &key, std::string bytes)
+{
+    std::promise<CachedBytes> promise;
+    CachedBytes shared =
+        std::make_shared<const std::string>(std::move(bytes));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.pending) {
+            throw StackscopeError(ErrorCategory::kInternal,
+                                  "complete() without a pending cache entry")
+                .withContext("key", key);
+        }
+        Entry &entry = it->second;
+        promise = std::move(entry.promise);
+        entry.pending = false;
+        entry.bytes = shared;
+        entry.charge = chargeFor(key, *shared);
+        lru_.push_front(key);
+        entry.lru_it = lru_.begin();
+        --stats_.pending;
+        ++stats_.entries;
+        stats_.bytes += entry.charge;
+        evictLockedOverBudget();
+    }
+    // Publish outside the lock: set_value wakes every waiter, and none
+    // of them should contend with the cache mutex to read the bytes.
+    promise.set_value(std::move(shared));
+}
+
+void
+ResultCache::fail(const std::string &key, std::exception_ptr error)
+{
+    std::promise<CachedBytes> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.pending) {
+            throw StackscopeError(ErrorCategory::kInternal,
+                                  "fail() without a pending cache entry")
+                .withContext("key", key);
+        }
+        promise = std::move(it->second.promise);
+        entries_.erase(it);
+        --stats_.pending;
+        ++stats_.failures;
+        m_failures_.inc();
+    }
+    promise.set_exception(std::move(error));
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace stackscope::serve

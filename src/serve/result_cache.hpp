@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Content-addressed, single-flight, LRU-bounded result cache for the
+ * serve daemon.
+ *
+ * Simulations are deterministic, so the canonical job-spec hash
+ * (runner::specHash, docs/formats.md "Job spec hashing") is a content
+ * address for the finished report bytes: under production traffic the
+ * common case is a repeat query, which must return in microseconds
+ * without touching the simulator. Three properties carry the design
+ * (docs/serving.md "Result cache" is the normative contract):
+ *
+ *  - **Single-flight**: concurrent requests for the same key coalesce
+ *    onto one simulation. The first requester becomes the *leader* and
+ *    computes; followers receive the same std::shared_future and block
+ *    until the leader publishes. No thundering herd: N clients asking
+ *    for the same cold spec cost exactly one simulation.
+ *  - **Byte addressing**: the cache stores the exact serialized report
+ *    (a shared immutable string), so a hit is byte-identical to the
+ *    cold run that populated it — the serve determinism guarantee.
+ *  - **LRU byte budget**: completed entries are evicted least-recently-
+ *    used when the total stored bytes exceed the budget. Pending
+ *    entries are never evicted (their size is unknown and waiters hold
+ *    their future); failed computations are never cached, so a later
+ *    request retries.
+ */
+
+#ifndef STACKSCOPE_SERVE_RESULT_CACHE_HPP
+#define STACKSCOPE_SERVE_RESULT_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace stackscope::serve {
+
+/** Immutable published report bytes, shared between cache and waiters. */
+using CachedBytes = std::shared_ptr<const std::string>;
+
+/** How a lookup was satisfied; echoed in the result frame's "cache". */
+enum class CacheOutcome
+{
+    kHit,        ///< entry was resident and complete
+    kMiss,       ///< caller is the leader and must compute
+    kCoalesced,  ///< another request is computing; wait on the future
+};
+
+constexpr const char *
+toString(CacheOutcome o)
+{
+    switch (o) {
+      case CacheOutcome::kHit: return "hit";
+      case CacheOutcome::kMiss: return "miss";
+      case CacheOutcome::kCoalesced: return "coalesced";
+    }
+    return "miss";
+}
+
+class ResultCache
+{
+  public:
+    /** Lookup result: a future that yields the bytes (or rethrows the
+     *  leader's error) plus the outcome classification. When outcome is
+     *  kMiss the caller MUST eventually call complete() or fail() for
+     *  the key, or every coalesced waiter blocks forever. */
+    struct Handle
+    {
+        std::shared_future<CachedBytes> future;
+        CacheOutcome outcome = CacheOutcome::kMiss;
+
+        bool leader() const { return outcome == CacheOutcome::kMiss; }
+    };
+
+    /** Point-in-time statistics (also exported as serve.cache_* host
+     *  metrics; see docs/observability.md). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t failures = 0;
+        std::size_t bytes = 0;
+        std::size_t entries = 0;
+        std::size_t pending = 0;
+        std::size_t capacity_bytes = 0;
+    };
+
+    /** @param max_bytes LRU byte budget for completed entries. */
+    explicit ResultCache(std::size_t max_bytes);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look up @p key. kHit resolves immediately; kMiss makes the caller
+     * the leader; kCoalesced joins an in-flight computation.
+     */
+    Handle lookup(const std::string &key);
+
+    /**
+     * Publish the leader's result for @p key: waiters wake with the
+     * shared bytes, the entry is charged against the byte budget and
+     * LRU eviction runs. An entry larger than the whole budget is
+     * published to waiters but not retained.
+     */
+    void complete(const std::string &key, std::string bytes);
+
+    /**
+     * Publish the leader's failure: waiters rethrow @p error and the
+     * pending entry is removed so the next lookup retries.
+     */
+    void fail(const std::string &key, std::exception_ptr error);
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::promise<CachedBytes> promise;
+        std::shared_future<CachedBytes> future;
+        CachedBytes bytes;  ///< null while pending
+        std::size_t charge = 0;
+        /** Position in lru_ (valid only when complete and resident). */
+        std::list<std::string>::iterator lru_it{};
+        bool pending = true;
+    };
+
+    std::size_t chargeFor(const std::string &key,
+                          const std::string &bytes) const;
+    void evictLockedOverBudget();
+
+    const std::size_t max_bytes_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    /** Completed resident keys, most-recently-used first. */
+    std::list<std::string> lru_;
+    Stats stats_{};
+
+    obs::Counter m_hits_;
+    obs::Counter m_misses_;
+    obs::Counter m_coalesced_;
+    obs::Counter m_evictions_;
+    obs::Counter m_failures_;
+    obs::Gauge m_bytes_;
+    obs::Gauge m_entries_;
+};
+
+}  // namespace stackscope::serve
+
+#endif  // STACKSCOPE_SERVE_RESULT_CACHE_HPP

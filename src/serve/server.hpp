@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The resident `stackscope serve` daemon: listener, per-connection
+ * state machines, request router, result cache and graceful drain.
+ *
+ * Transport model (docs/serving.md is the normative contract):
+ *
+ *  - A Unix-domain stream socket speaks the newline-delimited JSON
+ *    protocol (serve/protocol.hpp): the server sends a hello frame,
+ *    then answers each request line with pong/status/error frames or,
+ *    for analyze, a stream of progress frames followed by one result
+ *    frame.
+ *  - An optional loopback TCP port speaks minimal HTTP/1.1
+ *    (GET /statusz, GET /healthz, POST /analyze), one request per
+ *    connection.
+ *
+ * Concurrency model: the accept loop is a poll() over the listeners
+ * plus a self-pipe used by requestStop() (async-signal-safe, so the
+ * CLI's SIGTERM handler may call it directly). Each connection runs on
+ * its own detached thread, tracked only by an active count + condition
+ * variable; simulations themselves run on the shared work-stealing
+ * ThreadPool, so a slow client never occupies a simulation slot.
+ * Analyze requests go through the single-flight ResultCache: the
+ * leader submits one pool task, coalesced followers just wait on the
+ * shared future, and every waiter emits its own heartbeat progress
+ * frames while blocked.
+ *
+ * Shutdown: requestStop() stops the accept loop, half-closes every
+ * open connection (shutdown(SHUT_RD): idle clients see EOF, in-flight
+ * responses still flush), then waits up to drain_timeout for active
+ * connections to finish. run() returns false on a drain timeout — the
+ * CLI maps that to exit code 8 (docs/exit_codes.md).
+ */
+
+#ifndef STACKSCOPE_SERVE_SERVER_HPP
+#define STACKSCOPE_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "runner/job_spec.hpp"
+#include "runner/thread_pool.hpp"
+#include "serve/result_cache.hpp"
+
+namespace stackscope::serve {
+
+/**
+ * Listener setup failure (socket path already served, TCP port in
+ * use, ...). Distinct from StackscopeError because the CLI maps it to
+ * its own exit code (7, docs/exit_codes.md) so supervisors can tell
+ * "another instance is running" from ordinary config errors.
+ */
+class BindError : public StackscopeError
+{
+  public:
+    explicit BindError(std::string message)
+        : StackscopeError(ErrorCategory::kConfig, std::move(message))
+    {
+    }
+};
+
+struct ServeOptions
+{
+    /** Unix-domain socket path; empty disables the UDS listener. */
+    std::string socket_path;
+    /** Loopback HTTP port; -1 disables TCP, 0 binds an ephemeral port. */
+    int tcp_port = -1;
+    /** Simulation worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Result-cache byte budget. */
+    std::size_t cache_bytes = 64u << 20;
+    /** Progress-frame period while an analyze request is in flight. */
+    std::chrono::milliseconds heartbeat{500};
+    /** Grace period for in-flight connections after requestStop(). */
+    std::chrono::milliseconds drain_timeout{30'000};
+};
+
+class Server
+{
+  public:
+    /** Binds every configured listener; throws BindError on conflicts,
+     *  StackscopeError(kConfig) when no listener is configured. */
+    explicit Server(const ServeOptions &options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound TCP port (useful with tcp_port = 0), or -1. */
+    int tcpPort() const { return tcp_port_; }
+
+    /**
+     * Serve until requestStop(); returns true when every connection
+     * drained within the timeout, false otherwise (exit code 8).
+     */
+    bool run();
+
+    /**
+     * Begin shutdown. Async-signal-safe (one write() to a pipe); safe
+     * to call from any thread or from a signal handler, repeatedly.
+     */
+    void requestStop();
+
+    const ResultCache &cache() const { return cache_; }
+
+  private:
+    void acceptLoop();
+    void connectionMain(int fd, bool http);
+    void ndjsonConnection(int fd);
+    void httpConnection(int fd);
+    /** Handle one analyze request; writes progress + result/error. */
+    void analyze(int fd, const std::string &id,
+                 const runner::JobSpec &spec);
+    bool sendAll(int fd, std::string_view bytes);
+
+    ServeOptions options_;
+    int uds_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = -1;
+    int wake_rd_ = -1;
+    int wake_wr_ = -1;
+    std::atomic<bool> stopping_{false};
+
+    ResultCache cache_;
+    runner::ThreadPool pool_;
+
+    std::mutex conn_mutex_;
+    std::condition_variable conn_cv_;
+    std::unordered_set<int> conn_fds_;
+    std::size_t active_conns_ = 0;
+
+    obs::Counter m_connections_;
+    obs::Counter m_requests_;
+    obs::Counter m_errors_;
+    obs::Counter m_http_requests_;
+    obs::Histogram m_analyze_seconds_;
+    obs::Histogram m_status_seconds_;
+};
+
+}  // namespace stackscope::serve
+
+#endif  // STACKSCOPE_SERVE_SERVER_HPP

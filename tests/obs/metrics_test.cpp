@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -124,6 +125,53 @@ TEST(MetricsRegistry, SnapshotIsSortedByNameAndMergesShards)
         EXPECT_EQ(s2.counters[i].name, s1.counters[i].name);
         EXPECT_EQ(s2.counters[i].value, s1.counters[i].value);
     }
+}
+
+TEST(MetricsRegistry, HistogramSnapshotIsConsistentWhileRecording)
+{
+    // The serve daemon snapshots its latency histograms for /statusz
+    // while pool workers are still recording. docs/observability.md
+    // documents the consistency model this test pins down: a snapshot
+    // may cut between two concurrent record() calls, but each bucket
+    // count is monotone and `total` is derived from the counts, so
+    // total == sum(counts) holds in every snapshot.
+    MetricsRegistry reg;
+    Histogram h = reg.histogram("test.live", {0.25, 0.5, 0.75});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50'000;
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([h, t, &go]() mutable {
+            while (!go.load()) {
+            }
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(static_cast<double>((t + i) % 5) * 0.25);
+        });
+    }
+
+    go.store(true);
+    std::uint64_t last_total = 0;
+    for (int probe = 0; probe < 200; ++probe) {
+        const MetricsSnapshot snap = reg.snapshot();
+        const HistogramValue *hv = snap.histogram("test.live");
+        ASSERT_NE(hv, nullptr);
+        std::uint64_t from_counts = 0;
+        for (const std::uint64_t c : hv->counts)
+            from_counts += c;
+        ASSERT_EQ(hv->total, from_counts)
+            << "snapshot total must equal the sum of its own buckets";
+        ASSERT_GE(hv->total, last_total) << "totals must be monotone";
+        last_total = hv->total;
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    const MetricsSnapshot final_snap = reg.snapshot();
+    EXPECT_EQ(final_snap.histogram("test.live")->total,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles)

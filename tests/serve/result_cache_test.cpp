@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests of the serve result cache against the documented semantics
+ * (docs/serving.md "Result cache"): single-flight coalescing, LRU
+ * eviction under the byte budget, hit byte-identity and
+ * failure-is-not-cached retry behaviour.
+ */
+
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace stackscope::serve {
+namespace {
+
+std::string
+payload(std::size_t size, char fill)
+{
+    return std::string(size, fill);
+}
+
+TEST(ResultCacheTest, MissThenHitReturnsIdenticalBytes)
+{
+    ResultCache cache(1 << 20);
+    ResultCache::Handle first = cache.lookup("k1");
+    EXPECT_EQ(first.outcome, CacheOutcome::kMiss);
+    EXPECT_TRUE(first.leader());
+    cache.complete("k1", "REPORT-BYTES");
+
+    ResultCache::Handle second = cache.lookup("k1");
+    EXPECT_EQ(second.outcome, CacheOutcome::kHit);
+    EXPECT_FALSE(second.leader());
+    // The hit must observe the exact bytes the leader published — the
+    // byte-identity guarantee reduced to its cache-layer core.
+    EXPECT_EQ(*second.future.get(), "REPORT-BYTES");
+    EXPECT_EQ(second.future.get(), first.future.get())
+        << "hit and original share one immutable buffer";
+
+    const ResultCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.pending, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentSameKeyCoalescesToOneLeader)
+{
+    ResultCache cache(1 << 20);
+    constexpr unsigned kThreads = 16;
+    std::atomic<unsigned> leaders{0};
+    std::atomic<unsigned> ready{0};
+    std::vector<std::thread> threads;
+    std::vector<std::string> results(kThreads);
+
+    threads.reserve(kThreads);
+    for (unsigned i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+            }
+            ResultCache::Handle handle = cache.lookup("hot-key");
+            if (handle.leader()) {
+                leaders.fetch_add(1);
+                // Only the leader "simulates"; everyone else must wait
+                // on the shared future instead of recomputing.
+                cache.complete("hot-key", "ONE-SIMULATION");
+            }
+            results[i] = *handle.future.get();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(leaders.load(), 1u) << "thundering herd: >1 simulation ran";
+    for (const std::string &r : results)
+        EXPECT_EQ(r, "ONE-SIMULATION");
+    const ResultCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsedUnderByteBound)
+{
+    // Budget fits roughly two 4 KiB entries (plus per-entry overhead).
+    ResultCache cache(10'000);
+    for (const char *key : {"a", "b"}) {
+        ResultCache::Handle h = cache.lookup(key);
+        ASSERT_TRUE(h.leader());
+        cache.complete(key, payload(4096, key[0]));
+    }
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Touch "a" so "b" is the LRU victim when "c" lands.
+    EXPECT_EQ(cache.lookup("a").outcome, CacheOutcome::kHit);
+    ResultCache::Handle h = cache.lookup("c");
+    ASSERT_TRUE(h.leader());
+    cache.complete("c", payload(4096, 'c'));
+
+    const ResultCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.bytes, 10'000u);
+    EXPECT_EQ(cache.lookup("a").outcome, CacheOutcome::kHit);
+    EXPECT_EQ(cache.lookup("c").outcome, CacheOutcome::kHit);
+    // "b" was evicted: looking it up re-registers a miss (new leader).
+    ResultCache::Handle evicted = cache.lookup("b");
+    EXPECT_EQ(evicted.outcome, CacheOutcome::kMiss);
+    cache.complete("b", payload(16, 'b'));
+}
+
+TEST(ResultCacheTest, OversizedEntryIsPublishedButNotRetained)
+{
+    ResultCache cache(1024);
+    ResultCache::Handle h = cache.lookup("big");
+    ASSERT_TRUE(h.leader());
+    cache.complete("big", payload(8192, 'X'));
+    // Waiters still get the bytes...
+    EXPECT_EQ(h.future.get()->size(), 8192u);
+    // ...but the entry cannot stay resident within the budget.
+    EXPECT_LE(cache.stats().bytes, 1024u);
+    EXPECT_EQ(cache.lookup("big").outcome, CacheOutcome::kMiss);
+    cache.complete("big", payload(16, 'X'));
+}
+
+TEST(ResultCacheTest, PendingEntriesAreNeverEvicted)
+{
+    ResultCache cache(2048);
+    ResultCache::Handle pending = cache.lookup("slow");
+    ASSERT_TRUE(pending.leader());
+
+    // Fill well past the budget while "slow" is still computing.
+    for (int i = 0; i < 4; ++i) {
+        const std::string key = "filler-" + std::to_string(i);
+        ResultCache::Handle h = cache.lookup(key);
+        ASSERT_TRUE(h.leader());
+        cache.complete(key, payload(1024, 'f'));
+    }
+    EXPECT_GE(cache.stats().evictions, 1u);
+
+    // The pending entry survived: a second lookup coalesces instead of
+    // becoming a new leader, and completing it still works.
+    EXPECT_EQ(cache.lookup("slow").outcome, CacheOutcome::kCoalesced);
+    cache.complete("slow", "slow-result");
+    EXPECT_EQ(*pending.future.get(), "slow-result");
+}
+
+TEST(ResultCacheTest, FailurePropagatesAndIsNotCached)
+{
+    ResultCache cache(1 << 20);
+    ResultCache::Handle first = cache.lookup("flaky");
+    ResultCache::Handle waiter = cache.lookup("flaky");
+    ASSERT_TRUE(first.leader());
+    EXPECT_EQ(waiter.outcome, CacheOutcome::kCoalesced);
+
+    cache.fail("flaky",
+               std::make_exception_ptr(StackscopeError(
+                   ErrorCategory::kValidation, "injected failure")));
+    EXPECT_THROW(first.future.get(), StackscopeError);
+    EXPECT_THROW(waiter.future.get(), StackscopeError);
+
+    // Failures are not memoized: the next lookup retries from scratch.
+    ResultCache::Handle retry = cache.lookup("flaky");
+    EXPECT_EQ(retry.outcome, CacheOutcome::kMiss);
+    cache.complete("flaky", "recovered");
+    EXPECT_EQ(*retry.future.get(), "recovered");
+    EXPECT_EQ(cache.stats().failures, 1u);
+}
+
+TEST(ResultCacheTest, CompleteWithoutPendingEntryIsAnInternalError)
+{
+    ResultCache cache(1 << 20);
+    EXPECT_THROW(cache.complete("never-looked-up", "x"), StackscopeError);
+    EXPECT_THROW(cache.fail("never-looked-up",
+                            std::make_exception_ptr(std::runtime_error(""))),
+                 StackscopeError);
+}
+
+}  // namespace
+}  // namespace stackscope::serve

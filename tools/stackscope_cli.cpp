@@ -13,6 +13,8 @@
  *   sweep   [options]        workload x machine x cores grid, CSV output
  *   phases  [options]        interval stack time-series heatmaps
  *   diff-report A B          compare two run reports as a regression gate
+ *   serve   [options]        resident analysis daemon with a result cache
+ *                            (wire protocol in docs/serving.md)
  *
  * Common options:
  *   --workload NAME     workload preset (default mcf)
@@ -41,7 +43,18 @@
  *                       (run, hpc and phases)
  *   --report-out FILE   write the machine-readable JSON run report
  *                       (schema in docs/formats.md)
+ *   --no-host-metrics   omit the host_metrics section from the report
+ *                       (host_metrics: null), making the report fully
+ *                       deterministic — what the serve cache's
+ *                       byte-identity guarantee compares against
  *   --perfect-icache --perfect-dcache --perfect-bpred --ideal-alu
+ *
+ * serve options (docs/serving.md):
+ *   --socket PATH       Unix-domain socket to listen on
+ *   --tcp PORT          loopback HTTP/1.1 port (0 = ephemeral)
+ *   --cache-mb N        result-cache byte budget in MiB (default 64)
+ *   --heartbeat-ms N    progress-frame period (default 500)
+ *   --drain-timeout SECS  shutdown grace period (default 30)
  *
  * sweep resilience options (docs/formats.md, docs/exit_codes.md):
  *   --max-retries N     retry a retryably-failing job up to N times
@@ -66,10 +79,13 @@
  * Exit codes (full contract in docs/exit_codes.md): 0 success,
  * 1 runtime/internal failure, 2 usage or configuration error,
  * 3 validation or watchdog failure, 4 diff-report regression,
- * 5 partial batch success (--keep-going), 6 total batch failure.
+ * 5 partial batch success (--keep-going), 6 total batch failure,
+ * 7 serve bind failure (port/socket in use), 8 serve drain timeout.
  */
 
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -91,6 +107,7 @@
 #include "runner/heartbeat.hpp"
 #include "runner/job_spec.hpp"
 #include "runner/journal.hpp"
+#include "serve/server.hpp"
 #include "sim/multicore.hpp"
 #include "sim/presets.hpp"
 #include "sim/simulation.hpp"
@@ -144,6 +161,18 @@ struct CliOptions
     std::optional<Cycle> intervals{};
     std::string trace_out;
     std::string report_out;
+    /** Omit host_metrics from reports, keeping them byte-deterministic. */
+    bool no_host_metrics = false;
+    /** serve: Unix-domain socket path (empty = no UDS listener). */
+    std::string serve_socket;
+    /** serve: loopback HTTP port (-1 = no TCP, 0 = ephemeral). */
+    int serve_tcp = -1;
+    /** serve: result-cache budget in MiB. */
+    std::uint64_t cache_mb = 64;
+    /** serve: progress-frame period. */
+    std::uint64_t heartbeat_ms = 500;
+    /** serve: shutdown grace period in seconds. */
+    double drain_timeout = 30.0;
     /** diff-report: the two report paths. */
     std::vector<std::string> positionals;
     obs::DiffTolerance diff_tol{};
@@ -154,7 +183,7 @@ struct CliOptions
 };
 
 constexpr const char *kCommands =
-    "list|run|bounds|hpc|compare-spec|sweep|phases|diff-report|help";
+    "list|run|bounds|hpc|compare-spec|sweep|phases|diff-report|serve|help";
 
 /** Split "a,b,c" into its non-empty elements. */
 std::vector<std::string>
@@ -210,7 +239,12 @@ usage(std::FILE *to, const char *argv0)
         "      failure)  --fault-job SUBSTR  --journal FILE\n"
         "      --resume FILE  (see docs/exit_codes.md)\n"
         "  diff-report A B [--tol-abs X] [--tol-rel X]\n"
-        "      [--watch METRIC[:ABS[:REL]]]   (exit 4 on regression)\n",
+        "      [--watch METRIC[:ABS[:REL]]]   (exit 4 on regression)\n"
+        "  --no-host-metrics (deterministic reports: host_metrics null)\n"
+        "  serve --socket PATH and/or --tcp PORT [--cache-mb N]\n"
+        "      [--heartbeat-ms N] [--drain-timeout SECS]\n"
+        "      (protocol in docs/serving.md; exit 7 bind failure,\n"
+        "      8 drain timeout)\n",
         argv0, kCommands, faults.c_str());
     return to == stdout ? 0 : 2;
 }
@@ -300,7 +334,7 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         opt.command == "bounds" || opt.command == "hpc" ||
         opt.command == "compare-spec" || opt.command == "sweep" ||
         opt.command == "phases" || opt.command == "diff-report" ||
-        opt.command == "help";
+        opt.command == "serve" || opt.command == "help";
     if (!known_command) {
         throw StackscopeError(ErrorCategory::kUsage,
                               "unknown command '" + opt.command +
@@ -420,6 +454,24 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.trace_out = value();
         } else if (arg == "--report-out") {
             opt.report_out = value();
+        } else if (arg == "--no-host-metrics") {
+            flagOnly();
+            opt.no_host_metrics = true;
+        } else if (arg == "--socket") {
+            opt.serve_socket = value();
+        } else if (arg == "--tcp") {
+            opt.serve_tcp =
+                static_cast<int>(parseCount(arg, value(), 0));
+            if (opt.serve_tcp > 65535) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "--tcp port must be <= 65535");
+            }
+        } else if (arg == "--cache-mb") {
+            opt.cache_mb = parseCount(arg, value(), 1);
+        } else if (arg == "--heartbeat-ms") {
+            opt.heartbeat_ms = parseCount(arg, value(), 1);
+        } else if (arg == "--drain-timeout") {
+            opt.drain_timeout = parseReal(arg, value());
         } else if (arg == "--tol-abs") {
             opt.diff_tol.abs = parseReal(arg, value());
         } else if (arg == "--tol-rel") {
@@ -477,6 +529,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
     if (!opt.fault_job.empty() && !opt.fault) {
         throw StackscopeError(ErrorCategory::kUsage,
                               "--fault-job needs --inject-fault");
+    }
+    if (opt.command != "serve" &&
+        (!opt.serve_socket.empty() || opt.serve_tcp >= 0)) {
+        throw StackscopeError(ErrorCategory::kUsage,
+                              "--socket and --tcp are only supported by "
+                              "the serve command");
     }
     // Watch specs resolve after the loop so --tol-abs/--tol-rel defaults
     // apply regardless of option order.
@@ -539,8 +597,11 @@ maybeWriteReport(const CliOptions &opt, obs::ReportBuilder &report)
     if (opt.report_out.empty())
         return;
     // CLI reports carry the process-wide telemetry of the run that
-    // produced them (schema v2 "host_metrics").
-    report.setHostMetrics(obs::MetricsRegistry::global().snapshot());
+    // produced them (schema v2 "host_metrics") unless the caller asked
+    // for a deterministic report — the form the serve cache's
+    // byte-identity guarantee is defined against (docs/serving.md).
+    if (!opt.no_host_metrics)
+        report.setHostMetrics(obs::MetricsRegistry::global().snapshot());
     obs::writeTextFile(opt.report_out, report.json());
     log::info("cli", "wrote run report",
               {{"path", opt.report_out}, {"jobs", report.jobCount()}});
@@ -1129,6 +1190,50 @@ readTextFile(const std::string &path)
     return buf.str();
 }
 
+/**
+ * The daemon's stop hook. A plain pointer written before the signal
+ * handlers are installed and cleared after they are restored;
+ * requestStop() is async-signal-safe (one pipe write).
+ */
+serve::Server *g_serve_instance = nullptr;
+
+extern "C" void
+handleServeSignal(int)
+{
+    if (g_serve_instance != nullptr)
+        g_serve_instance->requestStop();
+}
+
+int
+cmdServe(const CliOptions &opt)
+{
+    serve::ServeOptions so;
+    so.socket_path = opt.serve_socket;
+    so.tcp_port = opt.serve_tcp;
+    so.threads = opt.threads;
+    so.cache_bytes = static_cast<std::size_t>(opt.cache_mb) << 20;
+    so.heartbeat = std::chrono::milliseconds(opt.heartbeat_ms);
+    so.drain_timeout = std::chrono::milliseconds(
+        static_cast<std::uint64_t>(opt.drain_timeout * 1000.0));
+    try {
+        serve::Server server(so);
+        // A client vanishing mid-response must surface as EPIPE on the
+        // write, never as a process-killing SIGPIPE.
+        std::signal(SIGPIPE, SIG_IGN);
+        g_serve_instance = &server;
+        std::signal(SIGTERM, handleServeSignal);
+        std::signal(SIGINT, handleServeSignal);
+        const bool drained = server.run();
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+        g_serve_instance = nullptr;
+        return drained ? 0 : kExitDrainTimeout;
+    } catch (const serve::BindError &e) {
+        std::fprintf(stderr, "%s\n", e.describe().c_str());
+        return kExitBindFailure;
+    }
+}
+
 int
 cmdDiffReport(const CliOptions &opt)
 {
@@ -1167,6 +1272,8 @@ main(int argc, char **argv)
             return cmdPhases(opt);
         if (opt.command == "diff-report")
             return cmdDiffReport(opt);
+        if (opt.command == "serve")
+            return cmdServe(opt);
         return cmdCompareSpec(opt);
     } catch (const StackscopeError &e) {
         std::fprintf(stderr, "%s\n", e.describe().c_str());

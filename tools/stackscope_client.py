@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Thin client for the `stackscope serve` daemon.
+
+Speaks the newline-delimited JSON protocol documented in docs/serving.md
+over a Unix-domain socket (--socket) or loopback TCP (--host/--port;
+note the TCP listener itself speaks HTTP — this client uses the NDJSON
+protocol and therefore requires --socket for full functionality; over
+TCP it issues single HTTP requests).
+
+The report is extracted from the result frame *byte-for-byte* (the
+"report" member is documented to be the frame's last member for exactly
+this purpose), so a file written by --out is byte-identical to a cold
+`stackscope run --no-host-metrics --report-out` of the same spec and
+can be fed straight to tools/validate_report.py or diff-report.
+
+Examples:
+    stackscope_client.py --socket /tmp/ss.sock \
+        --workload mcf --machine bdw --instrs 20000 --out report.json
+    stackscope_client.py --socket /tmp/ss.sock --statusz
+    stackscope_client.py --host 127.0.0.1 --port 8080 --statusz
+
+Exit codes mirror the daemon's error categories (docs/exit_codes.md):
+0 success, 1 internal/transport error, 2 usage/config, 3
+validation/watchdog.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+CATEGORY_EXIT = {
+    "usage": 2,
+    "config": 2,
+    "validation": 3,
+    "watchdog": 3,
+    "internal": 1,
+}
+
+
+def build_spec(args):
+    spec = {"workload": args.workload, "machine": args.machine}
+    if args.cores != 1:
+        spec["cores"] = args.cores
+    if args.instrs is not None:
+        spec["instrs"] = args.instrs
+    if args.warmup is not None:
+        spec["warmup"] = args.warmup
+    options = {}
+    if args.spec_mode:
+        options["spec_mode"] = args.spec_mode
+    if args.engine:
+        options["engine"] = args.engine
+    if args.validate:
+        options["validate"] = args.validate
+    if options:
+        spec["options"] = options
+    return spec
+
+
+def extract_report_bytes(frame_line):
+    """Slice the verbatim report bytes out of a result frame.
+
+    The result frame is `{...,"report":<report>}` with "report" last
+    (docs/serving.md), so the report is everything between the marker
+    and the frame's final closing brace.
+    """
+    marker = b'"report":'
+    start = frame_line.index(marker) + len(marker)
+    end = frame_line.rstrip(b"\n").rindex(b"}")
+    return frame_line[start:end]
+
+
+def run_ndjson(sock, args):
+    rfile = sock.makefile("rb")
+    hello = json.loads(rfile.readline())
+    if hello.get("schema") != "stackscope-serve":
+        print("error: not a stackscope-serve endpoint", file=sys.stderr)
+        return 1
+
+    if args.ping:
+        request = {"type": "ping", "id": "0"}
+    elif args.statusz:
+        request = {"type": "statusz", "id": "0"}
+    else:
+        request = {"type": "analyze", "id": "0", "spec": build_spec(args)}
+    sock.sendall(json.dumps(request).encode() + b"\n")
+
+    while True:
+        line = rfile.readline()
+        if not line:
+            print("error: connection closed by daemon", file=sys.stderr)
+            return 1
+        frame = json.loads(line)
+        ftype = frame.get("type")
+        if ftype == "progress":
+            print(
+                "progress: key=%s elapsed=%dms"
+                % (frame.get("key"), frame.get("elapsed_ms", 0)),
+                file=sys.stderr,
+            )
+            continue
+        if ftype == "error":
+            print(
+                "%s error: %s"
+                % (frame.get("category"), frame.get("message")),
+                file=sys.stderr,
+            )
+            return CATEGORY_EXIT.get(frame.get("category"), 1)
+        if ftype == "pong":
+            print("pong")
+            return 0
+        if ftype == "status":
+            json.dump(frame, sys.stdout, indent=2)
+            print()
+            return 0
+        if ftype == "result":
+            report = extract_report_bytes(line)
+            print(
+                "result: key=%s cache=%s (%d report bytes)"
+                % (frame.get("key"), frame.get("cache"), len(report)),
+                file=sys.stderr,
+            )
+            if args.out:
+                with open(args.out, "wb") as out:
+                    out.write(report)
+            else:
+                sys.stdout.buffer.write(report + b"\n")
+            return 0
+        print("error: unexpected frame type %r" % ftype, file=sys.stderr)
+        return 1
+
+
+def run_http(args):
+    import http.client
+
+    conn = http.client.HTTPConnection(args.host, args.port, timeout=600)
+    if args.statusz:
+        conn.request("GET", "/statusz")
+    elif args.ping:
+        conn.request("GET", "/healthz")
+    else:
+        conn.request(
+            "POST",
+            "/analyze",
+            body=json.dumps(build_spec(args)),
+            headers={"Content-Type": "application/json"},
+        )
+    response = conn.getresponse()
+    body = response.read()
+    if response.status != 200:
+        frame = json.loads(body)
+        print(
+            "%s error: %s" % (frame.get("category"), frame.get("message")),
+            file=sys.stderr,
+        )
+        return CATEGORY_EXIT.get(frame.get("category"), 1)
+    if args.statusz or args.ping:
+        sys.stdout.buffer.write(body)
+        return 0
+    report = extract_report_bytes(body)
+    if args.out:
+        with open(args.out, "wb") as out:
+            out.write(report)
+    else:
+        sys.stdout.buffer.write(report + b"\n")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="client for the stackscope serve daemon"
+    )
+    target = parser.add_argument_group("endpoint")
+    target.add_argument("--socket", help="Unix-domain socket path")
+    target.add_argument("--host", default="127.0.0.1", help="TCP host")
+    target.add_argument("--port", type=int, help="TCP (HTTP) port")
+    spec = parser.add_argument_group("job spec")
+    spec.add_argument("--workload", default="mcf")
+    spec.add_argument("--machine", default="bdw")
+    spec.add_argument("--cores", type=int, default=1)
+    spec.add_argument("--instrs", type=int)
+    spec.add_argument("--warmup", type=int)
+    spec.add_argument("--spec-mode", choices=["oracle", "simple",
+                                              "spec-counters"])
+    spec.add_argument("--engine", choices=["batched", "reference"])
+    spec.add_argument("--validate", choices=["off", "warn", "strict"])
+    parser.add_argument("--out", help="write the report to this file")
+    parser.add_argument("--statusz", action="store_true",
+                        help="fetch the daemon status instead of analyzing")
+    parser.add_argument("--ping", action="store_true",
+                        help="liveness check only")
+    args = parser.parse_args()
+
+    if not args.socket and args.port is None:
+        parser.error("need --socket PATH or --port PORT")
+
+    try:
+        if args.socket:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(600)
+            sock.connect(args.socket)
+            try:
+                return run_ndjson(sock, args)
+            finally:
+                sock.close()
+        return run_http(args)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,14 @@ Checks, for report schema v1 and v2:
     completed jobs ("ok"/"retried", or no job_status at all) must have
     exactly one result per core.
 
+Accepts wire-delivered reports too (docs/serving.md): the input may be
+a bare report (with or without a trailing newline), a serve `result`
+frame, or an HTTP /analyze response body — frames are unwrapped to
+their embedded "report" member before validation. Pass `-` to read
+from stdin, e.g. piped straight out of tools/stackscope_client.py.
+
 Stdlib only:  python3 tools/validate_report.py report.json
+              tools/stackscope_client.py ... | python3 tools/validate_report.py -
 """
 
 import json
@@ -210,18 +217,51 @@ def check_report(doc):
     return len(jobs), results
 
 
+def unwrap(doc):
+    """Return the report object inside ``doc``.
+
+    A report read off the serve wire may arrive wrapped: a `result`
+    frame ({"type":"result",...,"report":{...}}) from the NDJSON
+    protocol, or the equivalent HTTP /analyze body. A bare report is
+    returned as-is; anything else fails with a clear message.
+    """
+    require(isinstance(doc, dict), "input: not a JSON object")
+    if doc.get("schema") == "stackscope-report":
+        return doc
+    if "report" in doc:
+        inner = doc["report"]
+        require(isinstance(inner, dict),
+                "input: 'report' member is not an object")
+        return inner
+    raise Failure("input: neither a stackscope report nor a serve "
+                  "result frame")
+
+
 def main():
     if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} report.json", file=sys.stderr)
+        print(f"usage: {sys.argv[0]} report.json|- ", file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        doc = json.load(f)
+    path = sys.argv[1]
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    # json.loads tolerates both a missing trailing newline (reports
+    # sliced out of a wire frame) and the file-form trailing newline.
     try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: input is not valid JSON: {e}")
+        return 1
+    try:
+        doc = unwrap(doc)
         jobs, results = check_report(doc)
     except Failure as e:
         print(f"FAIL: {e}")
         return 1
-    print(f"OK: {sys.argv[1]} is a valid v{doc.get('version')} report "
+    source = "stdin" if path == "-" else path
+    print(f"OK: {source} is a valid v{doc.get('version')} report "
           f"({jobs} job(s), {results} result(s))")
     return 0
 
