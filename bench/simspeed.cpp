@@ -7,13 +7,20 @@
  * both plus the speedup ratio.
  *
  * Output is BENCH_simspeed.json (path overridable via
- * STACKSCOPE_BENCH_JSON), schema `stackscope-simspeed-v1` — see
+ * STACKSCOPE_BENCH_JSON), schema `stackscope-simspeed-v2` — see
  * docs/formats.md. CI feeds it to tools/check_simspeed.py, which exits 4
  * when the batched/reference speedup falls more than 10% below the
- * committed bench/simspeed_baseline.json. The speedup ratio is
- * self-normalizing (both engines run on the same host in the same
- * process), so the gate is meaningful across machines of different
- * absolute speed.
+ * committed bench/simspeed_baseline.json or any single grid point runs
+ * slower batched than reference. The speedup ratio is self-normalizing
+ * (both engines run on the same host in the same process), so the gate is
+ * meaningful across machines of different absolute speed.
+ *
+ * `--profile` re-runs the grid with a core::StageProfile sink attached,
+ * adding a per-stage wall-time breakdown
+ * (fetch/dispatch/issue/writeback/commit/accounting) for each engine to
+ * the JSON under "profile". The clock reads around every stage cost a few
+ * percent, so profile timings inform the next headroom hunt but the
+ * speedup gate should use a run without --profile.
  *
  * The two engines must also agree exactly: every grid point asserts
  * cycle- and instruction-identity between batched and reference runs, so
@@ -71,7 +78,8 @@ struct GridPoint
 
 EngineSample
 runPoint(const sim::MachineConfig &machine, const trace::Workload &workload,
-         std::uint64_t instrs, bool batched)
+         std::uint64_t instrs, bool batched,
+         core::StageProfile *profile = nullptr)
 {
     trace::SyntheticParams p = workload.params;
     p.num_instrs = instrs;
@@ -79,6 +87,7 @@ runPoint(const sim::MachineConfig &machine, const trace::Workload &workload,
     params.batched_accounting = batched;
     core::OooCore core(params,
                        std::make_unique<trace::SyntheticGenerator>(p));
+    core.setStageProfile(profile);
 
     const auto start = std::chrono::steady_clock::now();
     core.run(0);
@@ -91,11 +100,50 @@ runPoint(const sim::MachineConfig &machine, const trace::Workload &workload,
     return s;
 }
 
+void
+writeProfile(obs::JsonWriter &w, const core::StageProfile &p)
+{
+    const struct
+    {
+        const char *name;
+        std::uint64_t ns;
+    } stages[] = {
+        {"writeback", p.writeback_ns}, {"commit", p.commit_ns},
+        {"issue", p.issue_ns},         {"dispatch", p.dispatch_ns},
+        {"fetch", p.fetch_ns},         {"accounting", p.accounting_ns},
+    };
+    std::uint64_t total = 0;
+    for (const auto &s : stages)
+        total += s.ns;
+    w.beginObject();
+    w.key("cycles").value(p.cycles);
+    w.key("total_ns").value(total);
+    for (const auto &s : stages)
+        w.key((std::string(s.name) + "_ns").c_str()).value(s.ns);
+    w.key("shares").beginObject();
+    for (const auto &s : stages)
+        w.key(s.name).value(
+            total > 0 ? static_cast<double>(s.ns) / static_cast<double>(total)
+                      : 0.0);
+    w.endObject();
+    w.endObject();
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool do_profile = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--profile") {
+            do_profile = true;
+        } else {
+            std::fprintf(stderr, "usage: simspeed [--profile]\n");
+            return 2;
+        }
+    }
+
     const std::uint64_t instrs = bench::benchInstrs(200'000);
     bench::banner("simspeed",
                   "batched cycle-record engine vs per-cycle reference on "
@@ -103,6 +151,8 @@ main()
 
     const std::vector<std::string> machines = {"bdw", "knl"};
     std::vector<GridPoint> points;
+    core::StageProfile batched_profile;
+    core::StageProfile reference_profile;
     std::uint64_t batched_cycles = 0;
     std::uint64_t reference_cycles = 0;
     double batched_seconds = 0.0;
@@ -117,8 +167,12 @@ main()
             GridPoint pt;
             pt.workload = w.name;
             pt.machine = mname;
-            pt.reference = runPoint(machine, w, instrs, /*batched=*/false);
-            pt.batched = runPoint(machine, w, instrs, /*batched=*/true);
+            pt.reference =
+                runPoint(machine, w, instrs, /*batched=*/false,
+                         do_profile ? &reference_profile : nullptr);
+            pt.batched =
+                runPoint(machine, w, instrs, /*batched=*/true,
+                         do_profile ? &batched_profile : nullptr);
 
             if (pt.batched.cycles != pt.reference.cycles ||
                 pt.batched.instrs != pt.reference.instrs) {
@@ -163,9 +217,10 @@ main()
 
     obs::JsonWriter w;
     w.beginObject();
-    w.key("schema").value("stackscope-simspeed-v1");
+    w.key("schema").value("stackscope-simspeed-v2");
     w.key("instrs_per_point").value(instrs);
     w.key("engines_identical").value(identical);
+    w.key("profiled").value(do_profile);
     w.key("points").beginArray();
     for (const GridPoint &pt : points) {
         w.beginObject();
@@ -193,6 +248,14 @@ main()
     w.key("reference_cycles_per_sec").value(reference_cps);
     w.key("speedup_vs_reference").value(speedup);
     w.endObject();
+    if (do_profile) {
+        w.key("profile").beginObject();
+        w.key("batched");
+        writeProfile(w, batched_profile);
+        w.key("reference");
+        writeProfile(w, reference_profile);
+        w.endObject();
+    }
     w.endObject();
 
     const char *env = std::getenv("STACKSCOPE_BENCH_JSON");
@@ -209,5 +272,23 @@ main()
     std::printf("TOTAL: batched %.0f cycles/sec, reference %.0f "
                 "cycles/sec, speedup %.2fx -> %s\n",
                 batched_cps, reference_cps, speedup, path.c_str());
+    if (do_profile) {
+        for (const bool batched : {true, false}) {
+            const core::StageProfile &p =
+                batched ? batched_profile : reference_profile;
+            const std::uint64_t total = p.writeback_ns + p.commit_ns +
+                                        p.issue_ns + p.dispatch_ns +
+                                        p.fetch_ns + p.accounting_ns;
+            std::printf(
+                "PROFILE %-9s wb %4.1f%%  commit %4.1f%%  issue %4.1f%%  "
+                "dispatch %4.1f%%  fetch %4.1f%%  acct %4.1f%%  "
+                "(%.2fs over %llu cycles)\n",
+                batched ? "batched" : "reference",
+                100.0 * p.writeback_ns / total, 100.0 * p.commit_ns / total,
+                100.0 * p.issue_ns / total, 100.0 * p.dispatch_ns / total,
+                100.0 * p.fetch_ns / total, 100.0 * p.accounting_ns / total,
+                total / 1e9, static_cast<unsigned long long>(p.cycles));
+        }
+    }
     return identical ? 0 : 1;
 }

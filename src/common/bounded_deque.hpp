@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -77,11 +78,25 @@ class BoundedDeque
         ++count_;
     }
 
+    /**
+     * Append a default-constructed element and return it for in-place
+     * filling — one write into the ring instead of construct + move.
+     */
+    T &
+    emplace_back()
+    {
+        assert(!full());
+        T &slot = slots_[wrap(head_ + count_)];
+        slot = T{};
+        ++count_;
+        return slot;
+    }
+
     void
     pop_front()
     {
         assert(count_ > 0);
-        slots_[head_] = T{};  // release payload resources eagerly
+        release(slots_[head_]);
         head_ = wrap(head_ + 1);
         --count_;
     }
@@ -90,7 +105,7 @@ class BoundedDeque
     pop_back()
     {
         assert(count_ > 0);
-        slots_[wrap(head_ + count_ - 1)] = T{};
+        release(slots_[wrap(head_ + count_ - 1)]);
         --count_;
     }
 
@@ -103,6 +118,19 @@ class BoundedDeque
     }
 
   private:
+    /**
+     * Release a popped slot's payload eagerly so resource-owning types
+     * don't hold memory while logically outside the deque. For trivially
+     * destructible payloads (the hot-path case) there is nothing to
+     * release and the overwrite would be a wasted memset.
+     */
+    static void
+    release(T &slot)
+    {
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            slot = T{};
+    }
+
     std::size_t
     wrap(std::size_t i) const
     {

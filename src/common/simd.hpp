@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Portable SIMD primitives for the issue stage's ready-bound scan.
+ *
+ * The hot operation is a block scan over eight 32-bit readiness keys:
+ * which lanes are due (`key <= now_key`, so the entry must be
+ * re-evaluated), and what is the earliest key among the lanes that are
+ * still parked. Keys are epoch-relative cycle numbers maintained by the
+ * reservation station (uarch/reservation_station.hpp): the true 64-bit
+ * bound minus a rebased epoch, saturated to kNeverKey. The station
+ * guarantees every key is <= kNeverKey < 2^31, which is what makes the
+ * *signed* 32-bit compares below correct — SSE2 has no unsigned 32-bit
+ * compare, and the 64-bit emulation this replaces cost ~10x more per
+ * lane.
+ *
+ * Two pieces:
+ *
+ *  - dueMask8(): stateless compare-only mask for one block (used for the
+ *    mid-walk re-arm rescan, which discards the wake minimum);
+ *  - ReadyScanner: per-walk state that answers dueMask per block while
+ *    accumulating the wake minimum as a lane-parallel running min,
+ *    reduced horizontally once at wakeKey() instead of once per block.
+ *
+ * Backends: SSE2 (x86-64 baseline — no feature detection needed), NEON
+ * (AArch64, native u32 compare/min), and a scalar loop selected when
+ * neither ISA is available or the build forces -DSTACKSCOPE_NO_SIMD=ON
+ * (the CI leg that keeps the fallback honest). Selection is purely
+ * compile-time; `kImplName` records the choice for benchmark output. All
+ * backends are bit-for-bit equivalent (tests/common/simd_test.cpp checks
+ * them against the scalar oracle on adversarial and random inputs); the
+ * scan result feeds accounting-visible blame selection, so equivalence
+ * is a correctness requirement, not a nicety.
+ */
+
+#ifndef STACKSCOPE_COMMON_SIMD_HPP
+#define STACKSCOPE_COMMON_SIMD_HPP
+
+#include <cstdint>
+
+#if !defined(STACKSCOPE_NO_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64))
+#define STACKSCOPE_SIMD_X86 1
+#include <emmintrin.h>
+#elif !defined(STACKSCOPE_NO_SIMD) && defined(__aarch64__)
+#define STACKSCOPE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace stackscope::simd {
+
+/** Lanes per scan block; key arrays must be padded to a multiple of this
+ *  with kNeverKey sentinels. */
+inline constexpr unsigned kScanBlock = 8;
+
+/**
+ * Parked-forever / padding sentinel, and the saturation value for keys
+ * too far in the future to matter. Largest positive int32: every valid
+ * key is <= kNeverKey, keeping signed compares faithful to the unsigned
+ * order.
+ */
+inline constexpr std::uint32_t kNeverKey = 0x7fffffffu;
+
+/**
+ * Scalar reference semantics of one scan block (also the oracle the unit
+ * test checks the vector backends against).
+ *
+ * @return bits [0,8): bit i set iff keys[i] <= now_key ("due": the entry
+ *         must be re-evaluated this cycle). @p wake_min is lowered to the
+ *         minimum key among lanes with keys[i] > now_key (parked lanes);
+ *         kNeverKey lanes (park sentinel, padding) leave it unchanged
+ *         because kNeverKey never lowers it.
+ */
+inline std::uint32_t
+dueMask8Scalar(const std::uint32_t *keys, std::uint32_t now_key,
+               std::uint32_t &wake_min)
+{
+    std::uint32_t mask = 0;
+    for (unsigned i = 0; i < kScanBlock; ++i) {
+        if (keys[i] <= now_key) {
+            mask |= 1u << i;
+        } else if (keys[i] < wake_min) {
+            wake_min = keys[i];
+        }
+    }
+    return mask;
+}
+
+#if defined(STACKSCOPE_SIMD_X86)
+
+inline constexpr const char *kImplName = "sse2";
+
+/** Compare-only due mask for one block; ignores the wake minimum. */
+inline std::uint32_t
+dueMask8(const std::uint32_t *keys, std::uint32_t now_key)
+{
+    const __m128i vnow = _mm_set1_epi32(static_cast<int>(now_key));
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(keys));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(keys + 4));
+    // Keys and now_key are <= kNeverKey (positive int32), so the signed
+    // compare realizes the unsigned order.
+    const std::uint32_t parked =
+        static_cast<std::uint32_t>(
+            _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(v0, vnow)))) |
+        (static_cast<std::uint32_t>(_mm_movemask_ps(
+             _mm_castsi128_ps(_mm_cmpgt_epi32(v1, vnow))))
+         << 4);
+    return ~parked & 0xffu;
+}
+
+/** Due-mask scan with deferred wake-minimum reduction (one walk). */
+class ReadyScanner
+{
+  public:
+    explicit ReadyScanner(std::uint32_t now_key)
+        : vnow_(_mm_set1_epi32(static_cast<int>(now_key))),
+          never_(_mm_set1_epi32(static_cast<int>(kNeverKey))),
+          wmin_(never_)
+    {
+    }
+
+    std::uint32_t
+    block(const std::uint32_t *keys)
+    {
+        const __m128i v0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(keys));
+        const __m128i v1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(keys + 4));
+        const __m128i p0 = _mm_cmpgt_epi32(v0, vnow_);
+        const __m128i p1 = _mm_cmpgt_epi32(v1, vnow_);
+        const std::uint32_t parked =
+            static_cast<std::uint32_t>(
+                _mm_movemask_ps(_mm_castsi128_ps(p0))) |
+            (static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(p1)))
+             << 4);
+        // Parked lanes keep their key, due lanes become kNeverKey so the
+        // running min ignores them; the horizontal reduce waits for
+        // wakeKey().
+        wmin_ = minS32(wmin_, blend(p0, v0, never_));
+        wmin_ = minS32(wmin_, blend(p1, v1, never_));
+        return ~parked & 0xffu;
+    }
+
+    std::uint32_t
+    wakeKey() const
+    {
+        __m128i m = minS32(
+            wmin_, _mm_shuffle_epi32(wmin_, _MM_SHUFFLE(1, 0, 3, 2)));
+        m = minS32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+        return static_cast<std::uint32_t>(_mm_cvtsi128_si32(m));
+    }
+
+  private:
+    static __m128i
+    blend(__m128i mask, __m128i a, __m128i b)
+    {
+        return _mm_or_si128(_mm_and_si128(mask, a),
+                            _mm_andnot_si128(mask, b));
+    }
+
+    static __m128i
+    minS32(__m128i a, __m128i b)
+    {
+        return blend(_mm_cmpgt_epi32(a, b), b, a);
+    }
+
+    __m128i vnow_;
+    __m128i never_;
+    __m128i wmin_;
+};
+
+#elif defined(STACKSCOPE_SIMD_NEON)
+
+inline constexpr const char *kImplName = "neon";
+
+namespace detail {
+
+inline std::uint32_t
+parkedBits(uint32x4_t p0, uint32x4_t p1)
+{
+    // Narrow each comparison mask to 16 bits per lane, collect one bit
+    // per lane.
+    const uint16x8_t n = vcombine_u16(vmovn_u32(p0), vmovn_u32(p1));
+    const uint16x8_t bit = {1, 2, 4, 8, 16, 32, 64, 128};
+    return vaddvq_u16(vandq_u16(n, bit));
+}
+
+}  // namespace detail
+
+/** Compare-only due mask for one block; ignores the wake minimum. */
+inline std::uint32_t
+dueMask8(const std::uint32_t *keys, std::uint32_t now_key)
+{
+    const uint32x4_t vnow = vdupq_n_u32(now_key);
+    const uint32x4_t v0 = vld1q_u32(keys);
+    const uint32x4_t v1 = vld1q_u32(keys + 4);
+    const std::uint32_t parked =
+        detail::parkedBits(vcgtq_u32(v0, vnow), vcgtq_u32(v1, vnow));
+    return ~parked & 0xffu;
+}
+
+/** Due-mask scan with deferred wake-minimum reduction (one walk). */
+class ReadyScanner
+{
+  public:
+    explicit ReadyScanner(std::uint32_t now_key)
+        : vnow_(vdupq_n_u32(now_key)),
+          never_(vdupq_n_u32(kNeverKey)),
+          wmin_(never_)
+    {
+    }
+
+    std::uint32_t
+    block(const std::uint32_t *keys)
+    {
+        const uint32x4_t v0 = vld1q_u32(keys);
+        const uint32x4_t v1 = vld1q_u32(keys + 4);
+        const uint32x4_t p0 = vcgtq_u32(v0, vnow_);
+        const uint32x4_t p1 = vcgtq_u32(v1, vnow_);
+        wmin_ = vminq_u32(wmin_, vbslq_u32(p0, v0, never_));
+        wmin_ = vminq_u32(wmin_, vbslq_u32(p1, v1, never_));
+        return ~detail::parkedBits(p0, p1) & 0xffu;
+    }
+
+    std::uint32_t wakeKey() const { return vminvq_u32(wmin_); }
+
+  private:
+    uint32x4_t vnow_;
+    uint32x4_t never_;
+    uint32x4_t wmin_;
+};
+
+#else
+
+inline constexpr const char *kImplName = "scalar";
+
+/** Compare-only due mask for one block; ignores the wake minimum. */
+inline std::uint32_t
+dueMask8(const std::uint32_t *keys, std::uint32_t now_key)
+{
+    std::uint32_t scratch = kNeverKey;
+    return dueMask8Scalar(keys, now_key, scratch);
+}
+
+/** Due-mask scan with deferred wake-minimum reduction (one walk). */
+class ReadyScanner
+{
+  public:
+    explicit ReadyScanner(std::uint32_t now_key)
+        : now_key_(now_key)
+    {
+    }
+
+    std::uint32_t
+    block(const std::uint32_t *keys)
+    {
+        return dueMask8Scalar(keys, now_key_, wake_min_);
+    }
+
+    std::uint32_t wakeKey() const { return wake_min_; }
+
+  private:
+    std::uint32_t now_key_;
+    std::uint32_t wake_min_ = kNeverKey;
+};
+
+#endif
+
+}  // namespace stackscope::simd
+
+#endif  // STACKSCOPE_COMMON_SIMD_HPP

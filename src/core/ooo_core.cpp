@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
+
+#include "common/simd.hpp"
 
 namespace stackscope::core {
 
@@ -24,13 +27,10 @@ OooCore::OooCore(const CoreParams &params,
       bp_(params.bpred),
       fu_(params.fu),
       rob_(params.rob_size),
-      rs_(params.rs_size),
+      rs_(params.rs_size, params.rob_size),
       fetch_q_(params.fetch_queue_size),
       wp_rng_(params.wrong_path_seed),
       scoreboard_(kScoreboardSize),
-      rs_mark_(params.rob_size, 0),
-      ready_lb_(params.rob_size, 0),
-      ready_blame_(params.rob_size, 0),
       pending_stores_(params.rob_size),
       store_filter_(kStoreFilterSize, 0),
       acct_dispatch_({Stage::kDispatch,
@@ -302,20 +302,21 @@ OooCore::onBranchResolvedAll(SeqNum seq, bool mispredicted)
 void
 OooCore::doWriteback()
 {
-    while (!wb_queue_.empty() && wb_queue_.top().done <= now_) {
-        const WbEvent ev = wb_queue_.top();
-        wb_queue_.pop();
+    // Events drain in (done, seq) order — the WbEvent comparator contract
+    // (see wb_calendar.hpp for the tie-order legality argument). The drain
+    // callback never pushes: squashAfter only removes pipeline state.
+    wb_cal_.drainUpTo(now_, [&](const WbEvent &ev) {
         progress_ = true;
         if (!rob_.holds(ev.slot, ev.seq))
-            continue;  // squashed
+            return;  // squashed
         InflightInstr &e = rob_.at(ev.slot);
         if (e.completed)
-            continue;
+            return;
         e.completed = true;
         e.complete_cycle = now_;
         if (e.mispredicted && !e.wrong_path)
             squashAfter(ev.slot, ev.seq);
-    }
+    });
 }
 
 void
@@ -351,20 +352,28 @@ void
 OooCore::recountRsVfp()
 {
     rs_vfp_correct_ = 0;
-    for (unsigned slot : rs_.entries()) {
-        const InflightInstr &e = rob_.at(slot);
-        if (!e.wrong_path && trace::isVfp(e.instr.cls))
-            ++rs_vfp_correct_;
-    }
+    const std::uint8_t *tags = rs_.tags();
+    const unsigned n = rs_.size();
+    for (unsigned pos = 0; pos < n; ++pos)
+        rs_vfp_correct_ += tags[pos] != 0;
 }
 
 void
 OooCore::doCommit()
 {
+    // Commit-width batching: walk the contiguous completed prefix applying
+    // side effects in sequence order (stores drain oldest-first — the
+    // pending_stores_ seq-order invariant), then retire the whole span
+    // with one ROB head/count update and one counter adjustment instead of
+    // per-uop bookkeeping.
+    const unsigned cap = rob_.capacity();
+    const unsigned avail = std::min(params_.commit_width, rob_.size());
+    unsigned slot = avail > 0 ? rob_.headSlot() : 0;
     unsigned n = 0;
-    while (n < params_.commit_width && !rob_.empty() &&
-           rob_.head().completed) {
-        InflightInstr &h = rob_.head();
+    while (n < avail) {
+        InflightInstr &h = rob_.at(slot);
+        if (!h.completed)
+            break;
         assert(!h.wrong_path);
         if (h.instr.isStore()) {
             mem_.store(h.instr.mem_addr, now_);
@@ -377,13 +386,16 @@ OooCore::doCommit()
         }
         if (h.instr.isBranch() && !h.mispredicted)
             onBranchResolvedAll(h.seq, /*mispredicted=*/false);
-        ++stats_.instrs_committed;
-        --rob_correct_;
-        rob_.popHead();
         ++n;
+        if (++slot == cap)
+            slot = 0;
     }
-    if (n > 0)
+    if (n > 0) {
+        rob_.popHeads(n);
+        stats_.instrs_committed += n;
+        rob_correct_ -= n;
         progress_ = true;
+    }
     cs_.n_commit = n;
     captureHeadState();
 }
@@ -417,7 +429,7 @@ OooCore::issueOne(unsigned slot)
     e.issue_cycle = now_;
     e.exec_latency = lat;
     e.complete_cycle = now_ + lat;
-    wb_queue_.push(WbEvent{now_ + lat, slot, e.seq});
+    wb_cal_.push(WbEvent{now_ + lat, slot, e.seq});
 
     if (!e.wrong_path) {
         ScoreEntry &se = scoreSlot(e.trace_index);
@@ -426,9 +438,11 @@ OooCore::issueOne(unsigned slot)
         se.dcache_miss = e.dcache_miss;
         se.issued = true;
         // Re-arm consumers parked on this producer: their bound is
-        // computable now that the completion time is known.
+        // computable now that the completion time is known. A waiter whose
+        // slot has since left the RS (issued/committed/squashed, possibly
+        // recycled) is a no-op inside rearmSlot.
         for (unsigned i = 0; i < se.num_waiters; ++i)
-            ready_lb_[se.waiters[i]] = 0;
+            rearmed_waiter_ |= rs_.rearmSlot(se.waiters[i]);
         se.num_waiters = 0;
 
         if (trace::isVfp(e.instr.cls)) {
@@ -458,8 +472,7 @@ OooCore::doIssue()
         // with no store conflict), so the walk would only replay blames.
         // The oldest entry is the first nonready one in age order.
         if (!rs_.empty())
-            cs_.issue_blame = static_cast<BackendBlame>(
-                ready_blame_[rs_.entries().front()]);
+            cs_.issue_blame = static_cast<BackendBlame>(rs_.blameAt(0));
         cs_.n_issue = 0;
         cs_.n_issue_wrong = 0;
         cs_.rs_empty_any = rs_.empty();
@@ -478,85 +491,109 @@ OooCore::doIssue()
     Cycle wake = kNeverCycle;
 
     issued_scratch_.clear();
-    for (unsigned slot : rs_.entries()) {
-        if (ready_lb_[slot] > now_) {
-            // Provably blocked until ready_lb_: skip the dependence walk
-            // and replay the blame computed when the bound was cached.
-            wake = std::min(wake, ready_lb_[slot]);
-            if (!found_nonready) {
-                found_nonready = true;
-                cs_.issue_blame =
-                    static_cast<BackendBlame>(ready_blame_[slot]);
+    const std::vector<unsigned> &ents = rs_.entries();
+    const unsigned n_ents = rs_.size();
+    const std::uint32_t now_key = rs_.nowKey(now_);
+    const std::uint32_t *keys = rs_.keys();
+    simd::ReadyScanner scanner(now_key);
+    for (unsigned base = 0; base < n_ents && walk_complete;
+         base += simd::kScanBlock) {
+        // One SIMD pass answers both questions the scalar walk asked per
+        // entry: which lanes are due for re-evaluation (bound <= now_),
+        // and the wake minimum over the still-parked rest (kNeverKey
+        // park sentinels and tail padding are excluded by construction;
+        // the horizontal reduce is deferred to wakeKey() below).
+        std::uint32_t due = scanner.block(keys + base);
+        if (due == 0 && found_nonready)
+            continue;  // fully parked block, blame already chosen
+        const unsigned lim = std::min(n_ents - base, simd::kScanBlock);
+        for (unsigned i = 0; i < lim; ++i) {
+            if ((due & (1u << i)) == 0) {
+                // Provably blocked: replay the blame cached at park time.
+                if (!found_nonready) {
+                    found_nonready = true;
+                    cs_.issue_blame =
+                        static_cast<BackendBlame>(rs_.blameAt(base + i));
+                }
+                continue;
             }
-            continue;
-        }
-        InflightInstr &e = rob_.at(slot);
-        bool conflict = false;
-        if (!entryReady(e, conflict)) {
-            if (conflict) {
-                cs_.ready_unissued = true;
-                ++active;
-            } else {
-                Cycle lb = 0;
-                stacks::BackendBlame blame = BackendBlame::kDepend;
-                std::uint64_t unissued = kNoSeq;
-                classifyBlocked(e, lb, blame, unissued);
-                if (lb > now_) {
-                    ready_lb_[slot] = lb;
-                    ready_blame_[slot] = static_cast<std::uint8_t>(blame);
-                    wake = std::min(wake, lb);
-                } else if (unissued != kNoSeq) {
-                    // Blocked on a producer that has not even issued:
-                    // park the entry until that producer's issueOne()
-                    // re-arms it (blame is kDepend the whole time).
-                    ScoreEntry &p = scoreSlot(unissued);
-                    if (p.num_waiters < std::size(p.waiters)) {
-                        p.waiters[p.num_waiters++] =
-                            static_cast<std::uint16_t>(slot);
-                        ready_lb_[slot] = kNeverCycle;
-                        ready_blame_[slot] =
-                            static_cast<std::uint8_t>(blame);
+            const unsigned pos = base + i;
+            const unsigned slot = ents[pos];
+            InflightInstr &e = rob_.at(slot);
+            bool conflict = false;
+            if (!entryReady(e, conflict)) {
+                if (conflict) {
+                    cs_.ready_unissued = true;
+                    ++active;
+                } else {
+                    Cycle lb = 0;
+                    stacks::BackendBlame blame = BackendBlame::kDepend;
+                    std::uint64_t unissued = kNoSeq;
+                    classifyBlocked(e, lb, blame, unissued);
+                    if (lb > now_) {
+                        rs_.park(pos, lb, static_cast<std::uint8_t>(blame));
+                        wake = std::min(wake, lb);
+                    } else if (unissued != kNoSeq) {
+                        // Blocked on a producer that has not even issued:
+                        // park the entry until that producer's issueOne()
+                        // re-arms it (blame is kDepend the whole time).
+                        ScoreEntry &p = scoreSlot(unissued);
+                        if (p.num_waiters < std::size(p.waiters)) {
+                            p.waiters[p.num_waiters++] =
+                                static_cast<std::uint16_t>(slot);
+                            rs_.park(pos, kNeverCycle,
+                                     static_cast<std::uint8_t>(blame));
+                        } else {
+                            ++active;
+                        }
                     } else {
                         ++active;
                     }
-                } else {
-                    ++active;
+                    if (!found_nonready) {
+                        found_nonready = true;
+                        cs_.issue_blame = blame;
+                    }
                 }
-                if (!found_nonready) {
-                    found_nonready = true;
-                    cs_.issue_blame = blame;
-                }
+                continue;
             }
-            continue;
-        }
-        if (budget == 0) {
-            cs_.ready_unissued = true;
-            walk_complete = false;
-            break;
-        }
-        if (!fu_.canIssue(e.instr.cls)) {
-            cs_.ready_unissued = true;
-            ++active;
-            continue;
-        }
-        issueOne(slot);
-        issued_scratch_.push_back(slot);
-        --budget;
-        if (e.wrong_path) {
-            ++n_wrong;
-        } else {
-            ++n_issue;
-            --rs_correct_;
+            if (budget == 0) {
+                cs_.ready_unissued = true;
+                walk_complete = false;
+                break;
+            }
+            if (!fu_.canIssue(e.instr.cls)) {
+                cs_.ready_unissued = true;
+                ++active;
+                continue;
+            }
+            rearmed_waiter_ = false;
+            issueOne(slot);
+            issued_scratch_.push_back(pos);
+            --budget;
+            if (e.wrong_path) {
+                ++n_wrong;
+            } else {
+                ++n_issue;
+                --rs_correct_;
+            }
+            if (rearmed_waiter_) {
+                // The wakeup may have re-armed a parked entry later in
+                // this block (its key just dropped to 0); refresh the
+                // due mask so the remaining lanes see it, exactly as the
+                // scalar walk read each bound at visit time. Keys of
+                // unvisited lanes only ever drop (re-arm), so OR-ing the
+                // fresh mask is a recompute for them; no wake minimum is
+                // needed because every parked lane already contributed
+                // above (and the newly parked current lane at park time).
+                due |= simd::dueMask8(keys + base, now_key);
+            }
         }
     }
     if (!issued_scratch_.empty()) {
         progress_ = true;
-        // One ordered sweep instead of an O(n) search per issued uop.
-        for (unsigned slot : issued_scratch_)
-            rs_mark_[slot] = 1;
-        rs_.removeIf([&](unsigned s) { return rs_mark_[s] != 0; });
-        for (unsigned slot : issued_scratch_)
-            rs_mark_[slot] = 0;
+        // Positions were recorded in walk order (ascending), so the
+        // compaction needs no per-entry predicate or mark array.
+        rs_.removeAtPositions(issued_scratch_);
     }
 
     // The walk's census is trustworthy only if it covered every entry and
@@ -564,7 +601,7 @@ OooCore::doIssue()
     if (walk_complete && issued_scratch_.empty()) {
         rs_counts_valid_ = true;
         rs_active_ = active;
-        next_wake_ = wake;
+        next_wake_ = std::min(wake, rs_.keyToCycle(scanner.wakeKey()));
     } else {
         rs_counts_valid_ = false;
     }
@@ -585,10 +622,16 @@ OooCore::scanVfpWait()
     cs_.vfp_in_rs = false;
     cs_.vfp_blame = VfpBlame::kNone;
     if (rs_vfp_correct_ > 0) {
-        for (unsigned slot : rs_.entries()) {
-            const InflightInstr &e = rob_.at(slot);
-            if (e.wrong_path || !trace::isVfp(e.instr.cls))
-                continue;
+        // The RS tags correct-path VFP entries at insert, so finding the
+        // oldest one is a contiguous byte scan — only that single entry's
+        // ROB record is ever loaded.
+        const std::uint8_t *tags = rs_.tags();
+        const unsigned n = rs_.size();
+        unsigned pos = 0;
+        while (pos < n && tags[pos] == 0)
+            ++pos;
+        if (pos < n) {
+            const InflightInstr &e = rob_.at(rs_.entries()[pos]);
             cs_.vfp_in_rs = true;
             // prod(oldest VFP instr): Table III blames the producer the VFP
             // op is actually waiting for — the latest-completing incomplete
@@ -608,7 +651,6 @@ OooCore::scanVfpWait()
             cs_.vfp_blame = (binding != nullptr && binding->is_load)
                                 ? VfpBlame::kMem
                                 : VfpBlame::kDepend;
-            break;
         }
     }
 }
@@ -646,30 +688,33 @@ OooCore::doDispatch()
             break;
         }
 
-        InflightInstr inst = std::move(front);
-        fetch_q_.pop_front();
-        inst.dispatch_cycle = now_;
+        front.dispatch_cycle = now_;
 
-        if (inst.wrong_path) {
+        if (front.wrong_path) {
             // Give wrong-path uops shallow dependence chains among
             // themselves so they contend for issue slots realistically.
             if (wp_last_producer_slot_ >= 0 && wp_rng_.chance(0.5)) {
-                inst.wp_dep_slot = wp_last_producer_slot_;
-                inst.wp_dep_seq = wp_last_producer_seq_;
+                front.wp_dep_slot = wp_last_producer_slot_;
+                front.wp_dep_seq = wp_last_producer_seq_;
             }
         }
 
-        const bool wrong_path = inst.wrong_path;
-        const bool is_branch = inst.instr.isBranch();
-        const bool is_vfp = trace::isVfp(inst.instr.cls);
-        const SeqNum seq = inst.seq;
-        const std::uint64_t tidx = inst.trace_index;
-        const bool is_store = inst.instr.isStore();
-        const Addr addr = inst.instr.mem_addr;
+        const bool wrong_path = front.wrong_path;
+        const bool is_branch = front.instr.isBranch();
+        const bool is_vfp = trace::isVfp(front.instr.cls);
+        const SeqNum seq = front.seq;
+        const std::uint64_t tidx = front.trace_index;
+        const bool is_store = front.instr.isStore();
+        const Addr addr = front.instr.mem_addr;
 
-        const unsigned slot = rob_.push(std::move(inst));
-        rs_.insert(slot);
-        ready_lb_[slot] = 0;
+        // Move straight from the queue slot into the ROB slot: one copy,
+        // no stack intermediate.
+        const unsigned slot = rob_.push(std::move(front));
+        fetch_q_.pop_front();
+        // Fresh entries start with bound 0; the tag marks correct-path
+        // VFP uops so scanVfpWait() can find the oldest one without
+        // touching the ROB.
+        rs_.insert(slot, !wrong_path && is_vfp ? 1 : 0);
         // A fresh entry is unclassified, hence active.
         if (rs_counts_valid_)
             ++rs_active_;
@@ -711,7 +756,7 @@ void
 OooCore::fetchWrongPath(unsigned budget)
 {
     while (budget-- > 0 && fetch_q_.size() < params_.fetch_queue_size) {
-        InflightInstr inst;
+        InflightInstr &inst = fetch_q_.emplace_back();
         inst.wrong_path = true;
         inst.seq = next_seq_++;
         inst.trace_index = kNoSeq;
@@ -728,7 +773,6 @@ OooCore::fetchWrongPath(unsigned budget)
         } else {
             inst.instr.cls = InstrClass::kAlu;
         }
-        fetch_q_.push_back(std::move(inst));
     }
 }
 
@@ -778,7 +822,7 @@ OooCore::fetchCorrectPath(unsigned budget)
             return;
         }
 
-        InflightInstr inst;
+        InflightInstr &inst = fetch_q_.emplace_back();
         inst.instr = pending_;
         inst.seq = next_seq_++;
         inst.trace_index = pending_index_;
@@ -797,7 +841,6 @@ OooCore::fetchCorrectPath(unsigned budget)
             }
         }
 
-        fetch_q_.push_back(std::move(inst));
         ++fetch_q_correct_;
         --budget;
 
@@ -887,6 +930,24 @@ OooCore::account()
         flops_.tick(cs_);
         return;
     }
+    // The record ring earns its keep on idle runs (one record accounts a
+    // whole span); for a cycle with pipeline activity, packing + ring
+    // traffic is pure overhead on top of the same per-record arithmetic.
+    // Tick active cycles directly instead — bit-identical, because the
+    // batch stall table is built from the very classify functions tick()
+    // uses — after draining any buffered idle run to keep the §III-A
+    // carry sequence exact.
+    const bool idle = (cs_.n_dispatch | cs_.n_dispatch_wrong | cs_.n_issue |
+                       cs_.n_issue_wrong | cs_.n_commit | cs_.n_vfp |
+                       cs_.nonvfp_on_vpu) == 0;
+    if (!idle) {
+        flushBatch();
+        acct_dispatch_.tick(cs_);
+        acct_issue_.tick(cs_);
+        acct_commit_.tick(cs_);
+        flops_.tick(cs_);
+        return;
+    }
     appendRecord(stacks::packCycleState(cs_));
 }
 
@@ -925,9 +986,8 @@ OooCore::maybeSkipAhead()
     // docs/performance.md for the legality argument.
     if (!skip_allowed_ || progress_ || cs_.ready_unissued)
         return;
-    Cycle target = cycle_horizon_;
-    if (!wb_queue_.empty())
-        target = std::min(target, wb_queue_.top().done);
+    // earliest() is kNeverCycle when the calendar is empty.
+    Cycle target = std::min(cycle_horizon_, wb_cal_.earliest());
     // now_ is the next unevaluated cycle: an event landing exactly on it
     // means that cycle is not quiet, so >= (not >) keeps it in the target
     // set and the `target <= now_` check below refuses the jump.
@@ -952,19 +1012,29 @@ OooCore::maybeSkipAhead()
 }
 
 void
+OooCore::stepUnsched()
+{
+    cs_ = CycleState{};
+    cs_.unsched = true;
+    Cycle span = 1;
+    if (skip_allowed_) {
+        const Cycle limit = std::min(unsched_until_, cycle_horizon_);
+        if (limit > now_)
+            span = limit - now_;
+    }
+    accountUnsched(span);
+    now_ += span;
+}
+
+void
 OooCore::cycle()
 {
+    if (profile_ != nullptr) {
+        cycleProfiled();
+        return;
+    }
     if (now_ < unsched_until_) {
-        cs_ = CycleState{};
-        cs_.unsched = true;
-        Cycle span = 1;
-        if (skip_allowed_) {
-            const Cycle limit = std::min(unsched_until_, cycle_horizon_);
-            if (limit > now_)
-                span = limit - now_;
-        }
-        accountUnsched(span);
-        now_ += span;
+        stepUnsched();
         return;
     }
     cs_ = CycleState{};
@@ -977,6 +1047,47 @@ OooCore::cycle()
     account();
     ++now_;
     maybeSkipAhead();
+}
+
+void
+OooCore::cycleProfiled()
+{
+    using Clock = std::chrono::steady_clock;
+    const auto ns = [](Clock::time_point a, Clock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+    };
+    ++profile_->cycles;
+    if (now_ < unsched_until_) {
+        const auto t0 = Clock::now();
+        stepUnsched();
+        profile_->accounting_ns += ns(t0, Clock::now());
+        return;
+    }
+    cs_ = CycleState{};
+    progress_ = false;
+    const auto t0 = Clock::now();
+    doWriteback();
+    const auto t1 = Clock::now();
+    doCommit();
+    const auto t2 = Clock::now();
+    doIssue();
+    const auto t3 = Clock::now();
+    doDispatch();
+    const auto t4 = Clock::now();
+    doFetch();
+    const auto t5 = Clock::now();
+    account();
+    ++now_;
+    maybeSkipAhead();
+    const auto t6 = Clock::now();
+    profile_->writeback_ns += ns(t0, t1);
+    profile_->commit_ns += ns(t1, t2);
+    profile_->issue_ns += ns(t2, t3);
+    profile_->dispatch_ns += ns(t3, t4);
+    profile_->fetch_ns += ns(t4, t5);
+    profile_->accounting_ns += ns(t5, t6);
 }
 
 bool

@@ -37,12 +37,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/bounded_deque.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/wb_calendar.hpp"
 #include "stacks/cpi_accountant.hpp"
 #include "stacks/cycle_record.hpp"
 #include "stacks/cycle_state.hpp"
@@ -114,6 +114,23 @@ struct CoreParams
     }
 };
 
+/**
+ * Wall-time breakdown of the pipeline stages, accumulated by
+ * OooCore::cycleProfiled() when a profile sink is attached
+ * (`bench/simspeed --profile`). Nanoseconds of std::chrono::steady_clock;
+ * `accounting_ns` covers record packing/ticking plus skip-ahead.
+ */
+struct StageProfile
+{
+    std::uint64_t writeback_ns = 0;
+    std::uint64_t commit_ns = 0;
+    std::uint64_t issue_ns = 0;
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t fetch_ns = 0;
+    std::uint64_t accounting_ns = 0;
+    std::uint64_t cycles = 0;  ///< profiled cycle() invocations
+};
+
 /** Aggregate run counters not covered by the stacks. */
 struct CoreStats
 {
@@ -176,6 +193,14 @@ class OooCore
     }
 
     /**
+     * Attach a per-stage wall-time profile sink (nullptr detaches).
+     * While attached, cycle() routes through a timed twin that brackets
+     * each stage with steady_clock reads; when detached the hot path pays
+     * one predicted branch. Used by `bench/simspeed --profile`.
+     */
+    void setStageProfile(StageProfile *sink) { profile_ = sink; }
+
+    /**
      * Absolute-cycle ceiling for skip-ahead: a quiet span never advances
      * `now_` past this value, so cycle-exact consumers (watchdogs,
      * interval snapshots, periodic validators) observe the same
@@ -235,23 +260,15 @@ class OooCore
         bool dcache_miss = false;
         bool issued = false;
         /**
-         * ROB slots of RS entries parked (ready_lb_ = kNeverCycle) until
-         * this producer issues; issueOne() re-arms them. A full list
-         * simply leaves further consumers on the evaluate-every-cycle
-         * path, and a stale wake is only a spurious re-evaluation, never
-         * a correctness hazard.
+         * ROB slots of RS entries parked (readiness bound kNeverCycle)
+         * until this producer issues; issueOne() re-arms them through
+         * ReservationStations::rearmSlot(). A full list simply leaves
+         * further consumers on the evaluate-every-cycle path, and a stale
+         * wake is only a spurious re-evaluation, never a correctness
+         * hazard.
          */
         std::uint8_t num_waiters = 0;
         std::uint16_t waiters[4] = {};
-    };
-
-    /** Writeback event. */
-    struct WbEvent
-    {
-        Cycle done;
-        unsigned slot;
-        SeqNum seq;
-        bool operator>(const WbEvent &o) const { return done > o.done; }
     };
 
     /** Outstanding (uncommitted) store for load-conflict checks. */
@@ -276,6 +293,10 @@ class OooCore
     void doIssue();
     void doDispatch();
     void doFetch();
+    /** cycle() twin that brackets every stage with steady_clock reads. */
+    void cycleProfiled();
+    /** One descheduled (yield) step, shared by cycle()/cycleProfiled(). */
+    void stepUnsched();
     void account();
     void accountUnsched(Cycle span);
     void maybeSkipAhead();
@@ -376,20 +397,12 @@ class OooCore
     /** Correct-path VFP uops waiting in the RS (elides the Table III scan). */
     unsigned rs_vfp_correct_ = 0;
 
-    // Backend bookkeeping.
+    // Backend bookkeeping. (Per-entry readiness bounds + cached blames
+    // live inside rs_, position-parallel with its age-ordered slot list,
+    // so the issue walk scans them with SIMD; see reservation_station.hpp.)
     std::vector<ScoreEntry> scoreboard_;
+    /** RS positions issued this cycle (ascending walk order). */
     std::vector<unsigned> issued_scratch_;
-    std::vector<std::uint8_t> rs_mark_;  ///< per-ROB-slot issue marks
-    /**
-     * Per-ROB-slot readiness lower bound: while now_ < ready_lb_[slot]
-     * the RS entry provably cannot issue and doIssue() skips it, reusing
-     * ready_blame_[slot] for the Table II issue blame. 0 means "evaluate
-     * every cycle" (unknown, e.g. an unissued producer). Reset when the
-     * slot is re-dispatched; squashes remove the entry from the RS, so
-     * stale bounds are never consulted.
-     */
-    std::vector<Cycle> ready_lb_;
-    std::vector<std::uint8_t> ready_blame_;
     /**
      * doIssue() O(1) fast path. While rs_counts_valid_, rs_active_ counts
      * RS entries whose readiness bound has been reached (they must be
@@ -403,8 +416,13 @@ class OooCore
     bool rs_counts_valid_ = false;
     unsigned rs_active_ = 0;
     Cycle next_wake_ = 0;
-    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>>
-        wb_queue_;
+    /**
+     * Set by issueOne() when a producer wakeup actually re-armed a queued
+     * RS entry; the issue walk then refreshes the current block's due
+     * mask. Issues without waiters (the vast majority) skip the rescan.
+     */
+    bool rearmed_waiter_ = false;
+    WbCalendar wb_cal_;
     BoundedDeque<PendingStore> pending_stores_;
     /** Per-bucket count of pending-store word addresses. */
     std::vector<std::uint16_t> store_filter_;
@@ -424,6 +442,7 @@ class OooCore
     bool skip_user_enabled_ = true;
     bool skip_allowed_ = false;
     Cycle cycle_horizon_ = kNeverCycle;
+    StageProfile *profile_ = nullptr;
 };
 
 }  // namespace stackscope::core

@@ -56,6 +56,15 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticParams &params)
     }
     mix_cumulative_.back() = 1.0;
 
+    // One byte per 4-byte code slot (every generated PC is 4-aligned);
+    // filled lazily as PCs are first visited. Intra-function jumps can
+    // land past a footprint that is not a whole number of functions, so
+    // cover the footprint rounded up to a full function.
+    const std::uint64_t reach =
+        (params_.code_footprint + params_.function_bytes - 1) /
+        params_.function_bytes * params_.function_bytes;
+    code_cache_.assign(reach / 4, 0);
+
     reseed();
 }
 
@@ -102,6 +111,45 @@ SyntheticGenerator::classAt(Addr pc) const
             return mix_classes_[i];
     }
     return InstrClass::kAlu;
+}
+
+std::uint8_t
+SyntheticGenerator::staticCodeAt(Addr pc)
+{
+    // Everything derived purely from the address (opcode class, microcode
+    // flag, branch bias) is computed once per PC and cached; the hot path
+    // is a single byte load instead of two hashes and a distribution walk.
+    const std::size_t idx = (pc - kCodeBase) >> 2;
+    std::uint8_t sc = code_cache_[idx];
+    if (sc != 0)
+        return sc;
+
+    const InstrClass cls = classAt(pc);
+    sc = kScValid | static_cast<std::uint8_t>(cls);
+
+    if (cls == InstrClass::kBranch) {
+        const std::uint64_t h = hashAddr(pc);
+        if ((h >> 8) % 10000 <
+            static_cast<std::uint64_t>(params_.branch_random_frac * 10000.0))
+            sc |= kScBrRandom;
+        if ((h & 1) != 0)
+            sc |= kScBrBias;
+    }
+
+    const bool microcodable = cls == InstrClass::kAlu ||
+                              cls == InstrClass::kAluMul ||
+                              cls == InstrClass::kFpAdd ||
+                              cls == InstrClass::kFpMul ||
+                              cls == InstrClass::kVecInt;
+    if (microcodable && params_.microcoded_frac > 0.0) {
+        const std::uint64_t h = hashAddr(pc ^ 0x5ca1ab1eULL);
+        if ((h >> 16) % 10000 <
+            static_cast<std::uint64_t>(params_.microcoded_frac * 10000.0))
+            sc |= kScMicro;
+    }
+
+    code_cache_[idx] = sc;
+    return sc;
 }
 
 void
@@ -190,17 +238,14 @@ SyntheticGenerator::pickStoreAddr()
 }
 
 void
-SyntheticGenerator::advancePc(DynInstr &instr)
+SyntheticGenerator::advancePc(DynInstr &instr, std::uint8_t sc)
 {
     instr.pc = pc_;
     if (instr.cls == InstrClass::kBranch) {
         // Static branch behaviour is a pure function of the branch PC, so
         // the branch predictor sees stable per-PC statistics.
-        const std::uint64_t h = hashAddr(instr.pc);
-        const bool is_random =
-            (h >> 8) % 10000 <
-            static_cast<std::uint64_t>(params_.branch_random_frac * 10000.0);
-        const bool bias_taken = (h & 1) != 0;
+        const bool is_random = sc & kScBrRandom;
+        const bool bias_taken = sc & kScBrBias;
         if (is_random) {
             instr.branch_taken = rng_branch_.chance(0.5);
         } else {
@@ -256,7 +301,8 @@ SyntheticGenerator::next(DynInstr &out)
         return true;
     }
 
-    out.cls = classAt(pc_);
+    const std::uint8_t sc = staticCodeAt(pc_);
+    out.cls = static_cast<InstrClass>(sc & kScClassMask);
     fillDeps(out);
     if (out.cls == InstrClass::kAluMul) {
         // Accumulator recurrence: chain onto the previous multiply.
@@ -291,22 +337,13 @@ SyntheticGenerator::next(DynInstr &out)
         break;
     }
 
-    const bool microcodable = out.cls == InstrClass::kAlu ||
-                              out.cls == InstrClass::kAluMul ||
-                              out.cls == InstrClass::kFpAdd ||
-                              out.cls == InstrClass::kFpMul ||
-                              out.cls == InstrClass::kVecInt;
-    if (microcodable && params_.microcoded_frac > 0.0) {
-        // Microcoded instructions are static code properties too.
-        const std::uint64_t h = hashAddr(pc_ ^ 0x5ca1ab1eULL);
-        if ((h >> 16) % 10000 <
-            static_cast<std::uint64_t>(params_.microcoded_frac * 10000.0)) {
-            out.decode_cycles =
-                static_cast<std::uint8_t>(params_.microcode_decode_cycles);
-        }
+    // Microcoded instructions are static code properties too.
+    if (sc & kScMicro) {
+        out.decode_cycles =
+            static_cast<std::uint8_t>(params_.microcode_decode_cycles);
     }
 
-    advancePc(out);
+    advancePc(out, sc);
     ++index_;
     return true;
 }

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "trace/trace_source.hpp"
@@ -143,18 +144,35 @@ class SyntheticGenerator : public TraceSource
     const SyntheticParams &params() const { return params_; }
 
   private:
+    /** @name Packed static code properties (one byte per PC) @{ */
+    static constexpr std::uint8_t kScValid = 0x80;     ///< entry computed
+    static constexpr std::uint8_t kScClassMask = 0x0f; ///< InstrClass value
+    static constexpr std::uint8_t kScMicro = 0x10;     ///< microcoded op
+    static constexpr std::uint8_t kScBrRandom = 0x20;  ///< random-outcome br
+    static constexpr std::uint8_t kScBrBias = 0x40;    ///< biased-taken br
+    /** @} */
+
     void reseed();
     InstrClass classAt(Addr pc) const;
+    std::uint8_t staticCodeAt(Addr pc);
     void fillDeps(DynInstr &instr);
     Addr pickLoadAddr(DynInstr &instr);
     Addr pickStoreAddr();
-    void advancePc(DynInstr &instr);
+    void advancePc(DynInstr &instr, std::uint8_t sc);
 
     SyntheticParams params_;
 
     // Derived, fixed after construction: cumulative mix distribution.
     std::array<double, 12> mix_cumulative_{};
     std::array<InstrClass, 12> mix_classes_{};
+
+    /**
+     * Lazily filled per-PC cache of the static code properties (opcode
+     * class, microcode flag, branch bias) that are pure functions of
+     * params + seed + address. One byte per 4-byte code slot; 0 means
+     * "not computed yet". Survives reset() — the code image is static.
+     */
+    std::vector<std::uint8_t> code_cache_;
 
     // Per-stream state (reset() restores).
     Rng rng_class_{0};

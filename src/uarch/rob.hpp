@@ -77,6 +77,18 @@ class Rob
         --count_;
     }
 
+    /**
+     * Pop the @p n oldest entries at once (commit-width batching: one
+     * head/count update per cycle instead of one per committed uop).
+     */
+    void
+    popHeads(unsigned n)
+    {
+        assert(n <= count_);
+        head_ = (head_ + n) % capacity();
+        count_ -= n;
+    }
+
     InflightInstr &at(unsigned slot) { return entries_[slot]; }
     const InflightInstr &at(unsigned slot) const { return entries_[slot]; }
 

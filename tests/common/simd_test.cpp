@@ -1,0 +1,146 @@
+/** Bit-equivalence suite for the ready-scan SIMD backends.
+ *
+ *  Whatever backend this build compiled (sse2, neon or the forced
+ *  scalar fallback) must match dueMask8Scalar — the oracle that defines
+ *  the scan semantics — on adversarial and random inputs. The scan
+ *  result feeds accounting-visible blame selection, so equivalence is a
+ *  correctness requirement; the CI matrix re-runs this suite with
+ *  -DSTACKSCOPE_NO_SIMD=ON to keep the fallback honest. */
+
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stackscope::simd {
+namespace {
+
+struct ScalarResult
+{
+    std::uint32_t mask;
+    std::uint32_t wake_min;
+};
+
+ScalarResult
+oracle(const std::uint32_t *keys, std::uint32_t now_key)
+{
+    ScalarResult r{0, kNeverKey};
+    r.mask = dueMask8Scalar(keys, now_key, r.wake_min);
+    return r;
+}
+
+void
+expectBlockMatchesOracle(const std::array<std::uint32_t, kScanBlock> &keys,
+                         std::uint32_t now_key)
+{
+    const ScalarResult want = oracle(keys.data(), now_key);
+    EXPECT_EQ(dueMask8(keys.data(), now_key), want.mask)
+        << kImplName << " now_key=" << now_key;
+    ReadyScanner scanner(now_key);
+    EXPECT_EQ(scanner.block(keys.data()), want.mask) << kImplName;
+    EXPECT_EQ(scanner.wakeKey(), want.wake_min) << kImplName;
+}
+
+TEST(Simd, OracleSemantics)
+{
+    // keys <= now_key are due; parked lanes lower the wake minimum;
+    // kNeverKey sentinels never do.
+    const std::array<std::uint32_t, kScanBlock> keys = {
+        0, 5, 6, 7, kNeverKey, kNeverKey - 1, 100, 5};
+    std::uint32_t wake = kNeverKey;
+    const std::uint32_t mask = dueMask8Scalar(keys.data(), 5, wake);
+    EXPECT_EQ(mask, 0b10000011u);
+    EXPECT_EQ(wake, 6u);  // min over {6, 7, kNeverKey-1, 100}
+}
+
+TEST(Simd, AdversarialBoundaryBlocks)
+{
+    const std::vector<std::uint32_t> now_keys = {
+        0, 1, 2, 1000, kNeverKey - 2, kNeverKey - 1, kNeverKey};
+    const std::vector<std::array<std::uint32_t, kScanBlock>> blocks = {
+        {0, 0, 0, 0, 0, 0, 0, 0},
+        {kNeverKey, kNeverKey, kNeverKey, kNeverKey, kNeverKey, kNeverKey,
+         kNeverKey, kNeverKey},
+        {kNeverKey - 1, kNeverKey - 1, kNeverKey - 1, kNeverKey - 1,
+         kNeverKey - 1, kNeverKey - 1, kNeverKey - 1, kNeverKey - 1},
+        // Exact equality with now_key in every lane position.
+        {1000, 1001, 999, 1000, 1000, 0, kNeverKey, 1002},
+        // Alternating due / parked.
+        {0, kNeverKey, 1, kNeverKey - 1, 2, 5000, 3, 123456},
+        // Single parked lane in each position exercises the lane->bit map.
+        {0, 0, 0, 7777, 0, 0, 0, 0},
+        {7777, 0, 0, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 0, 0, 0, 7777},
+    };
+    for (std::uint32_t now_key : now_keys)
+        for (const auto &b : blocks)
+            expectBlockMatchesOracle(b, now_key);
+}
+
+TEST(Simd, RandomBlocksMatchOracle)
+{
+    Rng rng(0x51dd);
+    for (unsigned iter = 0; iter < 50'000; ++iter) {
+        std::array<std::uint32_t, kScanBlock> keys;
+        for (auto &k : keys) {
+            switch (rng.below(4)) {
+              case 0: k = kNeverKey; break;
+              case 1: k = static_cast<std::uint32_t>(rng.below(16)); break;
+              case 2:
+                k = kNeverKey - static_cast<std::uint32_t>(rng.below(16));
+                break;
+              default:
+                k = static_cast<std::uint32_t>(
+                    rng.below(std::uint64_t{kNeverKey} + 1));
+                break;
+            }
+        }
+        std::uint32_t now_key;
+        switch (rng.below(3)) {
+          case 0: now_key = static_cast<std::uint32_t>(rng.below(16)); break;
+          case 1:
+            now_key = keys[rng.below(kScanBlock)];  // force equalities
+            break;
+          default:
+            now_key = static_cast<std::uint32_t>(
+                rng.below(std::uint64_t{kNeverKey} + 1));
+            break;
+        }
+        expectBlockMatchesOracle(keys, now_key);
+    }
+}
+
+/** The scanner's wake minimum accumulates across blocks of one walk. */
+TEST(Simd, ScannerAccumulatesAcrossBlocks)
+{
+    const std::array<std::uint32_t, 3 * kScanBlock> keys = {
+        // Block 0: all due.
+        0, 1, 2, 3, 0, 1, 2, 3,
+        // Block 1: parked lanes 50 and 90.
+        0, 50, 0, 0, 90, 0, 0, 0,
+        // Block 2: parked lane 40 plus sentinels.
+        kNeverKey, 40, kNeverKey, 0, 0, 0, 0, kNeverKey};
+    ReadyScanner scanner(10);
+    EXPECT_EQ(scanner.block(keys.data()), 0xffu);
+    EXPECT_EQ(scanner.wakeKey(), kNeverKey);  // nothing parked yet
+    EXPECT_EQ(scanner.block(keys.data() + kScanBlock), 0xffu & ~0x12u);
+    EXPECT_EQ(scanner.wakeKey(), 50u);
+    EXPECT_EQ(scanner.block(keys.data() + 2 * kScanBlock),
+              0xffu & ~(0x1u | 0x2u | 0x4u | 0x80u));
+    EXPECT_EQ(scanner.wakeKey(), 40u);
+}
+
+TEST(Simd, ImplNameIsKnown)
+{
+    const std::string name = kImplName;
+    EXPECT_TRUE(name == "sse2" || name == "neon" || name == "scalar");
+}
+
+}  // namespace
+}  // namespace stackscope::simd

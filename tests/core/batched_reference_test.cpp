@@ -173,5 +173,45 @@ TEST(BatchedReference, ScoreboardWrapBlameStaysIdentical)
     }
 }
 
+/**
+ * Heavy same-cycle writeback pressure: a wide ALU-dominated stream keeps
+ * the calendar queue draining near-full groups of same-cycle completions
+ * every cycle, while sparse long-latency loads park events several wheel
+ * laps out. The accounting-visible tie order (WbEvent (done, seq)) and
+ * multi-lap bucket sharing are exactly what this grid point stresses;
+ * both engines must stay identical. (Validation stays off: this custom
+ * mix sits outside the base-equality tolerance window, like the other
+ * short synthetic runs — identity is the property under test.)
+ */
+TEST(BatchedReference, SameCycleWritebackPressureIdentity)
+{
+    trace::Workload w;
+    w.name = "wbpressure";
+    w.params.num_instrs = 0;  // set by runOne
+    w.params.w_alu = 0.80;    // bursts of single-cycle completions
+    w.params.w_mul = 0.05;    // a second latency class for mixed buckets
+    w.params.w_load = 0.10;
+    w.params.w_store = 0.02;
+    w.params.w_branch = 0.03;
+    w.params.chain_frac = 0.05;   // keep ILP high: full-width issue
+    w.params.far_dep_frac = 0.10;
+    w.params.second_src_frac = 0.05;
+    w.params.hot_frac = 0.3;      // frequent misses hundreds of cycles out
+    w.params.data_footprint = 8 << 20;
+    for (const char *mname : {"bdw", "knl"}) {
+        const sim::MachineConfig machine = sim::machineByName(mname);
+        for (SpeculationMode mode :
+             {SpeculationMode::kOracle, SpeculationMode::kSpecCounters}) {
+            const SimResult ref =
+                runOne(machine, w, mode, /*reference=*/true, 25'000);
+            const SimResult bat =
+                runOne(machine, w, mode, /*reference=*/false, 25'000);
+            expectIdentical(ref, bat,
+                            std::string("wbpressure@") + mname + " mode " +
+                                std::to_string(static_cast<int>(mode)));
+        }
+    }
+}
+
 }  // namespace
 }  // namespace stackscope

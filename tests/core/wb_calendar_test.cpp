@@ -1,0 +1,215 @@
+/** Adversarial drain-order suite for the writeback calendar queue.
+ *
+ *  The calendar replaces a std::priority_queue<WbEvent>; its drain order
+ *  is accounting-visible (same-cycle squash walks and spec-counter
+ *  branch-resolution order), so every test here drains the calendar
+ *  against a reference heap using the normative WbEvent::operator>
+ *  comparator and requires bit-identical order — including permuted
+ *  same-cycle insertions and events sharing a bucket from different
+ *  laps (> kNumBuckets cycles apart). */
+
+#include "core/wb_calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace stackscope::core {
+namespace {
+
+using RefQueue =
+    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<WbEvent>>;
+
+std::vector<WbEvent>
+drainCalendar(WbCalendar &cal, Cycle up_to)
+{
+    std::vector<WbEvent> out;
+    cal.drainUpTo(up_to, [&](const WbEvent &ev) { out.push_back(ev); });
+    return out;
+}
+
+std::vector<WbEvent>
+drainReference(RefQueue &q, Cycle up_to)
+{
+    std::vector<WbEvent> out;
+    while (!q.empty() && q.top().done <= up_to) {
+        out.push_back(q.top());
+        q.pop();
+    }
+    return out;
+}
+
+void
+expectSameOrder(const std::vector<WbEvent> &ref,
+                const std::vector<WbEvent> &got)
+{
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].done, got[i].done) << "event " << i;
+        EXPECT_EQ(ref[i].seq, got[i].seq) << "event " << i;
+        EXPECT_EQ(ref[i].slot, got[i].slot) << "event " << i;
+    }
+}
+
+TEST(WbCalendar, EmptyQueueBasics)
+{
+    WbCalendar cal;
+    EXPECT_TRUE(cal.empty());
+    EXPECT_EQ(cal.size(), 0u);
+    EXPECT_EQ(cal.earliest(), kNeverCycle);
+    EXPECT_TRUE(drainCalendar(cal, 1000).empty());
+}
+
+/** Every permutation of a same-cycle group must drain in seq order. */
+TEST(WbCalendar, SameCyclePermutationsDrainInSeqOrder)
+{
+    std::vector<WbEvent> events = {
+        {10, 0, 7}, {10, 1, 3}, {10, 2, 11}, {10, 3, 5}, {10, 4, 9},
+    };
+    std::sort(events.begin(), events.end(),
+              [](const WbEvent &a, const WbEvent &b) { return b > a; });
+    do {
+        WbCalendar cal;
+        RefQueue ref;
+        for (const WbEvent &ev : events) {
+            cal.push(ev);
+            ref.push(ev);
+        }
+        EXPECT_EQ(cal.earliest(), 10u);
+        expectSameOrder(drainReference(ref, 10), drainCalendar(cal, 10));
+        EXPECT_TRUE(cal.empty());
+    } while (std::next_permutation(
+        events.begin(), events.end(),
+        [](const WbEvent &a, const WbEvent &b) { return b > a; }));
+}
+
+/** Same-cycle groups mixed with other cycles, permuted insertion. */
+TEST(WbCalendar, MixedCyclePermutationsMatchReference)
+{
+    std::vector<WbEvent> events = {
+        {12, 0, 4}, {10, 1, 9}, {12, 2, 2}, {11, 3, 6},
+        {10, 4, 1}, {12, 5, 8},
+    };
+    std::sort(events.begin(), events.end(),
+              [](const WbEvent &a, const WbEvent &b) { return b > a; });
+    do {
+        WbCalendar cal;
+        RefQueue ref;
+        for (const WbEvent &ev : events) {
+            cal.push(ev);
+            ref.push(ev);
+        }
+        expectSameOrder(drainReference(ref, 20), drainCalendar(cal, 20));
+    } while (std::next_permutation(
+        events.begin(), events.end(),
+        [](const WbEvent &a, const WbEvent &b) { return b > a; }));
+}
+
+/**
+ * Events more than one lap (kNumBuckets cycles) apart share a bucket;
+ * the later lap must neither drain early nor disturb the earlier lap's
+ * tie order. This bug class (bucket-local order vs global order) has
+ * bitten before — keep the laps well separated and permute insertions.
+ */
+TEST(WbCalendar, MultiLapBucketSharingDrainsInGlobalOrder)
+{
+    const Cycle base = 5;
+    // Three laps land in the same bucket: base, base + 64, base + 128,
+    // plus same-cycle ties within each lap and a neighbouring bucket.
+    std::vector<WbEvent> events = {
+        {base, 0, 20},
+        {base, 1, 10},
+        {base + WbCalendar::kNumBuckets, 2, 2},
+        {base + WbCalendar::kNumBuckets, 3, 30},
+        {base + 2 * WbCalendar::kNumBuckets, 4, 1},
+        {base + 1, 5, 15},
+    };
+    std::sort(events.begin(), events.end(),
+              [](const WbEvent &a, const WbEvent &b) { return b > a; });
+    do {
+        WbCalendar cal;
+        RefQueue ref;
+        for (const WbEvent &ev : events) {
+            cal.push(ev);
+            ref.push(ev);
+        }
+        EXPECT_EQ(cal.earliest(), base);
+        // Drain one cycle at a time across the laps, checking each span.
+        for (Cycle c = base; c <= base + 2 * WbCalendar::kNumBuckets;
+             c += 7) {
+            expectSameOrder(drainReference(ref, c), drainCalendar(cal, c));
+        }
+        expectSameOrder(drainReference(ref, kNeverCycle - 1),
+                        drainCalendar(cal, kNeverCycle - 1));
+        EXPECT_TRUE(cal.empty());
+    } while (std::next_permutation(
+        events.begin(), events.end(),
+        [](const WbEvent &a, const WbEvent &b) { return b > a; }));
+}
+
+/** earliest() stays exact through pushes and partial drains, including
+ *  the all-events-beyond-one-lap fallback scan. */
+TEST(WbCalendar, EarliestTracksMinimumAcrossLaps)
+{
+    WbCalendar cal;
+    cal.push({500, 0, 1});  // several laps out
+    EXPECT_EQ(cal.earliest(), 500u);
+    cal.push({130, 1, 2});
+    EXPECT_EQ(cal.earliest(), 130u);
+    cal.push({130 + WbCalendar::kNumBuckets, 2, 3});  // same bucket, later
+    EXPECT_EQ(cal.earliest(), 130u);
+    cal.push({7, 3, 4});
+    EXPECT_EQ(cal.earliest(), 7u);
+
+    std::vector<WbEvent> got = drainCalendar(cal, 7);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].done, 7u);
+    EXPECT_EQ(cal.earliest(), 130u);
+
+    got = drainCalendar(cal, 130 + WbCalendar::kNumBuckets - 1);
+    ASSERT_EQ(got.size(), 1u);
+    // Only the far-future events remain: forces the full-wheel fallback.
+    EXPECT_EQ(cal.earliest(), 130 + WbCalendar::kNumBuckets);
+}
+
+/** Randomized interleaving of pushes and drains against the heap. The
+ *  spread covers same-cycle ties and multi-lap distances; pushes always
+ *  respect the `done >= last drained cycle + 1` contract. */
+TEST(WbCalendar, RandomStressMatchesReferenceQueue)
+{
+    Rng rng(0xca1e5eed);
+    WbCalendar cal;
+    RefQueue ref;
+    Cycle now = 0;
+    SeqNum seq = 0;
+    for (unsigned step = 0; step < 20'000; ++step) {
+        const unsigned pushes = static_cast<unsigned>(rng.below(4));
+        for (unsigned i = 0; i < pushes; ++i) {
+            // Mostly near-future (dense same-cycle ties), occasionally
+            // several laps out (memory-miss distances).
+            const Cycle dist = rng.chance(0.1)
+                                   ? rng.range(1, 300)
+                                   : rng.range(1, 12);
+            const WbEvent ev{now + dist,
+                             static_cast<unsigned>(rng.below(192)), seq++};
+            cal.push(ev);
+            ref.push(ev);
+        }
+        now += rng.below(3);
+        expectSameOrder(drainReference(ref, now), drainCalendar(cal, now));
+        EXPECT_EQ(cal.size(), ref.size());
+        if (!ref.empty())
+            EXPECT_EQ(cal.earliest(), ref.top().done);
+        else
+            EXPECT_EQ(cal.earliest(), kNeverCycle);
+    }
+}
+
+}  // namespace
+}  // namespace stackscope::core

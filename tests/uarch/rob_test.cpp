@@ -153,5 +153,128 @@ TEST(ReservationStations, RemoveIf)
         EXPECT_EQ(rs.entries()[i], 2 * i + 1);
 }
 
+TEST(Rob, PopHeadsRetiresSpanAtOnce)
+{
+    Rob rob(4);
+    for (SeqNum s = 1; s <= 4; ++s)
+        rob.push(instr(s));
+    rob.popHeads(3);
+    ASSERT_EQ(rob.size(), 1u);
+    EXPECT_EQ(rob.head().seq, 4u);
+    // Wraparound: refill past the physical end, then pop across it.
+    rob.push(instr(5));
+    rob.push(instr(6));
+    rob.popHeads(0);  // no-op
+    EXPECT_EQ(rob.size(), 3u);
+    rob.popHeads(2);
+    EXPECT_EQ(rob.head().seq, 6u);
+    rob.popHeads(1);
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, PopHeadsMatchesRepeatedPopHead)
+{
+    Rob a(8);
+    Rob b(8);
+    for (SeqNum s = 0; s < 8; ++s) {
+        a.push(instr(s));
+        b.push(instr(s));
+    }
+    a.popHeads(5);
+    for (unsigned i = 0; i < 5; ++i)
+        b.popHead();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.headSlot(), b.headSlot());
+    EXPECT_EQ(a.head().seq, b.head().seq);
+}
+
+TEST(ReservationStations, RemoveAtPositionsCompactsLikeRemoveIf)
+{
+    // removeAtPositions (the issue sweep) must leave the same state as
+    // the generic predicate removal: same survivors in the same order,
+    // with position-parallel state moved along and the pos map intact.
+    ReservationStations rs(8);
+    for (unsigned i = 0; i < 8; ++i)
+        rs.insert(i);
+    const std::uint32_t now_key = rs.nowKey(100);
+    for (unsigned pos = 0; pos < 8; ++pos)
+        rs.park(pos, 200 + pos, static_cast<std::uint8_t>(pos));
+
+    rs.removeAtPositions({1, 4, 5, 7});
+    ASSERT_EQ(rs.size(), 4u);
+    const unsigned kept[] = {0, 2, 3, 6};
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(rs.entries()[i], kept[i]);
+        EXPECT_EQ(rs.boundAt(i), Cycle{200} + kept[i]);
+        EXPECT_EQ(rs.blameAt(i), kept[i]);
+        EXPECT_EQ(rs.keys()[i], 200u + kept[i] - 0u);
+    }
+    // Tail keys behind the new size are restored to the padding sentinel
+    // so the SIMD scan never sees a stale due lane.
+    for (unsigned i = 4; i < 8; ++i)
+        EXPECT_EQ(rs.keys()[i], simd::kNeverKey);
+    // The pos map: removed slots are gone (rearm is a no-op), survivors
+    // re-point at their compacted positions.
+    EXPECT_FALSE(rs.rearmSlot(4));
+    EXPECT_TRUE(rs.rearmSlot(6));
+    EXPECT_EQ(rs.keys()[3], 0u);
+    EXPECT_EQ(rs.boundAt(3), 0u);
+    (void)now_key;
+}
+
+TEST(ReservationStations, TagsFollowCompaction)
+{
+    ReservationStations rs(6);
+    for (unsigned i = 0; i < 6; ++i)
+        rs.insert(i, i == 2 || i == 5 ? 1 : 0);
+    EXPECT_EQ(rs.tags()[2], 1u);
+    rs.removeAtPositions({0, 3});
+    // Survivors 1, 2, 4, 5: tags move with their entries.
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs.tags()[0], 0u);  // slot 1
+    EXPECT_EQ(rs.tags()[1], 1u);  // slot 2
+    EXPECT_EQ(rs.tags()[2], 0u);  // slot 4
+    EXPECT_EQ(rs.tags()[3], 1u);  // slot 5
+    rs.removeIf([](unsigned slot) { return slot == 2; });
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs.tags()[0], 0u);  // slot 1
+    EXPECT_EQ(rs.tags()[1], 0u);  // slot 4
+    EXPECT_EQ(rs.tags()[2], 1u);  // slot 5
+}
+
+TEST(ReservationStations, KeySaturatesDownwardAndRebases)
+{
+    ReservationStations rs(2);
+    rs.insert(0);
+    rs.insert(1);
+    EXPECT_EQ(rs.nowKey(0), 0u);
+
+    // A parked-forever entry maps to the sentinel and round-trips to
+    // kNeverCycle (excluded from the wake minimum by construction).
+    rs.park(0, kNeverCycle, 0);
+    EXPECT_EQ(rs.keys()[0], simd::kNeverKey);
+    EXPECT_EQ(rs.keyToCycle(rs.keys()[0]), kNeverCycle);
+
+    // A finite bound beyond the key range saturates one *below* the
+    // sentinel: the stored key is earlier than the truth, so the walk
+    // re-evaluates early rather than sleeping past the bound.
+    const Cycle far = Cycle{1} << 31;
+    rs.park(1, far, 0);
+    EXPECT_EQ(rs.keys()[1], simd::kNeverKey - 1);
+    EXPECT_LT(rs.keyToCycle(rs.keys()[1]), far);
+
+    // Once `now` drifts past the rebase threshold, the epoch moves and
+    // every key is rewritten relative to it.
+    const Cycle drift = Cycle{1} << 30;
+    EXPECT_EQ(rs.nowKey(drift), 0u);  // rebased: epoch == now
+    EXPECT_EQ(rs.keys()[0], simd::kNeverKey);       // still never
+    EXPECT_EQ(rs.keys()[1], static_cast<std::uint32_t>(far - drift));
+    EXPECT_EQ(rs.keyToCycle(rs.keys()[1]), far);
+
+    // A bound at or before the new epoch clamps to key 0 ("due now").
+    rs.park(0, drift - 5, 0);
+    EXPECT_EQ(rs.keys()[0], 0u);
+}
+
 }  // namespace
 }  // namespace stackscope::uarch
