@@ -229,6 +229,59 @@ percentile(std::vector<double> &sorted_ms, double p)
     return sorted_ms[rank];
 }
 
+/** Daemon-side observability counters scraped after the load. */
+struct DaemonStats
+{
+    bool fetched = false;
+    std::uint64_t traced_requests = 0;
+    /** Requests whose span stack failed the 1 ms conservation check —
+     *  the bench gate requires zero (spans must stay additive). */
+    std::uint64_t conservation_failures = 0;
+    double slo_attainment = 0.0;
+    double slo_p50_ms = 0.0;
+    bool slo_ok = false;
+};
+
+/** One statusz exchange on a fresh control connection. */
+DaemonStats
+fetchDaemonStats(const std::string &socket_path)
+{
+    DaemonStats stats;
+    const int fd = connectUnix(socket_path);
+    if (fd < 0)
+        return stats;
+    std::string pending;
+    std::string frame;
+    if (!readFrame(fd, pending, frame) ||  // hello
+        !sendAll(fd, "{\"type\":\"statusz\",\"id\":\"bench\"}\n") ||
+        !readFrame(fd, pending, frame)) {
+        ::close(fd);
+        return stats;
+    }
+    ::close(fd);
+    const obs::JsonValue status = obs::parseJson(
+        std::string_view(frame.data(), frame.size() - 1));
+    const obs::JsonValue *metrics = status.find("host_metrics");
+    const obs::JsonValue *counters =
+        metrics != nullptr ? metrics->find("counters") : nullptr;
+    if (counters == nullptr)
+        return stats;
+    stats.fetched = true;
+    if (const obs::JsonValue *v =
+            counters->find("serve.traced_requests_total"))
+        stats.traced_requests = static_cast<std::uint64_t>(v->number);
+    if (const obs::JsonValue *v =
+            counters->find("serve.trace_conservation_failures_total"))
+        stats.conservation_failures =
+            static_cast<std::uint64_t>(v->number);
+    if (const obs::JsonValue *slo = status.find("slo")) {
+        stats.slo_attainment = slo->at("attainment").number;
+        stats.slo_p50_ms = slo->at("p50_ms").number;
+        stats.slo_ok = slo->at("ok").boolean;
+    }
+    return stats;
+}
+
 }  // namespace
 
 int
@@ -292,6 +345,10 @@ main(int argc, char **argv)
                    : static_cast<double>(hits.size()) /
                          static_cast<double>(total);
 
+    // Post-load daemon introspection: the request traces the daemon
+    // recorded for our load must all have passed span conservation.
+    const DaemonStats daemon = fetchDaemonStats(opt.socket_path);
+
     obs::JsonWriter w;
     w.beginObject()
         .key("schema").value("stackscope-serve-load-v1")
@@ -309,6 +366,12 @@ main(int argc, char **argv)
         .key("miss_p50_ms").value(percentile(misses, 0.50))
         .key("miss_p99_ms").value(percentile(misses, 0.99))
         .key("byte_identical").value(g_identical)
+        .key("daemon_stats_fetched").value(daemon.fetched)
+        .key("traced_requests").value(daemon.traced_requests)
+        .key("conservation_failures").value(daemon.conservation_failures)
+        .key("slo_attainment").value(daemon.slo_attainment)
+        .key("slo_p50_ms").value(daemon.slo_p50_ms)
+        .key("slo_ok").value(daemon.slo_ok)
         .endObject();
 
     const char *env = std::getenv("STACKSCOPE_BENCH_JSON");
@@ -324,8 +387,28 @@ main(int argc, char **argv)
                 percentile(misses, 0.50), percentile(misses, 0.99));
     std::printf("  byte_identical: %s   -> %s\n",
                 g_identical ? "true" : "false", path.c_str());
+    if (daemon.fetched) {
+        std::printf("  daemon: %llu traced, %llu conservation failures, "
+                    "slo attainment %.4f (p50 %.3f ms, %s)\n",
+                    static_cast<unsigned long long>(
+                        daemon.traced_requests),
+                    static_cast<unsigned long long>(
+                        daemon.conservation_failures),
+                    daemon.slo_attainment, daemon.slo_p50_ms,
+                    daemon.slo_ok ? "ok" : "MISSED");
+    } else {
+        std::printf("  daemon: statusz scrape failed\n");
+    }
 
     if (errors > 0 || hits.empty() || !g_identical)
         return 1;
+    // Span stacks are a conservation-checked contract, same as the CPI
+    // stacks: any trace whose spans failed to sum to wall time within
+    // tolerance fails the bench.
+    if (!daemon.fetched || daemon.conservation_failures != 0) {
+        std::fprintf(stderr,
+                     "serve_load: span conservation check failed\n");
+        return 1;
+    }
     return 0;
 }

@@ -146,9 +146,11 @@ setWriterForTest(std::function<void(const std::string &)> writer)
     g_writer = std::move(writer);
 }
 
+namespace {
+
 void
-message(Level level, std::string_view module, std::string_view text,
-        std::initializer_list<Field> fields)
+messageImpl(Level level, std::string_view module, std::string_view text,
+            const Field *begin, const Field *end)
 {
     if (level == Level::kOff || !enabled(level))
         return;
@@ -159,14 +161,15 @@ message(Level level, std::string_view module, std::string_view text,
         line = "{\"t_ms\":" + std::to_string(t_ms) + ",\"level\":\"" +
                std::string(toString(level)) + "\",\"module\":\"" +
                escape(module) + "\",\"msg\":\"" + escape(text) + "\"";
-        for (const Field &f : fields)
-            line += ",\"" + escape(f.key) + "\":\"" + escape(f.value) + "\"";
+        for (const Field *f = begin; f != end; ++f)
+            line += ",\"" + escape(f->key) + "\":\"" + escape(f->value) +
+                    "\"";
         line += "}";
     } else {
         line = "stackscope[" + std::string(toString(level)) + "] " +
                std::string(module) + ": " + std::string(text);
-        for (const Field &f : fields)
-            line += " " + std::string(f.key) + "=" + f.value;
+        for (const Field *f = begin; f != end; ++f)
+            line += " " + std::string(f->key) + "=" + f->value;
     }
 
     std::lock_guard<std::mutex> lock(g_sink_mutex);
@@ -175,6 +178,23 @@ message(Level level, std::string_view module, std::string_view text,
         return;
     }
     std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+void
+message(Level level, std::string_view module, std::string_view text,
+        std::initializer_list<Field> fields)
+{
+    messageImpl(level, module, text, fields.begin(), fields.end());
+}
+
+void
+message(Level level, std::string_view module, std::string_view text,
+        const std::vector<Field> &fields)
+{
+    messageImpl(level, module, text, fields.data(),
+                fields.data() + fields.size());
 }
 
 }  // namespace stackscope::log

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace stackscope::log {
 
@@ -117,10 +118,14 @@ void setWriterForTest(std::function<void(const std::string &)> writer);
 
 /**
  * Emit one record. @p module names the subsystem ("runner", "sim",
- * "validate", "cli", ...); @p fields attach structured context.
+ * "validate", "cli", ...); @p fields attach structured context. The
+ * vector overload serves call sites whose field set is only known at
+ * run time (the serve access log attaches one field per recorded span).
  */
 void message(Level level, std::string_view module, std::string_view text,
              std::initializer_list<Field> fields = {});
+void message(Level level, std::string_view module, std::string_view text,
+             const std::vector<Field> &fields);
 
 // The wrappers check enabled() before calling message(): a disabled
 // record never crosses a TU boundary. (Field construction still happens

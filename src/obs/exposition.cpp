@@ -1,0 +1,114 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stackscope::obs {
+
+std::string
+promName(std::string_view name)
+{
+    std::string out(name);
+    for (char &c : out)
+        if (c == '.')
+            c = '_';
+    return out;
+}
+
+std::string
+promEscapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+promDouble(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    // Shortest %g that round-trips: monotone in precision, so the first
+    // precision whose parse-back equals the value is the shortest form.
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+namespace {
+
+void
+appendSample(std::string &out, const std::string &name, double value)
+{
+    out += name;
+    out += ' ';
+    out += promDouble(value);
+    out += '\n';
+}
+
+void
+appendUint(std::string &out, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out += buf;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snap)
+{
+    std::string out;
+    out.reserve(4096);
+    for (const CounterValue &c : snap.counters) {
+        const std::string name = promName(c.name);
+        out += "# TYPE " + name + " counter\n";
+        out += name;
+        out += ' ';
+        appendUint(out, c.value);
+    }
+    for (const GaugeValue &g : snap.gauges) {
+        const std::string name = promName(g.name);
+        out += "# TYPE " + name + " gauge\n";
+        appendSample(out, name, g.value);
+    }
+    for (const HistogramValue &h : snap.histograms) {
+        const std::string name = promName(h.name);
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            cumulative += i < h.counts.size() ? h.counts[i] : 0;
+            out += name + "_bucket{le=\"" +
+                   promEscapeLabel(promDouble(h.bounds[i])) + "\"} ";
+            appendUint(out, cumulative);
+        }
+        // total == sum(counts) by registry invariant, so le="+Inf" both
+        // closes the cumulative series and equals _count.
+        out += name + "_bucket{le=\"+Inf\"} ";
+        appendUint(out, h.total);
+        appendSample(out, name + "_sum", h.sum);
+        out += name + "_count ";
+        appendUint(out, h.total);
+    }
+    return out;
+}
+
+}  // namespace stackscope::obs

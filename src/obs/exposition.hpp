@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prometheus text-format (version 0.0.4) rendering of a MetricsSnapshot.
+ *
+ * This is the second exposition path for the same data that
+ * writeMetricsSnapshot() embeds in reports: `stackscope serve` serves it
+ * at `GET /metricsz` so a scraper sees exactly the series catalogued in
+ * docs/observability.md. Both paths render one MetricsSnapshot, so a
+ * scrape and a report taken from the same snapshot agree bucket for
+ * bucket (tools/check_exposition.py lints the invariants).
+ *
+ * Mapping rules (normative, mirrored in docs/observability.md):
+ *  - metric names swap '.' for '_' ("serve.requests_total" ->
+ *    "serve_requests_total"); all registry names are already ASCII
+ *    [a-z0-9_.] so no further mangling is needed.
+ *  - counters emit `# TYPE <name> counter` + one sample.
+ *  - gauges emit `# TYPE <name> gauge` + one sample.
+ *  - histograms emit cumulative `<name>_bucket{le="<edge>"}` samples,
+ *    one per configured edge plus `le="+Inf"`, then `<name>_sum` and
+ *    `<name>_count`. The +Inf bucket always equals `_count`.
+ *  - label values escape '\\', '"' and '\n' per the exposition spec.
+ */
+
+#ifndef STACKSCOPE_OBS_EXPOSITION_HPP
+#define STACKSCOPE_OBS_EXPOSITION_HPP
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace stackscope::obs {
+
+/** Registry metric name -> Prometheus name ('.' becomes '_'). */
+std::string promName(std::string_view name);
+
+/** Escape a label value per the text-format spec (\\, ", \n). */
+std::string promEscapeLabel(std::string_view value);
+
+/**
+ * Shortest decimal string that strtod()s back to exactly @p value.
+ * Used for `le` edges and sample values so 1e-06 renders as "1e-06",
+ * not "9.9999999999999995e-07". NaN/Inf render as "NaN"/"+Inf"/"-Inf".
+ */
+std::string promDouble(double value);
+
+/** Render the whole snapshot as Prometheus text format 0.0.4. */
+std::string prometheusText(const MetricsSnapshot &snap);
+
+}  // namespace stackscope::obs
+
+#endif  // STACKSCOPE_OBS_EXPOSITION_HPP

@@ -349,4 +349,37 @@ chromeTraceJson(const std::vector<EventLog> &cores)
     return w.str();
 }
 
+std::string
+hostSpansChromeJson(const std::string &process_name,
+                    const std::vector<std::string> &lane_names,
+                    const std::vector<HostSpan> &spans)
+{
+    constexpr unsigned pid = 0;
+    JsonWriter w;
+    w.beginObject().key("traceEvents").beginArray();
+    writeMeta(w, pid, 0, "process_name", process_name);
+    for (std::size_t lane = 0; lane < lane_names.size(); ++lane)
+        writeMeta(w, pid, static_cast<int>(lane), "thread_name",
+                  lane_names[lane]);
+    for (const HostSpan &s : spans) {
+        w.beginObject()
+            .key("name").value(s.name)
+            .key("cat").value(s.category)
+            .key("ph").value("X")
+            .key("ts").value(s.start_us)
+            .key("dur").value(s.dur_us)
+            .key("pid").value(pid)
+            .key("tid").value(s.lane)
+            .key("args").beginObject().endObject()
+            .endObject();
+    }
+    w.endArray()
+        .key("displayTimeUnit").value("ns")
+        .key("otherData").beginObject()
+        .key("timebase").value("wall clock; 1 trace microsecond = 1 us")
+        .endObject()
+        .endObject();
+    return w.str();
+}
+
 }  // namespace stackscope::obs

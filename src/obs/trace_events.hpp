@@ -150,6 +150,30 @@ class PipelineTracer
  */
 std::string chromeTraceJson(const std::vector<EventLog> &cores);
 
+/**
+ * One named wall-clock span on a host timeline (e.g. a serve request
+ * phase). Timestamps are microseconds relative to the timeline origin.
+ */
+struct HostSpan
+{
+    std::string name;
+    std::string category;
+    std::int64_t start_us = 0;
+    std::int64_t dur_us = 0;
+    /** Chrome "tid" lane; names come from the exporter's lane list. */
+    int lane = 0;
+};
+
+/**
+ * Serialize host-side spans as one Chrome trace-event JSON document on a
+ * single trace process named @p process_name, with lanes named by
+ * @p lane_names (index == HostSpan::lane). Timestamps pass through
+ * unscaled: 1 span microsecond = 1 trace microsecond.
+ */
+std::string hostSpansChromeJson(const std::string &process_name,
+                                const std::vector<std::string> &lane_names,
+                                const std::vector<HostSpan> &spans);
+
 }  // namespace stackscope::obs
 
 #endif  // STACKSCOPE_OBS_TRACE_EVENTS_HPP

@@ -80,6 +80,12 @@ class ThreadPool
     /** Block until all tasks submitted so far have completed. */
     void waitIdle();
 
+    /** Tasks submitted but not yet finished (queued + executing). */
+    std::size_t pending() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
     /** Scheduling counters for this pool instance. */
     Stats stats() const;
 

@@ -199,8 +199,9 @@ parseSpec(const obs::JsonValue &spec)
 }
 
 std::string
-simulateSpec(const runner::JobSpec &spec)
+simulateSpec(const runner::JobSpec &spec, RequestTrace *trace)
 {
+    const auto sim_start = RequestTrace::Clock::now();
     const sim::MachineConfig machine = sim::machineByName(spec.machine);
     trace::SyntheticParams params =
         trace::findWorkload(spec.workload).params;
@@ -218,7 +219,14 @@ simulateSpec(const runner::JobSpec &spec)
         const sim::SimResult r = sim::simulate(machine, gen, spec.options);
         report.add(spec.workload + "/" + machine.name, spec.options, r);
     }
-    return report.json();
+    const auto sim_end = RequestTrace::Clock::now();
+    std::string bytes = report.json();
+    if (trace != nullptr) {
+        trace->addJobSpan(Span::kSimulate, sim_start, sim_end);
+        trace->addJobSpan(Span::kSerialize, sim_end,
+                          RequestTrace::Clock::now());
+    }
+    return bytes;
 }
 
 std::string
@@ -245,13 +253,14 @@ pongFrame(const std::string &id)
 }
 
 std::string
-progressFrame(const std::string &id, const std::string &key,
-              std::uint64_t elapsed_ms)
+progressFrame(const std::string &id, const std::string &request,
+              const std::string &key, std::uint64_t elapsed_ms)
 {
     obs::JsonWriter w;
     w.beginObject()
         .key("type").value("progress")
         .key("id").value(id)
+        .key("request").value(request)
         .key("key").value(key)
         .key("elapsed_ms").value(elapsed_ms)
         .endObject();
@@ -273,13 +282,15 @@ errorFrame(const std::string &id, ErrorCategory category,
 }
 
 std::string
-resultFrame(const std::string &id, const std::string &key,
-            CacheOutcome outcome, const std::string &report)
+resultFrame(const std::string &id, const std::string &request,
+            const std::string &key, CacheOutcome outcome,
+            const std::string &report)
 {
     obs::JsonWriter w;
     w.beginObject()
         .key("type").value("result")
         .key("id").value(id)
+        .key("request").value(request)
         .key("key").value(key)
         .key("cache").value(toString(outcome))
         .key("report").raw(report)
@@ -289,6 +300,7 @@ resultFrame(const std::string &id, const std::string &key,
 
 std::string
 statusFrame(const std::string &id, const ResultCache::Stats &cache,
+            const SloTracker::Summary &slo,
             const obs::MetricsSnapshot &snap)
 {
     obs::JsonWriter w;
@@ -303,9 +315,23 @@ statusFrame(const std::string &id, const ResultCache::Stats &cache,
         .key("failures").value(cache.failures)
         .key("entries").value(static_cast<std::uint64_t>(cache.entries))
         .key("pending").value(static_cast<std::uint64_t>(cache.pending))
+        .key("waiting").value(static_cast<std::uint64_t>(cache.waiting))
         .key("bytes").value(static_cast<std::uint64_t>(cache.bytes))
         .key("capacity_bytes")
         .value(static_cast<std::uint64_t>(cache.capacity_bytes))
+        .endObject()
+        .key("slo").beginObject()
+        .key("window_s").value(slo.window_s)
+        .key("objective_ms").value(slo.objective_ms)
+        .key("target").value(slo.target)
+        .key("requests").value(slo.requests)
+        .key("errors").value(slo.errors)
+        .key("error_rate").value(slo.error_rate)
+        .key("within_objective").value(slo.within_objective)
+        .key("attainment").value(slo.attainment)
+        .key("p50_ms").value(slo.p50_ms)
+        .key("p99_ms").value(slo.p99_ms)
+        .key("ok").value(slo.ok)
         .endObject()
         .key("host_metrics");
     obs::writeMetricsSnapshot(w, snap);

@@ -26,7 +26,9 @@
 #include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
 #include "runner/job_spec.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/slo.hpp"
 
 namespace stackscope::serve {
 
@@ -81,24 +83,37 @@ runner::JobSpec parseSpec(const obs::JsonValue &spec);
  * "run", label "workload/MACHINE" (cores == 1) or "workload/MACHINE/xN",
  * and host_metrics null — byte-identical to
  * `stackscope run ... --no-host-metrics --report-out`.
+ *
+ * When @p trace is non-null the simulate and serialize job spans are
+ * recorded into it (the caller — the pool task — records queue_wait).
+ * Tracing never changes the produced bytes.
  */
-std::string simulateSpec(const runner::JobSpec &spec);
+std::string simulateSpec(const runner::JobSpec &spec,
+                         RequestTrace *trace = nullptr);
 
 // Frame builders. Every frame is a single line of compact JSON
 // terminated by '\n' (included in the returned string).
+//
+// The "request" member on progress/result frames is the server-minted
+// request id (distinct from the client's correlation "id"); it keys
+// `GET /tracez` and attributes interleaved heartbeats. Conforming
+// clients ignore unknown members, so adding it stays protocol
+// version 1 (docs/formats.md "Version-bump rule").
 
 std::string helloFrame();
 std::string pongFrame(const std::string &id);
-std::string progressFrame(const std::string &id, const std::string &key,
-                          std::uint64_t elapsed_ms);
+std::string progressFrame(const std::string &id, const std::string &request,
+                          const std::string &key, std::uint64_t elapsed_ms);
 std::string errorFrame(const std::string &id, ErrorCategory category,
                        const std::string &message);
 /** "report" is the LAST member so clients can slice the report bytes
  *  verbatim out of the frame (docs/serving.md "Extracting the report"). */
-std::string resultFrame(const std::string &id, const std::string &key,
-                        CacheOutcome outcome, const std::string &report);
+std::string resultFrame(const std::string &id, const std::string &request,
+                        const std::string &key, CacheOutcome outcome,
+                        const std::string &report);
 std::string statusFrame(const std::string &id,
                         const ResultCache::Stats &cache,
+                        const SloTracker::Summary &slo,
                         const obs::MetricsSnapshot &snap);
 
 }  // namespace stackscope::serve

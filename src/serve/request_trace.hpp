@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Per-request latency stacks for the serve daemon.
+ *
+ * The paper's thesis — decompose an opaque aggregate into an additive
+ * stack of causes, and *prove* the decomposition by conservation — is
+ * applied here to serve latency: every request records a span tree
+ * (accept, parse, cache_lookup, queue_wait, simulate, serialize,
+ * singleflight_wait, write) whose durations must sum to the request's
+ * wall time, exactly like CPI-stack components must sum to CPI.
+ *
+ * Conservation holds *by construction* on the connection thread: the
+ * request timeline is a sequence of contiguous phases — each begin()
+ * closes the previous phase at the same instant it opens the next — so
+ * phase durations partition wall time with zero residue. The one phase
+ * that spans other threads' work is the single-flight wait: while the
+ * connection blocks on the cache future, the pool worker records
+ * queue_wait / simulate / serialize spans into the same trace. Those
+ * job spans are carved *out of* the wait phase; the remainder is
+ * reported as singleflight_wait. The worker publishes its spans before
+ * ResultCache::complete() releases the future, so they are fully
+ * recorded (happens-before) when finish() runs — a negative remainder
+ * can only come from clock jitter and is clamped, flagged when it
+ * exceeds the 1 ms tolerance (serve.trace_conservation_failures_total).
+ *
+ * Semantics of the per-outcome shapes (asserted in tests/serve/):
+ *  - cache hit: the future is already resolved, the wait phase is never
+ *    opened — no queue_wait, no simulate, no singleflight_wait.
+ *  - cold (leader): queue_wait + simulate + serialize appear, recorded
+ *    by the pool worker; singleflight_wait is the small remainder.
+ *  - coalesced: no job spans (they belong to the leader's trace); the
+ *    whole wait phase is singleflight_wait.
+ *
+ * Finished traces land in a bounded TraceStore ring served by
+ * `GET /tracez` (JSON latency stack, or Chrome trace-event JSON via
+ * `format=chrome`); docs/formats.md specifies both schemas.
+ */
+
+#ifndef STACKSCOPE_SERVE_REQUEST_TRACE_HPP
+#define STACKSCOPE_SERVE_REQUEST_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stackscope::serve {
+
+/** The span taxonomy, in canonical latency-stack order. */
+enum class Span : std::uint8_t
+{
+    kAccept,           ///< accept()/read until the request bytes are complete
+    kParse,            ///< request + spec parsing and hashing
+    kCacheLookup,      ///< result-cache probe (single-flight classification)
+    kQueueWait,        ///< leader only: pool submit until the worker starts
+    kSimulate,         ///< leader only: the simulation itself
+    kSerialize,        ///< leader only: report serialization
+    kSingleflightWait, ///< blocked on the shared future (wait remainder)
+    kWrite,            ///< response frame serialization + socket write
+};
+
+inline constexpr std::size_t kNumSpans = 8;
+
+std::string_view toString(Span span);
+
+/** An immutable finished trace: the request's additive latency stack. */
+struct TraceSummary
+{
+    struct SpanValue
+    {
+        Span span = Span::kAccept;
+        /** Microseconds since the request's accept timestamp. */
+        std::int64_t start_us = 0;
+        std::int64_t dur_us = 0;
+    };
+
+    std::string id;        ///< server-minted request id ("r-<n>")
+    std::string client_id; ///< client correlation id (NDJSON "id"), may be ""
+    std::string endpoint;  ///< "analyze", "statusz", "ping", "http:/statusz"...
+    std::string outcome;   ///< cache outcome ("hit"/"miss"/"coalesced"), or ""
+    std::string status;    ///< "ok" or the error category
+    std::int64_t wall_us = 0;
+    /** Spans in canonical order; absent spans are omitted. Durations sum
+     *  to wall_us within the conservation tolerance. */
+    std::vector<SpanValue> spans;
+    bool conservation_ok = true;
+    /** |sum(spans) - wall| in microseconds. */
+    std::int64_t conservation_error_us = 0;
+
+    std::int64_t spanUs(Span span) const;
+    bool hasSpan(Span span) const;
+};
+
+/**
+ * The live per-request recorder. begin()/setters run on the connection
+ * thread; addJobSpan() runs on the pool worker. All mutators lock, so
+ * the heartbeat path and the worker may race safely.
+ */
+class RequestTrace
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Conservation tolerance: clock jitter across threads, not model
+     *  error, so it is deliberately tight (the CPI stacks get 1e-9 on
+     *  one clock; two host clocks get 1 ms). */
+    static constexpr std::int64_t kToleranceUs = 1000;
+
+    /** Opens the kAccept phase at @p accept_time. */
+    RequestTrace(std::string id, std::string endpoint,
+                 Clock::time_point accept_time);
+
+    /** Close the open phase now and open @p span. Connection thread. */
+    void begin(Span span);
+
+    /** Record a worker-side span carved out of the wait phase. */
+    void addJobSpan(Span span, Clock::time_point start,
+                    Clock::time_point end);
+
+    void setClientId(std::string client_id);
+    void setEndpoint(std::string endpoint);
+    void setOutcome(std::string outcome);
+    void setStatus(std::string status);
+
+    /** Close the open phase, resolve the wait-phase carve-out and freeze
+     *  the trace. Returns the immutable summary. Idempotent per trace —
+     *  call exactly once. */
+    std::shared_ptr<const TraceSummary> finish();
+
+    const std::string &id() const { return id_; }
+
+  private:
+    struct Phase
+    {
+        Span span;
+        Clock::time_point start;
+        Clock::time_point end;
+    };
+
+    mutable std::mutex mutex_;
+    std::string id_;
+    std::string client_id_;
+    std::string endpoint_;
+    std::string outcome_;
+    std::string status_ = "ok";
+    Clock::time_point origin_;
+    std::vector<Phase> phases_;  ///< closed phases, contiguous in time
+    std::vector<Phase> jobs_;    ///< worker-side spans (timestamped)
+    Span open_span_ = Span::kAccept;
+    Clock::time_point open_start_;
+};
+
+/** Bounded ring of finished traces, newest kept, for `GET /tracez`. */
+class TraceStore
+{
+  public:
+    explicit TraceStore(std::size_t capacity = 256);
+
+    void add(std::shared_ptr<const TraceSummary> trace);
+    std::shared_ptr<const TraceSummary> find(std::string_view id) const;
+    /** Newest first, at most @p limit entries. */
+    std::vector<std::shared_ptr<const TraceSummary>>
+    recent(std::size_t limit) const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<std::shared_ptr<const TraceSummary>> ring_;
+};
+
+/** One JSON object (docs/formats.md "Request trace"), no trailing \n. */
+std::string traceJson(const TraceSummary &trace);
+
+/** Chrome trace-event document: connection lane + job lane. */
+std::string traceChromeJson(const TraceSummary &trace);
+
+/** Index document for `GET /tracez` without an id: newest-first list of
+ *  {id, endpoint, outcome, status, wall_us}. */
+std::string
+traceIndexJson(const std::vector<std::shared_ptr<const TraceSummary>> &traces);
+
+}  // namespace stackscope::serve
+
+#endif  // STACKSCOPE_SERVE_REQUEST_TRACE_HPP

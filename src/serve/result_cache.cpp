@@ -17,6 +17,7 @@ ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes)
     m_failures_ = reg.counter("serve.cache_failures_total");
     m_bytes_ = reg.gauge("serve.cache_bytes");
     m_entries_ = reg.gauge("serve.cache_entries");
+    m_waiting_ = reg.gauge("serve.singleflight_waiters");
 }
 
 std::size_t
@@ -45,7 +46,10 @@ ResultCache::lookup(const std::string &key)
     Entry &entry = it->second;
     if (entry.pending) {
         ++stats_.coalesced;
+        ++entry.waiters;
+        ++stats_.waiting;
         m_coalesced_.inc();
+        m_waiting_.set(static_cast<double>(stats_.waiting));
         return Handle{entry.future, CacheOutcome::kCoalesced};
     }
     // Touch: move to the front of the LRU list.
@@ -91,6 +95,10 @@ ResultCache::complete(const std::string &key, std::string bytes)
         Entry &entry = it->second;
         promise = std::move(entry.promise);
         entry.pending = false;
+        // Waiters wake as soon as the promise resolves below.
+        stats_.waiting -= entry.waiters;
+        entry.waiters = 0;
+        m_waiting_.set(static_cast<double>(stats_.waiting));
         entry.bytes = shared;
         entry.charge = chargeFor(key, *shared);
         lru_.push_front(key);
@@ -118,6 +126,8 @@ ResultCache::fail(const std::string &key, std::exception_ptr error)
                 .withContext("key", key);
         }
         promise = std::move(it->second.promise);
+        stats_.waiting -= it->second.waiters;
+        m_waiting_.set(static_cast<double>(stats_.waiting));
         entries_.erase(it);
         --stats_.pending;
         ++stats_.failures;

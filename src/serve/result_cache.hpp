@@ -90,6 +90,9 @@ class ResultCache
         std::size_t bytes = 0;
         std::size_t entries = 0;
         std::size_t pending = 0;
+        /** Coalesced requests currently blocked on an in-flight entry
+         *  (the backpressure signal; also serve.singleflight_waiters). */
+        std::size_t waiting = 0;
         std::size_t capacity_bytes = 0;
     };
 
@@ -131,6 +134,8 @@ class ResultCache
         /** Position in lru_ (valid only when complete and resident). */
         std::list<std::string>::iterator lru_it{};
         bool pending = true;
+        /** Coalesced waiters blocked on this entry (pending only). */
+        std::size_t waiters = 0;
     };
 
     std::size_t chargeFor(const std::string &key,
@@ -151,6 +156,7 @@ class ResultCache
     obs::Counter m_failures_;
     obs::Gauge m_bytes_;
     obs::Gauge m_entries_;
+    obs::Gauge m_waiting_;
 };
 
 }  // namespace stackscope::serve

@@ -12,11 +12,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/log.hpp"
+#include "obs/exposition.hpp"
 #include "runner/job_spec.hpp"
 #include "serve/protocol.hpp"
 
@@ -113,12 +116,45 @@ bindTcpSocket(int port, int *bound_port)
 }
 
 std::string
-httpResponse(int status, const std::string &reason, const std::string &body)
+httpResponse(int status, const std::string &reason, const std::string &body,
+             const std::string &content_type = "application/json")
 {
     return "HTTP/1.1 " + std::to_string(status) + " " + reason +
-           "\r\nContent-Type: application/json\r\nContent-Length: " +
-           std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
-           body;
+           "\r\nContent-Type: " + content_type +
+           "\r\nContent-Length: " + std::to_string(body.size()) +
+           "\r\nConnection: close\r\n\r\n" + body;
+}
+
+/** Prometheus text format 0.0.4 media type (the /metricsz body). */
+constexpr const char *kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/** Value of query parameter @p name in @p query ("a=1&b=2"), or "". No
+ *  percent-decoding: request ids and format names never need it. */
+std::string
+queryParam(const std::string &query, std::string_view name)
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::string_view pair =
+            std::string_view(query).substr(pos, amp - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string_view::npos && pair.substr(0, eq) == name)
+            return std::string(pair.substr(eq + 1));
+        pos = amp + 1;
+    }
+    return "";
+}
+
+SloTracker::Options
+sloOptions(const ServeOptions &options)
+{
+    SloTracker::Options slo;
+    slo.objective_ms = options.slo_ms;
+    return slo;
 }
 
 int
@@ -142,7 +178,9 @@ httpStatusFor(ErrorCategory category)
 Server::Server(const ServeOptions &options)
     : options_(options),
       cache_(options.cache_bytes),
-      pool_(options.threads)
+      pool_(options.threads),
+      traces_(options.trace_capacity),
+      slo_(sloOptions(options))
 {
     if (options_.socket_path.empty() && options_.tcp_port < 0) {
         throw StackscopeError(ErrorCategory::kConfig,
@@ -154,6 +192,12 @@ Server::Server(const ServeOptions &options)
     m_requests_ = reg.counter("serve.requests_total");
     m_errors_ = reg.counter("serve.errors_total");
     m_http_requests_ = reg.counter("serve.http_requests_total");
+    m_slow_requests_ = reg.counter("serve.slow_requests_total");
+    m_traced_requests_ = reg.counter("serve.traced_requests_total");
+    m_conservation_failures_ =
+        reg.counter("serve.trace_conservation_failures_total");
+    m_inflight_ = reg.gauge("serve.inflight_requests");
+    m_queue_depth_ = reg.gauge("serve.queue_depth");
     const std::vector<double> bounds(std::begin(kLatencyBounds),
                                      std::end(kLatencyBounds));
     m_analyze_seconds_ = reg.histogram("serve.analyze_seconds", bounds);
@@ -352,42 +396,136 @@ Server::sendAll(int fd, std::string_view bytes)
     return true;
 }
 
-void
-Server::analyze(int fd, const std::string &id, const runner::JobSpec &spec)
+std::string
+Server::mintRequestId()
 {
-    const auto start = std::chrono::steady_clock::now();
-    const std::string key = runner::specHash(spec);
+    return "r-" + std::to_string(
+                      request_seq_.fetch_add(1, std::memory_order_relaxed) +
+                      1);
+}
+
+std::shared_ptr<RequestTrace>
+Server::openTrace(const std::string &endpoint,
+                  RequestTrace::Clock::time_point accept_time)
+{
+    m_inflight_.add(1.0);
+    return std::make_shared<RequestTrace>(mintRequestId(), endpoint,
+                                          accept_time);
+}
+
+void
+Server::finishRequest(RequestTrace &trace)
+{
+    const std::shared_ptr<const TraceSummary> s = trace.finish();
+    m_inflight_.add(-1.0);
+    m_traced_requests_.inc();
+    if (!s->conservation_ok) {
+        m_conservation_failures_.inc();
+        log::warn("serve", "span conservation violated",
+                  {{"request", s->id},
+                   {"wall_us", s->wall_us},
+                   {"error_us", s->conservation_error_us}});
+    }
+    const double wall_ms = static_cast<double>(s->wall_us) / 1000.0;
+    slo_.record(wall_ms, s->status != "ok" && s->status != "abandoned");
+    traces_.add(s);
+
+    const bool slow =
+        options_.slow_ms > 0.0 && wall_ms >= options_.slow_ms;
+    if (slow)
+        m_slow_requests_.inc();
+    const bool log_access = log::enabled(log::Level::kInfo);
+    if (!log_access && !(slow && log::enabled(log::Level::kWarn)))
+        return;
+
+    std::vector<log::Field> fields;
+    fields.reserve(6 + s->spans.size());
+    fields.emplace_back("request", s->id);
+    if (!s->client_id.empty())
+        fields.emplace_back("id", s->client_id);
+    fields.emplace_back("endpoint", s->endpoint);
+    if (!s->outcome.empty())
+        fields.emplace_back("cache", s->outcome);
+    fields.emplace_back("status", s->status);
+    fields.emplace_back("wall_us", s->wall_us);
+    for (const TraceSummary::SpanValue &sv : s->spans)
+        fields.emplace_back(toString(sv.span), sv.dur_us);
+    if (log_access)
+        log::message(log::Level::kInfo, "serve", "access", fields);
+    if (slow) {
+        fields.emplace_back("slow_ms", options_.slow_ms);
+        log::message(log::Level::kWarn, "serve", "slow request", fields);
+    }
+}
+
+ResultCache::Handle
+Server::scheduleAnalyze(const std::string &key, const runner::JobSpec &spec,
+                        const std::shared_ptr<RequestTrace> &trace)
+{
+    trace->begin(Span::kCacheLookup);
     ResultCache::Handle handle = cache_.lookup(key);
+    trace->setOutcome(toString(handle.outcome));
+    // Hits skip the wait phase entirely: the future already holds the
+    // bytes, so a hit trace has no queue_wait/simulate/singleflight_wait.
+    if (handle.outcome != CacheOutcome::kHit)
+        trace->begin(Span::kSingleflightWait);
     if (handle.leader()) {
         // The simulation runs on the shared pool, not this connection
         // thread, so the result lands in the cache even if every
-        // requesting client disconnects first.
-        pool_.submit([this, key, spec] {
+        // requesting client disconnects first. Job spans go to the
+        // leader's trace and are published before complete()/fail()
+        // resolve the future (the leader's finish() happens after).
+        const auto submitted = RequestTrace::Clock::now();
+        pool_.submit([this, key, spec, trace, submitted] {
+            trace->addJobSpan(Span::kQueueWait, submitted,
+                              RequestTrace::Clock::now());
             try {
-                cache_.complete(key, simulateSpec(spec));
+                cache_.complete(key, simulateSpec(spec, trace.get()));
             } catch (...) {
                 cache_.fail(key, std::current_exception());
             }
+            m_queue_depth_.set(static_cast<double>(pool_.pending()));
         });
+        m_queue_depth_.set(static_cast<double>(pool_.pending()));
     }
+    return handle;
+}
+
+void
+Server::analyze(int fd, const std::string &id, const runner::JobSpec &spec,
+                const std::shared_ptr<RequestTrace> &trace)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::string key = runner::specHash(spec);
+    ResultCache::Handle handle = scheduleAnalyze(key, spec, trace);
 
     bool client_alive = true;
     while (handle.future.wait_for(options_.heartbeat) ==
            std::future_status::timeout) {
         if (client_alive &&
-            !sendAll(fd, progressFrame(id, key, elapsedMs(start))))
+            !sendAll(fd,
+                     progressFrame(id, trace->id(), key, elapsedMs(start))))
             client_alive = false;
-        if (!client_alive)
+        if (!client_alive) {
+            trace->setStatus("abandoned");
             return;  // abandoned; the pool task still populates the cache
+        }
     }
     try {
         const CachedBytes bytes = handle.future.get();
-        sendAll(fd, resultFrame(id, key, handle.outcome, *bytes));
+        trace->begin(Span::kWrite);
+        if (!sendAll(fd, resultFrame(id, trace->id(), key, handle.outcome,
+                                     *bytes)))
+            trace->setStatus("abandoned");
     } catch (const StackscopeError &e) {
         m_errors_.inc();
+        trace->setStatus(std::string(toString(e.category())));
+        trace->begin(Span::kWrite);
         sendAll(fd, errorFrame(id, e.category(), e.describe()));
     } catch (const std::exception &e) {
         m_errors_.inc();
+        trace->setStatus("internal");
+        trace->begin(Span::kWrite);
         sendAll(fd, errorFrame(id, ErrorCategory::kInternal, e.what()));
     }
     m_analyze_seconds_.record(elapsedSeconds(start));
@@ -396,6 +534,11 @@ Server::analyze(int fd, const std::string &id, const runner::JobSpec &spec)
 void
 Server::ndjsonConnection(int fd)
 {
+    // The first request's accept span starts at the connection accept;
+    // later requests on the same connection start when their bytes are
+    // complete (client think-time must not pollute their wall time).
+    const auto accept_time = RequestTrace::Clock::now();
+    bool first_request = true;
     if (!sendAll(fd, helloFrame()))
         return;
     std::string pending;
@@ -417,40 +560,65 @@ Server::ndjsonConnection(int fd)
             if (line.find_first_not_of(" \t\r") == std::string::npos)
                 continue;
             m_requests_.inc();
+            const auto read_done = RequestTrace::Clock::now();
+            const std::shared_ptr<RequestTrace> trace = openTrace(
+                "ndjson", first_request ? accept_time : read_done);
+            first_request = false;
+            trace->begin(Span::kParse);
             Request req;
             try {
                 req = parseRequest(line);
             } catch (const StackscopeError &e) {
                 m_errors_.inc();
-                if (!sendAll(fd, errorFrame("", e.category(), e.describe())))
+                trace->setStatus(std::string(toString(e.category())));
+                trace->begin(Span::kWrite);
+                const bool ok =
+                    sendAll(fd, errorFrame("", e.category(), e.describe()));
+                finishRequest(*trace);
+                if (!ok)
                     return;
                 continue;
             }
+            trace->setClientId(req.id);
             switch (req.kind) {
-              case Request::Kind::kPing:
-                if (!sendAll(fd, pongFrame(req.id)))
+              case Request::Kind::kPing: {
+                trace->setEndpoint("ping");
+                trace->begin(Span::kWrite);
+                const bool ok = sendAll(fd, pongFrame(req.id));
+                finishRequest(*trace);
+                if (!ok)
                     return;
                 break;
+              }
               case Request::Kind::kStatusz: {
+                trace->setEndpoint("statusz");
                 const auto start = std::chrono::steady_clock::now();
+                trace->begin(Span::kWrite);
                 const std::string frame =
-                    statusFrame(req.id, cache_.stats(),
+                    statusFrame(req.id, cache_.stats(), slo_.summary(),
                                 obs::MetricsRegistry::global().snapshot());
                 const bool ok = sendAll(fd, frame);
                 m_status_seconds_.record(elapsedSeconds(start));
+                finishRequest(*trace);
                 if (!ok)
                     return;
                 break;
               }
               case Request::Kind::kAnalyze:
+                trace->setEndpoint("analyze");
                 try {
-                    analyze(fd, req.id, parseSpec(req.spec));
+                    analyze(fd, req.id, parseSpec(req.spec), trace);
                 } catch (const StackscopeError &e) {
                     m_errors_.inc();
+                    trace->setStatus(std::string(toString(e.category())));
+                    trace->begin(Span::kWrite);
                     if (!sendAll(fd, errorFrame(req.id, e.category(),
-                                                e.describe())))
+                                                e.describe()))) {
+                        finishRequest(*trace);
                         return;
+                    }
                 }
+                finishRequest(*trace);
                 break;
             }
         }
@@ -467,6 +635,22 @@ void
 Server::httpConnection(int fd)
 {
     m_http_requests_.inc();
+    // One request per connection, so the request timeline starts here
+    // (effectively at accept) and kAccept covers reading head + body.
+    const std::shared_ptr<RequestTrace> trace =
+        openTrace("http", RequestTrace::Clock::now());
+    // Every exit path responds through here so the write span, status
+    // bookkeeping and access log stay consistent across the router.
+    const auto respond = [&](int status, const std::string &reason,
+                             const std::string &body,
+                             const std::string &content_type =
+                                 "application/json") {
+        trace->begin(Span::kWrite);
+        if (!sendAll(fd, httpResponse(status, reason, body, content_type)))
+            trace->setStatus("abandoned");
+        finishRequest(*trace);
+    };
+
     std::string raw;
     char buf[4096];
     std::size_t head_end = std::string::npos;
@@ -474,34 +658,45 @@ Server::httpConnection(int fd)
         const ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n < 0 && errno == EINTR)
             continue;
-        if (n <= 0)
+        if (n <= 0) {
+            trace->setStatus("abandoned");
+            finishRequest(*trace);
             return;
+        }
         raw.append(buf, static_cast<std::size_t>(n));
         head_end = raw.find("\r\n\r\n");
         if (raw.size() > kMaxRequestBytes)
             break;
     }
     if (head_end == std::string::npos) {
-        sendAll(fd, httpResponse(
-                        400, "Bad Request",
-                        errorFrame("", ErrorCategory::kUsage,
-                                   "malformed or oversized HTTP request")));
+        trace->setStatus("usage");
+        respond(400, "Bad Request",
+                errorFrame("", ErrorCategory::kUsage,
+                           "malformed or oversized HTTP request"));
         return;
     }
 
+    trace->begin(Span::kParse);
     const std::string head = raw.substr(0, head_end);
     const std::size_t m_end = head.find(' ');
     const std::size_t t_end =
         m_end == std::string::npos ? std::string::npos
                                    : head.find(' ', m_end + 1);
     if (t_end == std::string::npos) {
-        sendAll(fd, httpResponse(400, "Bad Request",
-                                 errorFrame("", ErrorCategory::kUsage,
-                                            "malformed request line")));
+        trace->setStatus("usage");
+        respond(400, "Bad Request",
+                errorFrame("", ErrorCategory::kUsage,
+                           "malformed request line"));
         return;
     }
     const std::string method = head.substr(0, m_end);
     const std::string target = head.substr(m_end + 1, t_end - m_end - 1);
+    const std::size_t q_pos = target.find('?');
+    const std::string path =
+        q_pos == std::string::npos ? target : target.substr(0, q_pos);
+    const std::string query =
+        q_pos == std::string::npos ? "" : target.substr(q_pos + 1);
+    trace->setEndpoint("http:" + path);
 
     // Sole header we honour; names are case-insensitive per RFC 9112.
     std::size_t content_length = 0;
@@ -513,9 +708,10 @@ Server::httpConnection(int fd)
         content_length = static_cast<std::size_t>(
             std::strtoull(head.c_str() + cl + 15, nullptr, 10));
     if (content_length > kMaxRequestBytes) {
-        sendAll(fd, httpResponse(400, "Bad Request",
-                                 errorFrame("", ErrorCategory::kUsage,
-                                            "request body exceeds 1 MiB")));
+        trace->setStatus("usage");
+        respond(400, "Bad Request",
+                errorFrame("", ErrorCategory::kUsage,
+                           "request body exceeds 1 MiB"));
         return;
     }
 
@@ -524,67 +720,87 @@ Server::httpConnection(int fd)
         const ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n < 0 && errno == EINTR)
             continue;
-        if (n <= 0)
+        if (n <= 0) {
+            trace->setStatus("abandoned");
+            finishRequest(*trace);
             return;
+        }
         body.append(buf, static_cast<std::size_t>(n));
     }
 
-    if (method == "GET" && target == "/healthz") {
-        sendAll(fd, httpResponse(200, "OK", "{\"status\":\"ok\"}\n"));
+    if (method == "GET" && path == "/healthz") {
+        respond(200, "OK", "{\"status\":\"ok\"}\n");
         return;
     }
-    if (method == "GET" && target == "/statusz") {
+    if (method == "GET" && path == "/statusz") {
         const auto start = std::chrono::steady_clock::now();
         const std::string frame =
-            statusFrame("", cache_.stats(),
+            statusFrame("", cache_.stats(), slo_.summary(),
                         obs::MetricsRegistry::global().snapshot());
-        sendAll(fd, httpResponse(200, "OK", frame));
+        respond(200, "OK", frame);
         m_status_seconds_.record(elapsedSeconds(start));
         return;
     }
-    if (method == "POST" && target == "/analyze") {
+    if (method == "GET" && path == "/metricsz") {
+        respond(200, "OK",
+                obs::prometheusText(
+                    obs::MetricsRegistry::global().snapshot()),
+                kPromContentType);
+        return;
+    }
+    if (method == "GET" && path == "/tracez") {
+        const std::string id = queryParam(query, "id");
+        if (id.empty()) {
+            respond(200, "OK", traceIndexJson(traces_.recent(64)) + "\n");
+            return;
+        }
+        const std::shared_ptr<const TraceSummary> found = traces_.find(id);
+        if (found == nullptr) {
+            trace->setStatus("usage");
+            respond(404, "Not Found",
+                    errorFrame("", ErrorCategory::kUsage,
+                               "no trace for request '" + id + "'"));
+            return;
+        }
+        if (queryParam(query, "format") == "chrome") {
+            respond(200, "OK", traceChromeJson(*found) + "\n");
+            return;
+        }
+        respond(200, "OK", traceJson(*found) + "\n");
+        return;
+    }
+    if (method == "POST" && path == "/analyze") {
         m_requests_.inc();
         const auto start = std::chrono::steady_clock::now();
         try {
             const runner::JobSpec spec = parseSpec(obs::parseJson(body));
             const std::string key = runner::specHash(spec);
-            ResultCache::Handle handle = cache_.lookup(key);
-            if (handle.leader()) {
-                pool_.submit([this, key, spec] {
-                    try {
-                        cache_.complete(key, simulateSpec(spec));
-                    } catch (...) {
-                        cache_.fail(key, std::current_exception());
-                    }
-                });
-            }
             // HTTP has no progress stream: block until the result.
+            ResultCache::Handle handle = scheduleAnalyze(key, spec, trace);
             const CachedBytes bytes = handle.future.get();
-            sendAll(fd, httpResponse(200, "OK",
-                                     resultFrame("", key, handle.outcome,
-                                                 *bytes)));
+            respond(200, "OK",
+                    resultFrame("", trace->id(), key, handle.outcome,
+                                *bytes));
         } catch (const StackscopeError &e) {
             m_errors_.inc();
+            trace->setStatus(std::string(toString(e.category())));
             const int status = httpStatusFor(e.category());
-            sendAll(fd, httpResponse(status,
-                                     status == 400 ? "Bad Request"
-                                                   : "Analysis Failed",
-                                     errorFrame("", e.category(),
-                                                e.describe())));
+            respond(status,
+                    status == 400 ? "Bad Request" : "Analysis Failed",
+                    errorFrame("", e.category(), e.describe()));
         } catch (const std::exception &e) {
             m_errors_.inc();
-            sendAll(fd, httpResponse(500, "Internal Server Error",
-                                     errorFrame("",
-                                                ErrorCategory::kInternal,
-                                                e.what())));
+            trace->setStatus("internal");
+            respond(500, "Internal Server Error",
+                    errorFrame("", ErrorCategory::kInternal, e.what()));
         }
         m_analyze_seconds_.record(elapsedSeconds(start));
         return;
     }
-    sendAll(fd, httpResponse(404, "Not Found",
-                             errorFrame("", ErrorCategory::kUsage,
-                                        "unknown endpoint " + method + " " +
-                                            target)));
+    trace->setStatus("usage");
+    respond(404, "Not Found",
+            errorFrame("", ErrorCategory::kUsage,
+                       "unknown endpoint " + method + " " + target));
 }
 
 }  // namespace stackscope::serve

@@ -47,7 +47,9 @@
 #include "obs/metrics.hpp"
 #include "runner/job_spec.hpp"
 #include "runner/thread_pool.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/slo.hpp"
 
 namespace stackscope::serve {
 
@@ -80,6 +82,13 @@ struct ServeOptions
     std::chrono::milliseconds heartbeat{500};
     /** Grace period for in-flight connections after requestStop(). */
     std::chrono::milliseconds drain_timeout{30'000};
+    /** Warn-log the full span breakdown for requests slower than this
+     *  (wall milliseconds); 0 disables. */
+    double slow_ms = 0.0;
+    /** Rolling-window latency objective (ms) surfaced in /statusz. */
+    double slo_ms = 50.0;
+    /** Finished request traces kept for `GET /tracez`. */
+    std::size_t trace_capacity = 256;
 };
 
 class Server
@@ -109,6 +118,7 @@ class Server
     void requestStop();
 
     const ResultCache &cache() const { return cache_; }
+    const TraceStore &traces() const { return traces_; }
 
   private:
     void acceptLoop();
@@ -117,8 +127,24 @@ class Server
     void httpConnection(int fd);
     /** Handle one analyze request; writes progress + result/error. */
     void analyze(int fd, const std::string &id,
-                 const runner::JobSpec &spec);
+                 const runner::JobSpec &spec,
+                 const std::shared_ptr<RequestTrace> &trace);
+    /** Cache lookup + (for the leader) pool scheduling, with the span
+     *  and outcome bookkeeping shared by the NDJSON and HTTP paths. */
+    ResultCache::Handle scheduleAnalyze(
+        const std::string &key, const runner::JobSpec &spec,
+        const std::shared_ptr<RequestTrace> &trace);
     bool sendAll(int fd, std::string_view bytes);
+
+    /** Server-minted request id ("r-<seq>"), unique per process. */
+    std::string mintRequestId();
+    /** Start-of-request bookkeeping (in-flight gauge). */
+    std::shared_ptr<RequestTrace> openTrace(
+        const std::string &endpoint,
+        RequestTrace::Clock::time_point accept_time);
+    /** Freeze @p trace, store it, log the access line, feed the SLO
+     *  tracker and run the conservation check. */
+    void finishRequest(RequestTrace &trace);
 
     ServeOptions options_;
     int uds_fd_ = -1;
@@ -130,6 +156,9 @@ class Server
 
     ResultCache cache_;
     runner::ThreadPool pool_;
+    TraceStore traces_;
+    SloTracker slo_;
+    std::atomic<std::uint64_t> request_seq_{0};
 
     std::mutex conn_mutex_;
     std::condition_variable conn_cv_;
@@ -140,6 +169,11 @@ class Server
     obs::Counter m_requests_;
     obs::Counter m_errors_;
     obs::Counter m_http_requests_;
+    obs::Counter m_slow_requests_;
+    obs::Counter m_traced_requests_;
+    obs::Counter m_conservation_failures_;
+    obs::Gauge m_inflight_;
+    obs::Gauge m_queue_depth_;
     obs::Histogram m_analyze_seconds_;
     obs::Histogram m_status_seconds_;
 };

@@ -1,0 +1,65 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats_math.hpp"
+
+namespace stackscope::serve {
+
+SloTracker::SloTracker(Options options) : options_(options) {}
+
+void
+SloTracker::pruneLocked(Clock::time_point at) const
+{
+    const Clock::time_point cutoff = at - options_.window;
+    while (!samples_.empty() && samples_.front().at < cutoff)
+        samples_.pop_front();
+    while (samples_.size() > options_.max_samples)
+        samples_.pop_front();
+}
+
+void
+SloTracker::record(double latency_ms, bool error, Clock::time_point at)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back({at, latency_ms, error});
+    pruneLocked(at);
+}
+
+SloTracker::Summary
+SloTracker::summary(Clock::time_point at) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pruneLocked(at);
+
+    Summary out;
+    out.window_s = std::chrono::duration<double>(options_.window).count();
+    out.objective_ms = options_.objective_ms;
+    out.target = options_.target;
+    out.requests = samples_.size();
+    if (samples_.empty())
+        return out;
+
+    std::vector<double> latencies;
+    latencies.reserve(samples_.size());
+    for (const Sample &s : samples_) {
+        latencies.push_back(s.latency_ms);
+        if (s.error)
+            ++out.errors;
+        if (!s.error && s.latency_ms <= options_.objective_ms)
+            ++out.within_objective;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    out.p50_ms = percentileSorted(latencies, 0.50);
+    out.p99_ms = percentileSorted(latencies, 0.99);
+    out.error_rate =
+        static_cast<double>(out.errors) / static_cast<double>(out.requests);
+    out.attainment = static_cast<double>(out.within_objective) /
+                     static_cast<double>(out.requests);
+    out.ok = out.attainment >= out.target &&
+             out.error_rate <= 1.0 - out.target;
+    return out;
+}
+
+}  // namespace stackscope::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Rolling-window latency/error objective tracking for the serve daemon.
+ *
+ * Answers "are we meeting our objective *right now*?" — which the
+ * cumulative histograms can't, because they never forget. The tracker
+ * keeps every request completion from the last window (default 60 s):
+ * latency, error flag, and whether the latency met the objective. The
+ * summary — attainment vs target, error rate, window percentiles — is
+ * surfaced in `/statusz` under "slo" (docs/serving.md).
+ *
+ * record() is O(1) amortized (append + front pruning); summary() sorts
+ * a copy of the window, which is fine at statusz rates. The sample
+ * count is capped so a traffic spike bounds memory, not latency
+ * accuracy (oldest samples drop first, same as window expiry).
+ */
+
+#ifndef STACKSCOPE_SERVE_SLO_HPP
+#define STACKSCOPE_SERVE_SLO_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace stackscope::serve {
+
+class SloTracker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    struct Options
+    {
+        std::chrono::seconds window{60};
+        /** Latency objective; a request is "within" when <= this. */
+        double objective_ms = 50.0;
+        /** Fraction of requests that must be within the objective. */
+        double target = 0.99;
+        /** Window sample cap (oldest dropped first past this). */
+        std::size_t max_samples = 65536;
+    };
+
+    struct Summary
+    {
+        double window_s = 0.0;
+        double objective_ms = 0.0;
+        double target = 0.0;
+        std::uint64_t requests = 0;
+        std::uint64_t errors = 0;
+        double error_rate = 0.0;
+        std::uint64_t within_objective = 0;
+        /** within / requests; 1.0 on an empty window (vacuously met). */
+        double attainment = 1.0;
+        double p50_ms = 0.0;
+        double p99_ms = 0.0;
+        /** attainment >= target AND error_rate <= 1 - target. */
+        bool ok = true;
+    };
+
+    explicit SloTracker(Options options);
+
+    /** Record one completed request. @p at defaults to now (tests pin it). */
+    void record(double latency_ms, bool error,
+                Clock::time_point at = Clock::now());
+
+    /** Summarize the window ending at @p at (defaults to now). */
+    Summary summary(Clock::time_point at = Clock::now()) const;
+
+  private:
+    struct Sample
+    {
+        Clock::time_point at;
+        double latency_ms;
+        bool error;
+    };
+
+    void pruneLocked(Clock::time_point at) const;
+
+    const Options options_;
+    mutable std::mutex mutex_;
+    mutable std::deque<Sample> samples_;
+};
+
+}  // namespace stackscope::serve
+
+#endif  // STACKSCOPE_SERVE_SLO_HPP

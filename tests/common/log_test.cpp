@@ -99,6 +99,53 @@ TEST(Log, JsonLinesRecordsAreValidJson)
     EXPECT_NE(line.find("a\\\\b\\nc"), std::string::npos);
 }
 
+TEST(Log, JsonLinesEscapeControlCharacters)
+{
+    // Regression pin: a raw control byte inside a JSON string makes the
+    // whole record unparseable, which silently breaks every log shipper
+    // downstream. Every byte < 0x20 without a short escape must arrive
+    // as \u00XX — in the message, in field keys and in field values.
+    LogCapture cap;
+    setThreshold(Level::kInfo);
+    setJsonOutput(true);
+    info("serve", std::string("bell\x01here"),
+         {{std::string_view("k\x1fy", 3), std::string("v\x02l")},
+          {"tabs", "a\tb"},
+          {"crlf", "a\r\nb"}});
+    ASSERT_EQ(cap.lines().size(), 1u);
+    const std::string &line = cap.lines()[0];
+    testutil::JsonChecker checker(line);
+    EXPECT_TRUE(checker.valid()) << line;
+    EXPECT_NE(line.find("bell\\u0001here"), std::string::npos);
+    EXPECT_NE(line.find("k\\u001fy"), std::string::npos);
+    EXPECT_NE(line.find("v\\u0002l"), std::string::npos);
+    EXPECT_NE(line.find("a\\tb"), std::string::npos);
+    EXPECT_NE(line.find("a\\r\\nb"), std::string::npos);
+    for (const char c : line)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control byte leaked into the record";
+}
+
+TEST(Log, VectorFieldOverloadMatchesInitializerList)
+{
+    // The serve access log builds its field set at run time; the vector
+    // overload must format identically to the initializer-list one.
+    LogCapture cap;
+    setThreshold(Level::kInfo);
+    setJsonOutput(true);
+    info("serve", "access", {{"request", "r-1"}, {"wall_us", 42}});
+    std::vector<Field> fields;
+    fields.emplace_back("request", "r-1");
+    fields.emplace_back("wall_us", 42);
+    message(Level::kInfo, "serve", "access", fields);
+    ASSERT_EQ(cap.lines().size(), 2u);
+    // Strip the varying t_ms prefix before comparing.
+    const auto tail = [](const std::string &line) {
+        return line.substr(line.find("\"level\""));
+    };
+    EXPECT_EQ(tail(cap.lines()[0]), tail(cap.lines()[1]));
+}
+
 TEST(Log, ParseLevelRoundTrips)
 {
     for (Level lvl : {Level::kTrace, Level::kDebug, Level::kInfo,

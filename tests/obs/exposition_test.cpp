@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Prometheus text-format exposition tests. The golden test pins exact
+ * bytes — the exposition is a wire contract for scrapers, same as the
+ * serve frames — and the round-trip test proves /metricsz and the
+ * report's host_metrics block describe one consistent snapshot.
+ */
+
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace stackscope::obs {
+namespace {
+
+TEST(ExpositionNameTest, MapsDotsToUnderscores)
+{
+    EXPECT_EQ(promName("serve.requests_total"), "serve_requests_total");
+    EXPECT_EQ(promName("pool.queue.depth"), "pool_queue_depth");
+    EXPECT_EQ(promName("plain"), "plain");
+}
+
+TEST(ExpositionEscapeTest, EscapesBackslashQuoteNewline)
+{
+    EXPECT_EQ(promEscapeLabel("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    EXPECT_EQ(promEscapeLabel("plain"), "plain");
+}
+
+TEST(ExpositionDoubleTest, ShortestRoundTrip)
+{
+    EXPECT_EQ(promDouble(0.0), "0");
+    EXPECT_EQ(promDouble(1.0), "1");
+    EXPECT_EQ(promDouble(0.5), "0.5");
+    EXPECT_EQ(promDouble(1e-6), "1e-06");
+    EXPECT_EQ(promDouble(0.1), "0.1");
+    EXPECT_EQ(promDouble(1.0 / 3.0), "0.3333333333333333");
+}
+
+TEST(ExpositionDoubleTest, SpecialValues)
+{
+    EXPECT_EQ(promDouble(std::numeric_limits<double>::infinity()), "+Inf");
+    EXPECT_EQ(promDouble(-std::numeric_limits<double>::infinity()), "-Inf");
+    EXPECT_EQ(promDouble(std::numeric_limits<double>::quiet_NaN()), "NaN");
+}
+
+// The golden test: exact bytes, cumulative buckets, +Inf == _count.
+TEST(ExpositionTest, GoldenText)
+{
+    MetricsRegistry reg;
+    Counter requests = reg.counter("serve.requests_total");
+    Gauge depth = reg.gauge("pool.queue_depth");
+    Histogram latency =
+        reg.histogram("serve.analyze_seconds", {0.001, 0.01, 0.1});
+
+    requests.inc(3);
+    depth.set(2.5);
+    latency.record(0.0005);  // bucket 0
+    latency.record(0.05);    // bucket 2
+    latency.record(0.05);    // bucket 2
+    latency.record(5.0);     // overflow
+
+    const std::string text = prometheusText(reg.snapshot());
+    EXPECT_EQ(text,
+              "# TYPE serve_requests_total counter\n"
+              "serve_requests_total 3\n"
+              "# TYPE pool_queue_depth gauge\n"
+              "pool_queue_depth 2.5\n"
+              "# TYPE serve_analyze_seconds histogram\n"
+              "serve_analyze_seconds_bucket{le=\"0.001\"} 1\n"
+              "serve_analyze_seconds_bucket{le=\"0.01\"} 1\n"
+              "serve_analyze_seconds_bucket{le=\"0.1\"} 3\n"
+              "serve_analyze_seconds_bucket{le=\"+Inf\"} 4\n"
+              "serve_analyze_seconds_sum 5.1005\n"
+              "serve_analyze_seconds_count 4\n");
+}
+
+TEST(ExpositionTest, EmptySnapshotRendersEmpty)
+{
+    EXPECT_EQ(prometheusText(MetricsSnapshot{}), "");
+}
+
+// The exposition and writeMetricsSnapshot() consume one MetricsSnapshot;
+// the histogram totals they report must agree series for series.
+TEST(ExpositionTest, HistogramTotalsMatchSnapshot)
+{
+    MetricsRegistry reg;
+    Histogram h = reg.histogram("t.h", {1.0, 2.0});
+    for (int i = 0; i < 7; ++i)
+        h.record(0.5 + 0.4 * i);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    const HistogramValue *hv = snap.histogram("t.h");
+    ASSERT_NE(hv, nullptr);
+    std::uint64_t count_sum = 0;
+    for (const std::uint64_t c : hv->counts)
+        count_sum += c;
+    ASSERT_EQ(count_sum, hv->total) << "registry invariant";
+
+    const std::string text = prometheusText(snap);
+    EXPECT_NE(text.find("t_h_bucket{le=\"+Inf\"} " +
+                        std::to_string(hv->total) + "\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_h_count " + std::to_string(hv->total) + "\n"),
+              std::string::npos);
+}
+
+/**
+ * A scrape racing recording threads must still satisfy the structural
+ * invariants: buckets cumulative (non-decreasing), +Inf == _count, and
+ * the counter monotone across consecutive scrapes.
+ */
+TEST(ExpositionTest, ConcurrentScrapesStayConsistent)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("t.ops_total");
+    Histogram h = reg.histogram("t.lat", {0.25, 0.5, 0.75});
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&, t] {
+            double x = 0.1 * (t + 1);
+            while (!stop.load(std::memory_order_relaxed)) {
+                c.inc();
+                h.record(x);
+                x = x < 1.0 ? x + 0.13 : 0.05;
+            }
+        });
+    }
+
+    std::uint64_t last_count = 0;
+    for (int scrape = 0; scrape < 50; ++scrape) {
+        const MetricsSnapshot snap = reg.snapshot();
+        const HistogramValue *hv = snap.histogram("t.lat");
+        ASSERT_NE(hv, nullptr);
+        std::uint64_t sum = 0;
+        for (const std::uint64_t n : hv->counts)
+            sum += n;
+        EXPECT_EQ(sum, hv->total);
+        const std::uint64_t ops = snap.counterOr("t.ops_total");
+        EXPECT_GE(ops, last_count) << "counters are monotone";
+        last_count = ops;
+
+        // The rendered text must satisfy the same invariants the linter
+        // (tools/check_exposition.py) enforces on a live scrape.
+        const std::string text = prometheusText(snap);
+        EXPECT_NE(text.find("# TYPE t_lat histogram\n"), std::string::npos);
+        EXPECT_NE(text.find("t_lat_bucket{le=\"+Inf\"} " +
+                            std::to_string(hv->total) + "\n"),
+                  std::string::npos);
+    }
+    stop.store(true);
+    for (std::thread &t : writers)
+        t.join();
+}
+
+}  // namespace
+}  // namespace stackscope::obs

@@ -47,8 +47,10 @@ TEST(ProtocolFrameTest, PongFrameMatchesDocumentedBytes)
 
 TEST(ProtocolFrameTest, ProgressFrameMatchesDocumentedBytes)
 {
-    EXPECT_EQ(progressFrame("1", "00112233aabbccdd", 500),
-              "{\"type\":\"progress\",\"id\":\"1\","
+    // Heartbeats carry the server-minted request id so a client can
+    // fetch /tracez?id=... for a request that is still in flight.
+    EXPECT_EQ(progressFrame("1", "r-7", "00112233aabbccdd", 500),
+              "{\"type\":\"progress\",\"id\":\"1\",\"request\":\"r-7\","
               "\"key\":\"00112233aabbccdd\",\"elapsed_ms\":500}\n");
 }
 
@@ -62,10 +64,10 @@ TEST(ProtocolFrameTest, ErrorFrameMatchesDocumentedBytes)
 TEST(ProtocolFrameTest, ResultFrameSplicesReportVerbatimAsLastMember)
 {
     const std::string report = "{\"schema\":\"stackscope-report\"}";
-    const std::string frame =
-        resultFrame("7", "deadbeefdeadbeef", CacheOutcome::kHit, report);
+    const std::string frame = resultFrame("7", "r-9", "deadbeefdeadbeef",
+                                          CacheOutcome::kHit, report);
     EXPECT_EQ(frame,
-              "{\"type\":\"result\",\"id\":\"7\","
+              "{\"type\":\"result\",\"id\":\"7\",\"request\":\"r-9\","
               "\"key\":\"deadbeefdeadbeef\",\"cache\":\"hit\","
               "\"report\":" + report + "}\n");
     // The documented client recipe: report bytes = everything between
@@ -76,15 +78,38 @@ TEST(ProtocolFrameTest, ResultFrameSplicesReportVerbatimAsLastMember)
     EXPECT_EQ(frame.substr(start, end - start), report);
 }
 
+TEST(ProtocolFrameTest, StatusFrameCarriesCacheSloAndHostMetrics)
+{
+    const ResultCache::Stats stats{};
+    const SloTracker::Summary slo{};
+    const obs::MetricsSnapshot snap{};
+    const std::string frame = statusFrame("s", stats, slo, snap);
+    const obs::JsonValue doc = obs::parseJson(
+        std::string_view(frame.data(), frame.size() - 1));
+    ASSERT_NE(doc.find("cache"), nullptr);
+    EXPECT_NE(doc.find("cache")->find("waiting"), nullptr)
+        << "coalesced-waiter count is part of the cache block";
+    const obs::JsonValue *s = doc.find("slo");
+    ASSERT_NE(s, nullptr);
+    for (const char *key :
+         {"window_s", "objective_ms", "target", "requests", "errors",
+          "error_rate", "within_objective", "attainment", "p50_ms",
+          "p99_ms", "ok"}) {
+        EXPECT_NE(s->find(key), nullptr) << "slo." << key;
+    }
+    EXPECT_NE(doc.find("host_metrics"), nullptr);
+}
+
 TEST(ProtocolFrameTest, EveryFrameIsOneParseableLine)
 {
     const ResultCache::Stats stats{};
+    const SloTracker::Summary slo{};
     const obs::MetricsSnapshot snap{};
     for (const std::string &frame :
-         {helloFrame(), pongFrame("i"), progressFrame("i", "k", 1),
+         {helloFrame(), pongFrame("i"), progressFrame("i", "r", "k", 1),
           errorFrame("i", ErrorCategory::kInternal, "m"),
-          resultFrame("i", "k", CacheOutcome::kMiss, "{}"),
-          statusFrame("i", stats, snap)}) {
+          resultFrame("i", "r", "k", CacheOutcome::kMiss, "{}"),
+          statusFrame("i", stats, slo, snap)}) {
         ASSERT_FALSE(frame.empty());
         EXPECT_EQ(frame.back(), '\n');
         EXPECT_EQ(frame.find('\n'), frame.size() - 1)

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Request-trace tests: the span tree is a time stack and obeys the same
+ * conservation law as the paper's CPI stacks — span durations partition
+ * request wall time (tolerance RequestTrace::kToleranceUs). The three
+ * cache outcomes each have a distinct documented span shape
+ * (docs/formats.md "Request traces"), pinned here.
+ */
+
+#include "serve/request_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/json_parse.hpp"
+
+namespace stackscope::serve {
+namespace {
+
+using Clock = RequestTrace::Clock;
+
+std::int64_t
+sumSpans(const TraceSummary &t)
+{
+    std::int64_t sum = 0;
+    for (const TraceSummary::SpanValue &s : t.spans)
+        sum += s.dur_us;
+    return sum;
+}
+
+void
+spinFor(std::chrono::microseconds d)
+{
+    const Clock::time_point until = Clock::now() + d;
+    while (Clock::now() < until) {
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conservation.
+
+TEST(RequestTraceTest, PhasesPartitionWallTime)
+{
+    RequestTrace trace("r-1", "ndjson", Clock::now());
+    spinFor(std::chrono::microseconds(200));
+    trace.begin(Span::kParse);
+    spinFor(std::chrono::microseconds(200));
+    trace.begin(Span::kCacheLookup);
+    spinFor(std::chrono::microseconds(200));
+    trace.begin(Span::kWrite);
+    spinFor(std::chrono::microseconds(200));
+    const auto summary = trace.finish();
+
+    EXPECT_TRUE(summary->conservation_ok)
+        << "error " << summary->conservation_error_us << " us";
+    // Phases close each other at one shared timestamp, so the partition
+    // is exact — not merely within tolerance.
+    EXPECT_EQ(sumSpans(*summary), summary->wall_us);
+    EXPECT_EQ(summary->conservation_error_us, 0);
+}
+
+TEST(RequestTraceTest, LeaderJobSpansAreCarvedOutOfWaitPhase)
+{
+    RequestTrace trace("r-2", "ndjson", Clock::now());
+    trace.begin(Span::kCacheLookup);
+    trace.begin(Span::kSingleflightWait);
+    const Clock::time_point submit = Clock::now();
+    spinFor(std::chrono::microseconds(300));  // queue wait
+    const Clock::time_point started = Clock::now();
+    spinFor(std::chrono::microseconds(600));  // simulate
+    const Clock::time_point sim_done = Clock::now();
+    spinFor(std::chrono::microseconds(150));  // serialize
+    trace.addJobSpan(Span::kQueueWait, submit, started);
+    trace.addJobSpan(Span::kSimulate, started, sim_done);
+    trace.addJobSpan(Span::kSerialize, sim_done, Clock::now());
+    trace.begin(Span::kWrite);
+    const auto summary = trace.finish();
+
+    EXPECT_TRUE(summary->conservation_ok)
+        << "error " << summary->conservation_error_us << " us";
+    EXPECT_TRUE(summary->hasSpan(Span::kQueueWait));
+    EXPECT_TRUE(summary->hasSpan(Span::kSimulate));
+    EXPECT_TRUE(summary->hasSpan(Span::kSerialize));
+    EXPECT_GE(summary->spanUs(Span::kQueueWait), 300);
+    EXPECT_GE(summary->spanUs(Span::kSimulate), 600);
+    // The singleflight remainder is what the job spans did not cover —
+    // small here, and never negative.
+    EXPECT_GE(summary->spanUs(Span::kSingleflightWait), 0);
+    EXPECT_LE(sumSpans(*summary),
+              summary->wall_us + RequestTrace::kToleranceUs);
+}
+
+// ---------------------------------------------------------------------
+// Outcome shapes.
+
+TEST(RequestTraceTest, HitShapeHasNoWaitOrSimulateSpans)
+{
+    RequestTrace trace("r-3", "ndjson", Clock::now());
+    trace.begin(Span::kParse);
+    trace.begin(Span::kCacheLookup);
+    trace.setOutcome("hit");
+    trace.begin(Span::kWrite);
+    const auto summary = trace.finish();
+
+    EXPECT_FALSE(summary->hasSpan(Span::kQueueWait));
+    EXPECT_FALSE(summary->hasSpan(Span::kSimulate));
+    EXPECT_FALSE(summary->hasSpan(Span::kSingleflightWait));
+    EXPECT_TRUE(summary->hasSpan(Span::kCacheLookup));
+    EXPECT_TRUE(summary->conservation_ok);
+}
+
+TEST(RequestTraceTest, CoalescedShapeIsAllSingleflightWait)
+{
+    RequestTrace trace("r-4", "ndjson", Clock::now());
+    trace.begin(Span::kCacheLookup);
+    trace.begin(Span::kSingleflightWait);
+    spinFor(std::chrono::microseconds(400));
+    trace.begin(Span::kWrite);
+    const auto summary = trace.finish();
+
+    // No job spans: the whole wait phase is genuine singleflight_wait.
+    EXPECT_FALSE(summary->hasSpan(Span::kQueueWait));
+    EXPECT_FALSE(summary->hasSpan(Span::kSimulate));
+    EXPECT_GE(summary->spanUs(Span::kSingleflightWait), 400);
+    EXPECT_TRUE(summary->conservation_ok);
+}
+
+TEST(RequestTraceTest, MetadataFlowsThrough)
+{
+    RequestTrace trace("r-5", "ndjson", Clock::now());
+    trace.setClientId("client-7");
+    trace.setEndpoint("analyze");
+    trace.setOutcome("miss");
+    trace.setStatus("ok");
+    const auto summary = trace.finish();
+    EXPECT_EQ(summary->id, "r-5");
+    EXPECT_EQ(summary->client_id, "client-7");
+    EXPECT_EQ(summary->endpoint, "analyze");
+    EXPECT_EQ(summary->outcome, "miss");
+    EXPECT_EQ(summary->status, "ok");
+}
+
+// ---------------------------------------------------------------------
+// Store.
+
+TEST(TraceStoreTest, FindsNewestFirstAndEvictsOldest)
+{
+    TraceStore store(2);
+    for (const char *id : {"r-1", "r-2", "r-3"}) {
+        RequestTrace trace(id, "ndjson", Clock::now());
+        store.add(trace.finish());
+    }
+    EXPECT_EQ(store.find("r-1"), nullptr) << "evicted by capacity 2";
+    ASSERT_NE(store.find("r-3"), nullptr);
+
+    const auto recent = store.recent(10);
+    ASSERT_EQ(recent.size(), 2u);
+    EXPECT_EQ(recent[0]->id, "r-3") << "newest first";
+    EXPECT_EQ(recent[1]->id, "r-2");
+
+    EXPECT_EQ(store.recent(1).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Renderers.
+
+TEST(TraceRenderTest, TraceJsonIsParseableWithDocumentedSchema)
+{
+    RequestTrace trace("r-9", "http:/analyze", Clock::now());
+    trace.begin(Span::kParse);
+    trace.setOutcome("miss");
+    trace.setStatus("ok");
+    const auto summary = trace.finish();
+
+    const obs::JsonValue doc = obs::parseJson(traceJson(*summary));
+    EXPECT_EQ(doc.find("schema")->string, "stackscope-request-trace");
+    EXPECT_EQ(doc.find("version")->number, 1);
+    EXPECT_EQ(doc.find("request")->string, "r-9");
+    EXPECT_EQ(doc.find("endpoint")->string, "http:/analyze");
+    ASSERT_NE(doc.find("spans"), nullptr);
+    for (const obs::JsonValue &s : doc.find("spans")->array) {
+        EXPECT_NE(s.find("span"), nullptr);
+        EXPECT_NE(s.find("start_us"), nullptr);
+        EXPECT_NE(s.find("dur_us"), nullptr);
+    }
+    EXPECT_NE(doc.find("conservation_ok"), nullptr);
+    EXPECT_NE(doc.find("conservation_error_us"), nullptr);
+}
+
+TEST(TraceRenderTest, ChromeJsonSplitsConnectionAndJobLanes)
+{
+    RequestTrace trace("r-10", "ndjson", Clock::now());
+    trace.begin(Span::kCacheLookup);
+    trace.begin(Span::kSingleflightWait);
+    const Clock::time_point t0 = Clock::now();
+    spinFor(std::chrono::microseconds(100));
+    trace.addJobSpan(Span::kSimulate, t0, Clock::now());
+    trace.begin(Span::kWrite);
+    const auto summary = trace.finish();
+
+    const obs::JsonValue doc = obs::parseJson(traceChromeJson(*summary));
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool saw_connection_lane = false;
+    bool saw_job_lane = false;
+    for (const obs::JsonValue &e : events->array) {
+        const obs::JsonValue *ph = e.find("ph");
+        if (ph == nullptr || ph->string != "X")
+            continue;
+        const double tid = e.find("tid")->number;
+        const std::string name = e.find("name")->string;
+        if (name == "simulate") {
+            EXPECT_EQ(tid, 1) << "job spans live on the job lane";
+            saw_job_lane = true;
+        }
+        if (name == "cache_lookup" || name == "write" ||
+            name == "singleflight_wait") {
+            EXPECT_EQ(tid, 0) << name << " lives on the connection lane";
+            saw_connection_lane = true;
+        }
+    }
+    EXPECT_TRUE(saw_connection_lane);
+    EXPECT_TRUE(saw_job_lane);
+}
+
+TEST(TraceRenderTest, IndexListsRequestSummaries)
+{
+    TraceStore store(4);
+    RequestTrace trace("r-11", "ndjson", Clock::now());
+    trace.setOutcome("hit");
+    trace.setStatus("ok");
+    store.add(trace.finish());
+
+    const obs::JsonValue doc =
+        obs::parseJson(traceIndexJson(store.recent(4)));
+    const obs::JsonValue *traces = doc.find("traces");
+    ASSERT_NE(traces, nullptr);
+    ASSERT_EQ(traces->array.size(), 1u);
+    EXPECT_EQ(traces->array[0].find("request")->string, "r-11");
+    EXPECT_EQ(traces->array[0].find("outcome")->string, "hit");
+}
+
+}  // namespace
+}  // namespace stackscope::serve

@@ -17,13 +17,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <netinet/in.h>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/log.hpp"
 #include "obs/json_parse.hpp"
 #include "serve/protocol.hpp"
+#include "serve/request_trace.hpp"
 
 namespace stackscope::serve {
 namespace {
@@ -359,6 +364,206 @@ TEST(ServerTest, HttpEndpointsAnswerOnEphemeralPort)
     EXPECT_EQ(lost.substr(0, 12), "HTTP/1.1 404");
 
     EXPECT_TRUE(fixture.stop());
+}
+
+std::string
+httpBody(const std::string &response)
+{
+    const std::size_t pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? std::string()
+                                    : response.substr(pos + 4);
+}
+
+/** One-shot loopback HTTP exchange: send @p request, read to EOF. */
+std::string
+httpExchange(int port, const std::string &request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_TRUE(sendAll(fd, request));
+    std::string response;
+    char buf[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(ServerTest, TracezShowsColdVersusHitSpanShapes)
+{
+    ServeOptions opt = smallOptions(tempSocketPath("tracez"));
+    opt.tcp_port = 0;
+    ServerFixture fixture(opt);
+    const int port = fixture.server().tcpPort();
+    ASSERT_GT(port, 0);
+
+    const std::string body = kSmallSpec;
+    const std::string analyze_req =
+        "POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+
+    // Cold request: the leader runs the simulation, so its trace must
+    // attribute time to queue_wait and simulate.
+    const std::string cold = httpExchange(port, analyze_req);
+    ASSERT_EQ(cold.substr(0, 15), "HTTP/1.1 200 OK");
+    const obs::JsonValue cold_result = obs::parseJson(httpBody(cold));
+    const std::string cold_id = cold_result.at("request").string;
+    ASSERT_FALSE(cold_id.empty());
+
+    const std::string cold_trace_rsp = httpExchange(
+        port, "GET /tracez?id=" + cold_id + " HTTP/1.1\r\nHost: x\r\n\r\n");
+    ASSERT_EQ(cold_trace_rsp.substr(0, 15), "HTTP/1.1 200 OK");
+    const obs::JsonValue cold_trace =
+        obs::parseJson(httpBody(cold_trace_rsp));
+    EXPECT_EQ(cold_trace.at("request").string, cold_id);
+    EXPECT_EQ(cold_trace.at("outcome").string, "miss");
+    EXPECT_TRUE(cold_trace.at("conservation_ok").boolean);
+    std::int64_t queue_wait = -1;
+    std::int64_t simulate = -1;
+    std::int64_t span_sum = 0;
+    for (const obs::JsonValue &s : cold_trace.at("spans").array) {
+        span_sum += static_cast<std::int64_t>(s.at("dur_us").number);
+        if (s.at("span").string == "queue_wait")
+            queue_wait = static_cast<std::int64_t>(s.at("dur_us").number);
+        if (s.at("span").string == "simulate")
+            simulate = static_cast<std::int64_t>(s.at("dur_us").number);
+    }
+    EXPECT_GE(queue_wait, 0) << "cold trace must carry queue_wait";
+    EXPECT_GT(simulate, 0) << "cold trace must carry a nonzero simulate";
+    // Spans are additive: they sum to wall time within the tolerance.
+    const auto wall =
+        static_cast<std::int64_t>(cold_trace.at("wall_us").number);
+    EXPECT_LE(std::abs(span_sum - wall), RequestTrace::kToleranceUs);
+
+    // Warm repeat: a pure cache hit never opens the wait phase.
+    const std::string hit = httpExchange(port, analyze_req);
+    const obs::JsonValue hit_result = obs::parseJson(httpBody(hit));
+    ASSERT_EQ(hit_result.at("cache").string, "hit");
+    const std::string hit_id = hit_result.at("request").string;
+    const obs::JsonValue hit_trace = obs::parseJson(httpBody(httpExchange(
+        port, "GET /tracez?id=" + hit_id + " HTTP/1.1\r\nHost: x\r\n\r\n")));
+    EXPECT_EQ(hit_trace.at("outcome").string, "hit");
+    EXPECT_TRUE(hit_trace.at("conservation_ok").boolean);
+    for (const obs::JsonValue &s : hit_trace.at("spans").array) {
+        EXPECT_NE(s.at("span").string, "queue_wait");
+        EXPECT_NE(s.at("span").string, "simulate");
+        EXPECT_NE(s.at("span").string, "singleflight_wait");
+    }
+
+    // The index lists both requests, newest first.
+    const obs::JsonValue index = obs::parseJson(httpBody(
+        httpExchange(port, "GET /tracez HTTP/1.1\r\nHost: x\r\n\r\n")));
+    ASSERT_GE(index.at("traces").array.size(), 2u);
+
+    // Chrome rendering and unknown-id 404.
+    const std::string chrome_rsp = httpExchange(
+        port, "GET /tracez?id=" + cold_id +
+                  "&format=chrome HTTP/1.1\r\nHost: x\r\n\r\n");
+    ASSERT_EQ(chrome_rsp.substr(0, 15), "HTTP/1.1 200 OK");
+    EXPECT_NE(httpBody(chrome_rsp).find("\"traceEvents\""),
+              std::string::npos);
+    EXPECT_EQ(httpExchange(port,
+                           "GET /tracez?id=r-999999 HTTP/1.1\r\nHost: "
+                           "x\r\n\r\n")
+                  .substr(0, 12),
+              "HTTP/1.1 404");
+
+    EXPECT_TRUE(fixture.stop());
+}
+
+TEST(ServerTest, MetricszServesValidPrometheusText)
+{
+    ServeOptions opt = smallOptions(tempSocketPath("metricsz"));
+    opt.tcp_port = 0;
+    ServerFixture fixture(opt);
+    const int port = fixture.server().tcpPort();
+    ASSERT_GT(port, 0);
+
+    const std::string body = kSmallSpec;
+    httpExchange(port,
+                 "POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body);
+
+    const std::string rsp =
+        httpExchange(port, "GET /metricsz HTTP/1.1\r\nHost: x\r\n\r\n");
+    ASSERT_EQ(rsp.substr(0, 15), "HTTP/1.1 200 OK");
+    EXPECT_NE(rsp.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    const std::string text = httpBody(rsp);
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_analyze_seconds histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_analyze_seconds_bucket{le=\"+Inf\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_inflight_requests gauge\n"),
+              std::string::npos);
+    // No request in this test may violate span conservation.
+    EXPECT_NE(text.find("serve_trace_conservation_failures_total 0\n"),
+              std::string::npos);
+
+    EXPECT_TRUE(fixture.stop());
+}
+
+TEST(ServerTest, AccessLogEmitsOneStructuredLinePerRequest)
+{
+    std::mutex log_mutex;
+    std::vector<std::string> records;
+    log::setWriterForTest([&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        records.push_back(line);
+    });
+    const log::Level saved = log::threshold();
+    log::setThreshold(log::Level::kInfo);
+    const bool saved_json = log::jsonOutput();
+    log::setJsonOutput(true);
+
+    {
+        const std::string path = tempSocketPath("accesslog");
+        ServerFixture fixture(smallOptions(path));
+        const int fd = connectUnix(path);
+        ASSERT_GE(fd, 0);
+        std::string pending;
+        std::string frame;
+        ASSERT_TRUE(readFrame(fd, pending, frame));  // hello
+        ASSERT_TRUE(sendAll(fd, "{\"type\":\"ping\",\"id\":\"p9\"}\n"));
+        ASSERT_TRUE(readFrame(fd, pending, frame));
+        ::close(fd);
+        EXPECT_TRUE(fixture.stop());
+    }
+
+    log::setWriterForTest(nullptr);
+    log::setThreshold(saved);
+    log::setJsonOutput(saved_json);
+
+    std::lock_guard<std::mutex> lock(log_mutex);
+    bool found = false;
+    for (const std::string &line : records) {
+        if (line.find("\"msg\":\"access\"") == std::string::npos)
+            continue;
+        found = true;
+        const obs::JsonValue record = obs::parseJson(line);
+        EXPECT_EQ(record.at("module").string, "serve");
+        EXPECT_EQ(record.at("endpoint").string, "ping");
+        EXPECT_EQ(record.at("id").string, "p9");
+        EXPECT_EQ(record.at("status").string, "ok");
+        EXPECT_FALSE(record.at("request").string.empty());
+        EXPECT_NE(record.find("wall_us"), nullptr);
+    }
+    EXPECT_TRUE(found) << "no access record for the ping request";
 }
 
 TEST(ServerTest, BindConflictsThrowBindError)

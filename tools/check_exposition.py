@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-format exposition (as served by /metricsz).
+
+Validates the structural invariants the stackscope exposition promises
+(docs/observability.md "Exposition"):
+
+  - every sample belongs to a metric announced by a `# TYPE` line, and
+    each metric has exactly one TYPE line, before its first sample;
+  - counter and gauge metrics have exactly one unlabelled sample;
+  - histograms expose `_bucket{le=...}` series with strictly increasing
+    finite `le` edges, cumulative (non-decreasing) counts, a final
+    `le="+Inf"` bucket, plus `_sum` and `_count`;
+  - the `+Inf` bucket equals `_count` (the total == sum-of-counts
+    invariant of obs::MetricsRegistry histograms);
+  - every value parses as a float and counters are non-negative.
+
+Usage:
+    check_exposition.py dump.prom        # lint a saved scrape
+    curl -s localhost:8080/metricsz | check_exposition.py -
+
+Exit code 0 when clean, 1 with one line per violation on stderr.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def base_name(sample_name, types):
+    """Map a sample name to its announced metric name."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            candidate = sample_name[: -len(suffix)]
+            if candidate in types:
+                return candidate
+    return None
+
+
+def le_of(labels):
+    if not labels:
+        return None
+    for part in labels.split(","):
+        if part.startswith('le="') and part.endswith('"'):
+            return part[4:-1]
+    return None
+
+
+def check(text):
+    errors = []
+    types = {}
+    # metric -> list of (le_value, count) in document order
+    buckets = {}
+    sums = {}
+    counts = {}
+    scalar_samples = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    errors.append("line %d: malformed TYPE line" % lineno)
+                    continue
+                name = m.group("name")
+                if name in types:
+                    errors.append(
+                        "line %d: duplicate TYPE for %s" % (lineno, name)
+                    )
+                types[name] = m.group("kind")
+            continue  # other comments (HELP) are fine
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("line %d: unparseable sample: %r" % (lineno, line))
+            continue
+        name = m.group("name")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                "line %d: bad value %r" % (lineno, m.group("value"))
+            )
+            continue
+        metric = base_name(name, types)
+        if metric is None:
+            errors.append(
+                "line %d: sample %s has no preceding TYPE line"
+                % (lineno, name)
+            )
+            continue
+        kind = types[metric]
+        if kind == "histogram":
+            if name == metric + "_bucket":
+                le = le_of(m.group("labels"))
+                if le is None:
+                    errors.append(
+                        "line %d: histogram bucket without le label"
+                        % lineno
+                    )
+                    continue
+                buckets.setdefault(metric, []).append((le, value))
+            elif name == metric + "_sum":
+                sums[metric] = value
+            elif name == metric + "_count":
+                counts[metric] = value
+            else:
+                errors.append(
+                    "line %d: unexpected histogram sample %s"
+                    % (lineno, name)
+                )
+        else:
+            if name != metric:
+                errors.append(
+                    "line %d: sample %s does not match TYPE %s"
+                    % (lineno, name, metric)
+                )
+                continue
+            scalar_samples.setdefault(metric, []).append(value)
+            if kind == "counter" and value < 0:
+                errors.append(
+                    "line %d: counter %s is negative" % (lineno, name)
+                )
+
+    for metric, kind in types.items():
+        if kind == "histogram":
+            series = buckets.get(metric, [])
+            if not series:
+                errors.append("histogram %s: no buckets" % metric)
+                continue
+            if series[-1][0] != "+Inf":
+                errors.append(
+                    "histogram %s: last bucket must be le=\"+Inf\"" % metric
+                )
+            edges = []
+            for le, _ in series[:-1]:
+                try:
+                    edges.append(float(le))
+                except ValueError:
+                    errors.append(
+                        "histogram %s: non-numeric le %r" % (metric, le)
+                    )
+            if any(b >= a for a, b in zip(edges[1:], edges)):
+                errors.append(
+                    "histogram %s: le edges not strictly increasing"
+                    % metric
+                )
+            cumulative = [count for _, count in series]
+            if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+                errors.append(
+                    "histogram %s: bucket counts not cumulative" % metric
+                )
+            if metric not in sums:
+                errors.append("histogram %s: missing _sum" % metric)
+            if metric not in counts:
+                errors.append("histogram %s: missing _count" % metric)
+            elif series[-1][0] == "+Inf" and series[-1][1] != counts[metric]:
+                errors.append(
+                    "histogram %s: +Inf bucket %g != _count %g"
+                    % (metric, series[-1][1], counts[metric])
+                )
+        else:
+            n = len(scalar_samples.get(metric, []))
+            if n != 1:
+                errors.append(
+                    "%s %s: expected exactly 1 sample, found %d"
+                    % (kind, metric, n)
+                )
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_exposition.py FILE|-", file=sys.stderr)
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    errors = check(text)
+    for error in errors:
+        print("check_exposition: %s" % error, file=sys.stderr)
+    if not errors:
+        print(
+            "check_exposition: ok (%d TYPE lines)"
+            % len(re.findall(r"^# TYPE ", text, flags=re.M))
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

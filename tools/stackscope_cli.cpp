@@ -55,6 +55,12 @@
  *   --cache-mb N        result-cache byte budget in MiB (default 64)
  *   --heartbeat-ms N    progress-frame period (default 500)
  *   --drain-timeout SECS  shutdown grace period (default 30)
+ *   --slow-ms MS        warn-log the full span breakdown for requests
+ *                       slower than MS wall milliseconds (0 = off)
+ *   --slo-ms MS         rolling-window latency objective surfaced in
+ *                       /statusz "slo" (default 50)
+ *   --trace-capacity N  finished traces kept for GET /tracez
+ *                       (default 256)
  *
  * sweep resilience options (docs/formats.md, docs/exit_codes.md):
  *   --max-retries N     retry a retryably-failing job up to N times
@@ -87,6 +93,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -173,6 +180,12 @@ struct CliOptions
     std::uint64_t heartbeat_ms = 500;
     /** serve: shutdown grace period in seconds. */
     double drain_timeout = 30.0;
+    /** serve: warn-log span breakdown above this wall time (0 = off). */
+    double slow_ms = 0.0;
+    /** serve: rolling-window latency objective for /statusz "slo". */
+    double slo_ms = 50.0;
+    /** serve: finished traces retained for GET /tracez. */
+    std::uint64_t trace_capacity = 256;
     /** diff-report: the two report paths. */
     std::vector<std::string> positionals;
     obs::DiffTolerance diff_tol{};
@@ -242,7 +255,8 @@ usage(std::FILE *to, const char *argv0)
         "      [--watch METRIC[:ABS[:REL]]]   (exit 4 on regression)\n"
         "  --no-host-metrics (deterministic reports: host_metrics null)\n"
         "  serve --socket PATH and/or --tcp PORT [--cache-mb N]\n"
-        "      [--heartbeat-ms N] [--drain-timeout SECS]\n"
+        "      [--heartbeat-ms N] [--drain-timeout SECS] [--slow-ms MS]\n"
+        "      [--slo-ms MS] [--trace-capacity N]\n"
         "      (protocol in docs/serving.md; exit 7 bind failure,\n"
         "      8 drain timeout)\n",
         argv0, kCommands, faults.c_str());
@@ -472,6 +486,16 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.heartbeat_ms = parseCount(arg, value(), 1);
         } else if (arg == "--drain-timeout") {
             opt.drain_timeout = parseReal(arg, value());
+        } else if (arg == "--slow-ms") {
+            opt.slow_ms = parseReal(arg, value());
+        } else if (arg == "--slo-ms") {
+            opt.slo_ms = parseReal(arg, value());
+            if (opt.slo_ms <= 0.0) {
+                throw StackscopeError(ErrorCategory::kUsage,
+                                      "--slo-ms must be positive");
+            }
+        } else if (arg == "--trace-capacity") {
+            opt.trace_capacity = parseCount(arg, value(), 1);
         } else if (arg == "--tol-abs") {
             opt.diff_tol.abs = parseReal(arg, value());
         } else if (arg == "--tol-rel") {
@@ -531,9 +555,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
                               "--fault-job needs --inject-fault");
     }
     if (opt.command != "serve" &&
-        (!opt.serve_socket.empty() || opt.serve_tcp >= 0)) {
+        (!opt.serve_socket.empty() || opt.serve_tcp >= 0 ||
+         opt.slow_ms != 0.0 || opt.slo_ms != 50.0 ||
+         opt.trace_capacity != 256)) {
         throw StackscopeError(ErrorCategory::kUsage,
-                              "--socket and --tcp are only supported by "
+                              "--socket, --tcp, --slow-ms, --slo-ms and "
+                              "--trace-capacity are only supported by "
                               "the serve command");
     }
     // Watch specs resolve after the loop so --tol-abs/--tol-rel defaults
@@ -1215,6 +1242,9 @@ cmdServe(const CliOptions &opt)
     so.heartbeat = std::chrono::milliseconds(opt.heartbeat_ms);
     so.drain_timeout = std::chrono::milliseconds(
         static_cast<std::uint64_t>(opt.drain_timeout * 1000.0));
+    so.slow_ms = opt.slow_ms;
+    so.slo_ms = opt.slo_ms;
+    so.trace_capacity = static_cast<std::size_t>(opt.trace_capacity);
     try {
         serve::Server server(so);
         // A client vanishing mid-response must surface as EPIPE on the

@@ -18,6 +18,8 @@ Examples:
         --workload mcf --machine bdw --instrs 20000 --out report.json
     stackscope_client.py --socket /tmp/ss.sock --statusz
     stackscope_client.py --host 127.0.0.1 --port 8080 --statusz
+    stackscope_client.py --port 8080 --metricsz
+    stackscope_client.py --port 8080 --tracez r-42 --trace-format chrome
 
 Exit codes mirror the daemon's error categories (docs/exit_codes.md):
 0 success, 1 internal/transport error, 2 usage/config, 3
@@ -28,6 +30,7 @@ import argparse
 import json
 import socket
 import sys
+import time
 
 CATEGORY_EXIT = {
     "usage": 2,
@@ -71,6 +74,29 @@ def extract_report_bytes(frame_line):
     return frame_line[start:end]
 
 
+def connect_unix(path, timeout, retries, retry_delay):
+    """Connect with a bounded retry loop.
+
+    A daemon started moments ago may not have bound its socket yet;
+    rather than racing with `sleep` in scripts, retry the connect a few
+    times with a fixed delay. Everything after the connect uses the
+    ordinary --timeout deadline.
+    """
+    last_error = None
+    for attempt in range(retries + 1):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as exc:
+            sock.close()
+            last_error = exc
+            if attempt < retries:
+                time.sleep(retry_delay)
+    raise last_error
+
+
 def run_ndjson(sock, args):
     rfile = sock.makefile("rb")
     hello = json.loads(rfile.readline())
@@ -95,8 +121,12 @@ def run_ndjson(sock, args):
         ftype = frame.get("type")
         if ftype == "progress":
             print(
-                "progress: key=%s elapsed=%dms"
-                % (frame.get("key"), frame.get("elapsed_ms", 0)),
+                "progress: request=%s key=%s elapsed=%dms"
+                % (
+                    frame.get("request"),
+                    frame.get("key"),
+                    frame.get("elapsed_ms", 0),
+                ),
                 file=sys.stderr,
             )
             continue
@@ -117,8 +147,13 @@ def run_ndjson(sock, args):
         if ftype == "result":
             report = extract_report_bytes(line)
             print(
-                "result: key=%s cache=%s (%d report bytes)"
-                % (frame.get("key"), frame.get("cache"), len(report)),
+                "result: request=%s key=%s cache=%s (%d report bytes)"
+                % (
+                    frame.get("request"),
+                    frame.get("key"),
+                    frame.get("cache"),
+                    len(report),
+                ),
                 file=sys.stderr,
             )
             if args.out:
@@ -134,11 +169,22 @@ def run_ndjson(sock, args):
 def run_http(args):
     import http.client
 
-    conn = http.client.HTTPConnection(args.host, args.port, timeout=600)
+    conn = http.client.HTTPConnection(
+        args.host, args.port, timeout=args.timeout
+    )
     if args.statusz:
         conn.request("GET", "/statusz")
     elif args.ping:
         conn.request("GET", "/healthz")
+    elif args.metricsz:
+        conn.request("GET", "/metricsz")
+    elif args.tracez is not None:
+        target = "/tracez"
+        if args.tracez:
+            target += "?id=" + args.tracez
+            if args.trace_format:
+                target += "&format=" + args.trace_format
+        conn.request("GET", target)
     else:
         conn.request(
             "POST",
@@ -155,7 +201,7 @@ def run_http(args):
             file=sys.stderr,
         )
         return CATEGORY_EXIT.get(frame.get("category"), 1)
-    if args.statusz or args.ping:
+    if args.statusz or args.ping or args.metricsz or args.tracez is not None:
         sys.stdout.buffer.write(body)
         return 0
     report = extract_report_bytes(body)
@@ -175,6 +221,26 @@ def main():
     target.add_argument("--socket", help="Unix-domain socket path")
     target.add_argument("--host", default="127.0.0.1", help="TCP host")
     target.add_argument("--port", type=int, help="TCP (HTTP) port")
+    target.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout in seconds (default 60; covers connect, "
+        "each protocol read, and HTTP requests)",
+    )
+    target.add_argument(
+        "--connect-retries",
+        type=int,
+        default=5,
+        help="retry a refused/absent --socket connect this many times "
+        "(default 5, 0 disables)",
+    )
+    target.add_argument(
+        "--connect-retry-delay",
+        type=float,
+        default=0.2,
+        help="delay between connect retries in seconds (default 0.2)",
+    )
     spec = parser.add_argument_group("job spec")
     spec.add_argument("--workload", default="mcf")
     spec.add_argument("--machine", default="bdw")
@@ -190,16 +256,39 @@ def main():
                         help="fetch the daemon status instead of analyzing")
     parser.add_argument("--ping", action="store_true",
                         help="liveness check only")
+    parser.add_argument(
+        "--metricsz",
+        action="store_true",
+        help="fetch the Prometheus text exposition (HTTP only)",
+    )
+    parser.add_argument(
+        "--tracez",
+        nargs="?",
+        const="",
+        metavar="REQUEST_ID",
+        help="fetch a request trace by server-minted id, or the trace "
+        "index when no id is given (HTTP only)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=["chrome"],
+        help="with --tracez ID: request the Chrome trace-event rendering",
+    )
     args = parser.parse_args()
 
     if not args.socket and args.port is None:
         parser.error("need --socket PATH or --port PORT")
+    if (args.metricsz or args.tracez is not None) and args.port is None:
+        parser.error("--metricsz and --tracez need --port (HTTP endpoints)")
 
     try:
-        if args.socket:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(600)
-            sock.connect(args.socket)
+        if args.socket and not (args.metricsz or args.tracez is not None):
+            sock = connect_unix(
+                args.socket,
+                args.timeout,
+                max(args.connect_retries, 0),
+                max(args.connect_retry_delay, 0.0),
+            )
             try:
                 return run_ndjson(sock, args)
             finally:
